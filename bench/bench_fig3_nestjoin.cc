@@ -1,0 +1,147 @@
+// Experiment: Figure 3 — "Nestjoin Example".
+//
+// Reproduces the figure's equijoin-on-the-second-attribute nestjoin on
+// the paper's exact X and Y, then measures the nestjoin against the
+// plans it replaces: unnest–join–nest (via relational grouping) and
+// tuple-at-a-time nested loops, across data sizes and group fan-outs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace n2j {
+namespace {
+
+using bench::MustEval;
+using bench::Section;
+using bench::TimeMs;
+
+void ReproduceFigure3() {
+  Section("Figure 3: the nestjoin on the paper's exact data");
+  auto db = MakeFigure3Database();
+  Value x = MustEval(*db, Expr::Table("X"));
+  Value y = MustEval(*db, Expr::Table("Y"));
+  std::printf("X = %s\n", x.ToString().c_str());
+  std::printf("Y = %s\n\n", y.ToString().c_str());
+
+  ExprPtr nj = Expr::NestJoin(
+      Expr::Table("X"), Expr::Table("Y"), "x", "y",
+      Expr::Eq(Expr::Access(Expr::Var("x"), "b"),
+               Expr::Access(Expr::Var("y"), "d")),
+      "ys");
+  std::printf("X ⊣_{x,y : x.b = y.d ; ys} Y:\n");
+  Value result = MustEval(*db, nj);
+  for (const Value& t : result.elements()) {
+    std::printf("  %s\n", t.ToString().c_str());
+  }
+  // Paper: (1,1) and (2,1) each group {(1,1),(2,1)}; (3,3) keeps ∅.
+  N2J_CHECK(result.set_size() == 3);
+  for (const Value& t : result.elements()) {
+    int64_t a = t.FindField("a")->int_value();
+    size_t g = t.FindField("ys")->set_size();
+    N2J_CHECK((a == 3) == (g == 0));
+  }
+  std::printf(
+      "\nEach left tuple is concatenated with the SET of matching right\n"
+      "tuples; the dangling (a=3, b=3) keeps ys = {} instead of being\n"
+      "lost — grouping during join without the Complex Object bug.\n");
+}
+
+/// Builds X(id, k) and Y(k2, w) where each x matches `fanout` y's.
+std::unique_ptr<Database> MakeJoinDb(int n, int fanout, uint64_t seed) {
+  auto db = std::make_unique<Database>();
+  N2J_CHECK(db->CreateTable("XL", Type::Tuple({{"id", Type::Int()},
+                                               {"k", Type::Int()}}))
+                .ok());
+  N2J_CHECK(db->CreateTable("YR", Type::Tuple({{"k2", Type::Int()},
+                                               {"w", Type::Int()}}))
+                .ok());
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    N2J_CHECK(db->Insert("XL", Value::Tuple({Field("id", Value::Int(i)),
+                                             Field("k", Value::Int(i))}))
+                  .ok());
+    for (int j = 0; j < fanout; ++j) {
+      N2J_CHECK(
+          db->Insert("YR",
+                     Value::Tuple({Field("k2", Value::Int(i)),
+                                   Field("w", Value::Int(rng.Uniform(
+                                                  0, 1000)))}))
+              .ok());
+    }
+  }
+  return db;
+}
+
+ExprPtr NestJoinPlan() {
+  return Expr::NestJoin(Expr::Table("XL"), Expr::Table("YR"), "x", "y",
+                        Expr::Eq(Expr::Access(Expr::Var("x"), "k"),
+                                 Expr::Access(Expr::Var("y"), "k2")),
+                        "ys");
+}
+
+/// The unnest–join–nest equivalent: ν(XL ⋈ YR) — requires re-adding
+/// dangling tuples to be correct, which plain ν cannot do.
+ExprPtr JoinNestPlan() {
+  return Expr::Nest(
+      Expr::Join(Expr::Table("XL"), Expr::Table("YR"), "x", "y",
+                 Expr::Eq(Expr::Access(Expr::Var("x"), "k"),
+                          Expr::Access(Expr::Var("y"), "k2"))),
+      {"k2", "w"}, "ys");
+}
+
+void SweepFanout() {
+  Section("Nestjoin vs join+nest vs nested loop (|X| = 300, varying fanout)");
+  std::printf("%8s %16s %16s %18s\n", "fanout", "nestjoin (ms)",
+              "join+nest (ms)", "nested loop (ms)");
+  for (int fanout : {1, 4, 16, 64}) {
+    auto db = MakeJoinDb(300, fanout, 11);
+    ExprPtr nj = NestJoinPlan();
+    ExprPtr gp = JoinNestPlan();
+    EvalOptions nl;
+    nl.use_hash_joins = false;
+    double nj_ms = TimeMs([&] { MustEval(*db, nj); }, 40);
+    double gp_ms = TimeMs([&] { MustEval(*db, gp); }, 40);
+    double nl_ms = TimeMs([&] { MustEval(*db, nj, nl); }, 40);
+    std::printf("%8d %16.3f %16.3f %18.3f\n", fanout, nj_ms, gp_ms, nl_ms);
+  }
+  std::printf(
+      "\njoin+nest materializes |X|·fanout concatenated tuples before\n"
+      "regrouping; the nestjoin emits each group directly (one pass,\n"
+      "no intermediate duplication) — and is the only one of the three\n"
+      "join-based plans that keeps dangling left tuples.\n");
+}
+
+void BM_NestJoinHash(benchmark::State& state) {
+  auto db = MakeJoinDb(static_cast<int>(state.range(0)), 8, 3);
+  ExprPtr nj = NestJoinPlan();
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(*db, nj));
+}
+BENCHMARK(BM_NestJoinHash)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_NestJoinNestedLoop(benchmark::State& state) {
+  auto db = MakeJoinDb(static_cast<int>(state.range(0)), 8, 3);
+  ExprPtr nj = NestJoinPlan();
+  EvalOptions nl;
+  nl.use_hash_joins = false;
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(*db, nj, nl));
+}
+BENCHMARK(BM_NestJoinNestedLoop)->Arg(128)->Arg(512);
+
+void BM_JoinThenNest(benchmark::State& state) {
+  auto db = MakeJoinDb(static_cast<int>(state.range(0)), 8, 3);
+  ExprPtr gp = JoinNestPlan();
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(*db, gp));
+}
+BENCHMARK(BM_JoinThenNest)->Arg(128)->Arg(512)->Arg(2048);
+
+}  // namespace
+}  // namespace n2j
+
+int main(int argc, char** argv) {
+  n2j::ReproduceFigure3();
+  n2j::SweepFanout();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Experiment: the paper's motivating claim (Sections 1 and 4) — moving
+// from tuple-oriented (nested-loop) to set-oriented (join) query
+// processing. "A naive way to handle nested queries is by nested-loop
+// processing, however, it is better to transform nested queries into
+// join queries, because join queries can be implemented in many
+// different ways."
+//
+// Sweeps |X| = |Y| for the three canonical correlated-subquery shapes
+// and reports wall time plus predicate-evaluation counts for:
+//   nested  — the naive translation executed as-is,
+//   plan/NL — the rewritten join executed with nested-loop joins
+//             (set-oriented shape, tuple-oriented operator),
+//   plan/H  — the rewritten join executed with hash joins.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "oosql/translate.h"
+
+namespace n2j {
+namespace {
+
+using bench::MustEval;
+using bench::MustRewrite;
+using bench::Section;
+using bench::TimeMs;
+
+std::unique_ptr<Database> MakeDb(int n, uint64_t seed) {
+  auto db = std::make_unique<Database>();
+  XYConfig config;
+  config.seed = seed;
+  config.x_rows = n;
+  config.y_rows = n;
+  config.key_domain = n;
+  config.value_domain = 32;
+  N2J_CHECK(AddRandomXY(db.get(), config).ok());
+  return db;
+}
+
+ExprPtr Translate(const Database& db, const std::string& text) {
+  Translator tr(db.schema(), &db);
+  Result<TypedExpr> typed = tr.TranslateString(text);
+  N2J_CHECK(typed.ok());
+  return typed->expr;
+}
+
+struct Shape {
+  const char* name;
+  const char* query;
+};
+
+const Shape kShapes[] = {
+    {"semijoin (∃)",
+     "select x from x in X where exists y in Y : y.a = x.a"},
+    {"antijoin (¬∃)",
+     "select x from x in X where not exists y in Y : y.a = x.a"},
+    {"join (pairing)",
+     "select (xa = x.a, ye = y.e) from x in X, y in Y where x.a = y.a"},
+};
+
+void SweepSizes() {
+  for (const Shape& shape : kShapes) {
+    Section(std::string("Shape: ") + shape.name + "\n  " + shape.query);
+    std::printf("%8s %13s %13s %13s %10s %20s\n", "n", "nested (ms)",
+                "plan/NL (ms)", "plan/H (ms)", "speedup",
+                "pred-evals nested/H");
+    for (int n : {32, 64, 128, 256, 512, 1024}) {
+      auto db = MakeDb(n, 13);
+      ExprPtr naive = Translate(*db, shape.query);
+      ExprPtr plan = MustRewrite(*db, naive).expr;
+      EvalOptions nl;
+      nl.use_hash_joins = false;
+      EvalStats stats_naive, stats_hash;
+      Value a = MustEval(*db, naive, nl, &stats_naive);
+      Value b = MustEval(*db, plan, EvalOptions(), &stats_hash);
+      N2J_CHECK(a == b);
+      double nested_ms = TimeMs([&] { MustEval(*db, naive, nl); }, 30);
+      double plan_nl_ms = TimeMs([&] { MustEval(*db, plan, nl); }, 30);
+      double plan_h_ms = TimeMs([&] { MustEval(*db, plan); }, 30);
+      std::printf("%8d %13.3f %13.3f %13.3f %9.1fx %14llu/%llu\n", n,
+                  nested_ms, plan_nl_ms, plan_h_ms, nested_ms / plan_h_ms,
+                  static_cast<unsigned long long>(
+                      stats_naive.predicate_evals),
+                  static_cast<unsigned long long>(
+                      stats_hash.predicate_evals));
+    }
+  }
+  std::printf(
+      "\nExpected shape (the paper's argument): nested-loop work grows\n"
+      "quadratically (n^2 predicate evaluations), the hash-join plans\n"
+      "~linearly; 'plan/NL' shows that even the *logical* rewrite alone\n"
+      "pays off only together with a set-oriented physical operator —\n"
+      "which is precisely why the paper wants joins at the top level,\n"
+      "'so that the optimizer may choose from a number of different\n"
+      "join processing strategies'.\n");
+}
+
+void BM_NestedLoopExists(benchmark::State& state) {
+  auto db = MakeDb(static_cast<int>(state.range(0)), 13);
+  ExprPtr naive = Translate(*db, kShapes[0].query);
+  EvalOptions nl;
+  nl.use_hash_joins = false;
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(*db, naive, nl));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NestedLoopExists)->RangeMultiplier(2)->Range(64, 1024)
+    ->Complexity();
+
+void BM_HashSemiJoin(benchmark::State& state) {
+  auto db = MakeDb(static_cast<int>(state.range(0)), 13);
+  ExprPtr plan = MustRewrite(*db, Translate(*db, kShapes[0].query)).expr;
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(*db, plan));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HashSemiJoin)->RangeMultiplier(2)->Range(64, 1024)
+    ->Complexity();
+
+}  // namespace
+}  // namespace n2j
+
+int main(int argc, char** argv) {
+  n2j::SweepSizes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

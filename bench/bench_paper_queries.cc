@@ -1,0 +1,116 @@
+// Experiment: the six worked queries of the paper (Sections 2–6) as an
+// end-to-end workload over growing databases — the engine's "it all
+// composes" check. Per query and scale: naive nested-loop time vs the
+// optimized plan's time, plus which strategy the optimizer chose.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "oosql/translate.h"
+
+namespace n2j {
+namespace {
+
+using bench::AllRewritesOff;
+using bench::MustEval;
+using bench::MustRewrite;
+using bench::Section;
+using bench::TimeMs;
+
+struct PaperQuery {
+  const char* label;
+  const char* strategy;  // what the optimizer is expected to do
+  const char* text;
+};
+
+const PaperQuery kQueries[] = {
+    {"Q1 select-clause nesting", "nestjoin",
+     "select (sname = s.sname, pnames = select p.pname from p in PART "
+     "where p[pid] in s.parts and p.color = \"red\") from s in SUPPLIER"},
+    {"Q2 from-clause nesting", "block merge",
+     "select d from d in (select e from e in DELIVERY "
+     "where e.supplier.sname = \"s1\") where d.date > 940600"},
+    {"Q3.1 set comparison", "constant hoist",
+     "select s.sname from s in SUPPLIER where s.parts supseteq "
+     "(select x from t in SUPPLIER, x in t.parts where t.sname = \"s1\")"},
+    {"Q3.2 set-attr quantifier", "stays tuple-oriented",
+     "select d from d in DELIVERY where "
+     "exists x in d.supply : x.part.color = \"red\""},
+    {"Q4 referential integrity", "unnest + antijoin",
+     "select s.eid from s in SUPPLIER where "
+     "exists z in s.parts : not exists p in PART : z.pid = p.pid"},
+    {"Q5 red-part suppliers", "exchange + semijoin",
+     "select s.sname from s in SUPPLIER where "
+     "exists x in s.parts : exists p in PART : "
+     "x.pid = p.pid and p.color = \"red\""},
+    {"Q6 parts per supplier", "nestjoin",
+     "select (sname = s.sname, partssuppl = select p from p in PART "
+     "where p[pid] in s.parts) from s in SUPPLIER"},
+};
+
+std::unique_ptr<Database> MakeDb(int parts) {
+  SupplierPartConfig config;
+  config.seed = 1994;
+  config.num_parts = parts;
+  config.num_suppliers = parts / 4;
+  config.parts_per_supplier = 8;
+  config.red_fraction = 0.2;
+  config.match_fraction = 0.92;
+  config.num_deliveries = parts / 2;
+  return MakeSupplierPartDatabase(config);
+}
+
+void Sweep() {
+  for (const PaperQuery& q : kQueries) {
+    Section(std::string(q.label) + "  [expected: " + q.strategy + "]\n  " +
+            q.text);
+    std::printf("%8s %14s %16s %10s\n", "|PART|", "nested (ms)",
+                "optimized (ms)", "speedup");
+    for (int parts : {100, 200, 400, 800}) {
+      auto db = MakeDb(parts);
+      Translator tr(db->schema(), db.get());
+      Result<TypedExpr> typed = tr.TranslateString(q.text);
+      N2J_CHECK(typed.ok());
+      ExprPtr naive = typed->expr;
+      ExprPtr plan = MustRewrite(*db, naive).expr;
+      EvalOptions nl;
+      nl.use_hash_joins = false;
+      nl.enable_pnhl = false;
+      N2J_CHECK(MustEval(*db, naive, nl) == MustEval(*db, plan));
+      double naive_ms = TimeMs([&] { MustEval(*db, naive, nl); }, 25);
+      double plan_ms = TimeMs([&] { MustEval(*db, plan); }, 25);
+      std::printf("%8d %14.3f %16.3f %9.1fx\n", parts, naive_ms, plan_ms,
+                  naive_ms / plan_ms);
+    }
+  }
+  std::printf(
+      "\nQ2/Q3.1 are dominated by the single pass either way (the rewrite\n"
+      "avoids recomputation, not scans); Q3.2 deliberately stays\n"
+      "tuple-oriented per the paper. The correlated-subquery queries\n"
+      "(Q1, Q4, Q5, Q6) show the quadratic-to-linear shift.\n");
+}
+
+void BM_WholeWorkloadOptimized(benchmark::State& state) {
+  auto db = MakeDb(static_cast<int>(state.range(0)));
+  Translator tr(db->schema(), db.get());
+  std::vector<ExprPtr> plans;
+  for (const PaperQuery& q : kQueries) {
+    Result<TypedExpr> typed = tr.TranslateString(q.text);
+    N2J_CHECK(typed.ok());
+    plans.push_back(MustRewrite(*db, typed->expr).expr);
+  }
+  for (auto _ : state) {
+    for (const ExprPtr& p : plans) benchmark::DoNotOptimize(MustEval(*db, p));
+  }
+}
+BENCHMARK(BM_WholeWorkloadOptimized)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace n2j
+
+int main(int argc, char** argv) {
+  n2j::Sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Experiment: Section 4 — the priority strategy, ablated.
+//
+// The paper orders its optimization options: (1) rewrite into relational
+// join operators, (2) unnest set-valued attributes, (3) use new
+// operators (nestjoin), (4) fall back to nested loops. This binary runs
+// a mixed workload of the paper's query shapes with each option disabled
+// in turn, reporting total wall time and how many queries end up with
+// residual nested base tables (i.e. nested-loop execution).
+
+#include <benchmark/benchmark.h>
+
+#include "adl/analysis.h"
+#include "bench/bench_util.h"
+#include "oosql/translate.h"
+
+namespace n2j {
+namespace {
+
+using bench::MustEval;
+using bench::MustRewrite;
+using bench::Section;
+using bench::TimeMs;
+
+const char* kWorkload[] = {
+    // Rule 1 shapes.
+    "select x from x in X where exists y in Y : y.a = x.a",
+    "select x from x in X where not exists y in Y : y.a = x.a",
+    "select x.a from x in X where x.a in "
+    "(select y.e from y in Y where y.a = x.a)",
+    // Attribute unnesting (Example Query 4 shape).
+    "select s.eid from s in SUPPLIER where "
+    "exists z in s.parts : not exists p in PART : z.pid = p.pid",
+    // Quantifier exchange (Example Query 5 shape).
+    "select s.sname from s in SUPPLIER where "
+    "exists z in s.parts : exists p in PART : "
+    "z.pid = p.pid and p.color = \"red\"",
+    // Grouping-requiring shapes (nestjoin).
+    "select x from x in X where x.c subseteq "
+    "(select (d = y.e) from y in Y where y.a = x.a)",
+    "select (a = x.a, k = count(select y from y in Y where y.a = x.a)) "
+    "from x in X",
+    // Constant subquery.
+    "select x from x in X where x.a in (select y.a from y in Y)",
+};
+
+struct Config {
+  const char* name;
+  RewriteOptions options;
+};
+
+std::vector<Config> MakeConfigs() {
+  std::vector<Config> configs;
+  configs.push_back({"full strategy", RewriteOptions()});
+
+  RewriteOptions no_joins;
+  no_joins.enable_setcmp = false;
+  no_joins.enable_quantifier = false;
+  no_joins.enable_map_join = false;
+  configs.push_back({"no relational rewrites (opt 1 off)", no_joins});
+
+  RewriteOptions no_unnest;
+  no_unnest.enable_unnest_attr = false;
+  configs.push_back({"no attribute unnesting (opt 2 off)", no_unnest});
+
+  RewriteOptions no_nestjoin;
+  no_nestjoin.grouping = GroupingMode::kNone;
+  configs.push_back({"no nestjoin (opt 3 off)", no_nestjoin});
+
+  RewriteOptions no_hoist;
+  no_hoist.enable_hoist = false;
+  configs.push_back({"no constant hoisting", no_hoist});
+
+  RewriteOptions nothing = bench::AllRewritesOff();
+  configs.push_back({"nested loops only (all off)", nothing});
+  return configs;
+}
+
+std::unique_ptr<Database> MakeDb(int n) {
+  SupplierPartConfig sp;
+  sp.seed = 29;
+  sp.num_parts = n;
+  sp.num_suppliers = n / 4;
+  sp.parts_per_supplier = 6;
+  sp.match_fraction = 0.9;
+  sp.red_fraction = 0.2;
+  auto db = MakeSupplierPartDatabase(sp);
+  XYConfig xy;
+  xy.seed = 31;
+  xy.x_rows = n;
+  xy.y_rows = n;
+  xy.key_domain = n;
+  N2J_CHECK(AddRandomXY(db.get(), xy).ok());
+  return db;
+}
+
+bool HasNestedBaseTable(const ExprPtr& e);  // below
+
+void RunAblation() {
+  Section("Section 4 priority strategy — ablation (workload of 8 queries)");
+  int n = 400;
+  auto db = MakeDb(n);
+  Translator tr(db->schema(), db.get());
+
+  std::vector<ExprPtr> queries;
+  for (const char* q : kWorkload) {
+    Result<TypedExpr> typed = tr.TranslateString(q);
+    N2J_CHECK(typed.ok());
+    queries.push_back(typed->expr);
+  }
+  // Reference results from the full strategy.
+  std::vector<Value> reference;
+  for (const ExprPtr& q : queries) {
+    reference.push_back(MustEval(*db, MustRewrite(*db, q).expr));
+  }
+
+  std::printf("%-38s %12s %10s %12s\n", "configuration", "total (ms)",
+              "residual", "vs full");
+  double full_ms = 0;
+  for (const Config& config : MakeConfigs()) {
+    std::vector<ExprPtr> plans;
+    int residual = 0;
+    for (const ExprPtr& q : queries) {
+      ExprPtr plan = MustRewrite(*db, q, config.options).expr;
+      plans.push_back(plan);
+      if (HasNestedBaseTable(plan)) ++residual;
+    }
+    // Correctness under ablation: all configurations agree.
+    for (size_t i = 0; i < plans.size(); ++i) {
+      N2J_CHECK(MustEval(*db, plans[i]) == reference[i]);
+    }
+    double total = TimeMs(
+        [&] {
+          for (const ExprPtr& p : plans) MustEval(*db, p);
+        },
+        100);
+    if (full_ms == 0) full_ms = total;
+    std::printf("%-38s %12.2f %10d %11.1fx\n", config.name, total, residual,
+                total / full_ms);
+  }
+  std::printf(
+      "\n'residual' counts queries whose final plan still scans a base\n"
+      "table inside an iterator parameter (the paper's definition of\n"
+      "remaining nested-loop processing).\n");
+}
+
+bool HasNestedBaseTable(const ExprPtr& e) {
+  bool found = false;
+  std::function<void(const ExprPtr&, bool)> walk = [&](const ExprPtr& n,
+                                                       bool in_param) {
+    if (n->kind() == ExprKind::kGetTable && in_param) {
+      found = true;
+      return;
+    }
+    for (size_t i = 0; i < n->num_children(); ++i) {
+      bool param = in_param;
+      switch (n->kind()) {
+        case ExprKind::kMap:
+        case ExprKind::kSelect:
+        case ExprKind::kQuantifier:
+          if (i == 1) param = true;
+          break;
+        case ExprKind::kJoin:
+        case ExprKind::kSemiJoin:
+        case ExprKind::kAntiJoin:
+          if (i == 2) param = true;
+          break;
+        case ExprKind::kNestJoin:
+          if (i >= 2) param = true;
+          break;
+        default:
+          break;
+      }
+      walk(n->child(i), param);
+    }
+  };
+  walk(e, false);
+  return found;
+}
+
+void BM_FullStrategyWorkload(benchmark::State& state) {
+  auto db = MakeDb(static_cast<int>(state.range(0)));
+  Translator tr(db->schema(), db.get());
+  std::vector<ExprPtr> plans;
+  for (const char* q : kWorkload) {
+    Result<TypedExpr> typed = tr.TranslateString(q);
+    N2J_CHECK(typed.ok());
+    plans.push_back(MustRewrite(*db, typed->expr).expr);
+  }
+  for (auto _ : state) {
+    for (const ExprPtr& p : plans) benchmark::DoNotOptimize(MustEval(*db, p));
+  }
+}
+BENCHMARK(BM_FullStrategyWorkload)->Arg(128)->Arg(512);
+
+void BM_RewriterItself(benchmark::State& state) {
+  // Cost of optimization (plan-time, not run-time).
+  auto db = MakeDb(64);
+  Translator tr(db->schema(), db.get());
+  std::vector<ExprPtr> queries;
+  for (const char* q : kWorkload) {
+    Result<TypedExpr> typed = tr.TranslateString(q);
+    N2J_CHECK(typed.ok());
+    queries.push_back(typed->expr);
+  }
+  for (auto _ : state) {
+    for (const ExprPtr& q : queries) {
+      benchmark::DoNotOptimize(MustRewrite(*db, q).expr);
+    }
+  }
+}
+BENCHMARK(BM_RewriterItself);
+
+}  // namespace
+}  // namespace n2j
+
+int main(int argc, char** argv) {
+  n2j::RunAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+#ifndef N2J_BENCH_BENCH_UTIL_H_
+#define N2J_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment binaries. Each bench reproduces one
+// table or figure of the paper: it prints the paper-shaped table first
+// (the qualitative reproduction) and then registers google-benchmark
+// timings for the quantitative sweeps.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adl/printer.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "exec/eval.h"
+#include "rewrite/rewriter.h"
+#include "storage/datagen.h"
+
+namespace n2j {
+namespace bench {
+
+/// Runs `fn` repeatedly until ~min_ms of wall time accumulated; returns
+/// milliseconds per execution.
+inline double TimeMs(const std::function<void()>& fn, double min_ms = 50.0) {
+  using Clock = std::chrono::steady_clock;
+  // Warm-up.
+  fn();
+  int iters = 1;
+  for (;;) {
+    auto start = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    double elapsed =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (elapsed >= min_ms || iters > (1 << 20)) {
+      return elapsed / iters;
+    }
+    iters *= 2;
+  }
+}
+
+/// Evaluates `e` against `db`, aborting on error (bench inputs are fixed).
+inline Value MustEval(const Database& db, const ExprPtr& e,
+                      EvalOptions opts = EvalOptions(),
+                      EvalStats* stats = nullptr) {
+  Evaluator ev(db, opts);
+  Result<Value> r = ev.Eval(e);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench eval failed: %s\nexpr: %s\n",
+                 r.status().ToString().c_str(), AlgebraStr(e).c_str());
+    std::abort();
+  }
+  if (stats != nullptr) *stats = ev.stats();
+  return *r;
+}
+
+/// Rewrites with options, aborting on error.
+inline RewriteResult MustRewrite(const Database& db, const ExprPtr& e,
+                                 RewriteOptions opts = RewriteOptions()) {
+  Rewriter rw(db.schema(), &db, opts);
+  Result<RewriteResult> r = rw.Rewrite(e);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench rewrite failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return *r;
+}
+
+/// RewriteOptions with every pass disabled (pure nested-loop execution).
+inline RewriteOptions AllRewritesOff() {
+  RewriteOptions off;
+  off.enable_simplify = true;  // keep the translation cleanups
+  off.enable_setcmp = false;
+  off.enable_quantifier = false;
+  off.enable_map_join = false;
+  off.enable_unnest_attr = false;
+  off.enable_hoist = false;
+  off.grouping = GroupingMode::kNone;
+  return off;
+}
+
+/// Prints a horizontal rule and a section heading.
+inline void Section(const std::string& title) {
+  std::printf("\n%s\n", std::string(76, '-').c_str());
+  std::printf("%s\n%s\n", title.c_str(), std::string(76, '-').c_str());
+}
+
+}  // namespace bench
+}  // namespace n2j
+
+#endif  // N2J_BENCH_BENCH_UTIL_H_

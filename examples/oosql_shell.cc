@@ -1,0 +1,131 @@
+// An interactive OOSQL shell over the supplier–part database. Queries
+// end with ';'. Meta commands:
+//   \schema          print the schema
+//   \tables          list tables and sizes
+//   \explain <query> show translation, optimization trace and plan
+//   \nestedloop      toggle the rewriter off/on (to feel the difference)
+//   \quit            exit
+//
+//   $ ./build/examples/oosql_shell
+//   oosql> select s.sname from s in SUPPLIER where ... ;
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "adl/printer.h"
+#include "core/engine.h"
+#include "storage/datagen.h"
+
+using namespace n2j;  // NOLINT — example code
+
+namespace {
+
+void PrintResult(const Value& v, size_t limit = 20) {
+  if (!v.is_set()) {
+    std::printf("%s\n", v.ToString().c_str());
+    return;
+  }
+  size_t shown = 0;
+  for (const Value& e : v.elements()) {
+    if (shown++ >= limit) {
+      std::printf("  ... (%zu more)\n", v.set_size() - limit);
+      break;
+    }
+    std::printf("  %s\n", e.ToString().c_str());
+  }
+  std::printf("(%zu tuples)\n", v.set_size());
+}
+
+}  // namespace
+
+int main() {
+  SupplierPartConfig config;
+  config.seed = 7;
+  config.num_parts = 100;
+  config.num_suppliers = 25;
+  config.parts_per_supplier = 6;
+  config.match_fraction = 0.9;
+  config.num_deliveries = 40;
+  std::unique_ptr<Database> db = MakeSupplierPartDatabase(config);
+
+  bool rewrites_enabled = true;
+  std::printf(
+      "nested-to-join OOSQL shell — supplier-part database loaded\n"
+      "(|SUPPLIER| = %zu, |PART| = %zu, |DELIVERY| = %zu)\n"
+      "end queries with ';'. try: \\schema, \\tables, \\explain, \\quit\n",
+      db->FindTable("SUPPLIER")->size(), db->FindTable("PART")->size(),
+      db->FindTable("DELIVERY")->size());
+
+  std::string buffer;
+  std::string line;
+  std::printf("oosql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    // Meta commands act on a whole line.
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      std::istringstream iss(line);
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == "\\quit" || cmd == "\\q") break;
+      if (cmd == "\\schema") {
+        std::printf("%s", db->schema().ToString().c_str());
+      } else if (cmd == "\\tables") {
+        for (const std::string& name : db->TableNames()) {
+          std::printf("  %-12s %zu rows\n", name.c_str(),
+                      db->FindTable(name)->size());
+        }
+      } else if (cmd == "\\nestedloop") {
+        rewrites_enabled = !rewrites_enabled;
+        std::printf("rewrites %s\n", rewrites_enabled ? "ON" : "OFF");
+      } else if (cmd == "\\explain") {
+        std::string rest;
+        std::getline(iss, rest);
+        if (!rest.empty() && rest.back() == ';') rest.pop_back();
+        QueryEngine engine(db.get());
+        Result<QueryReport> r = engine.Run(rest);
+        if (!r.ok()) {
+          std::printf("error: %s\n", r.status().ToString().c_str());
+        } else {
+          std::printf("%s", r->Explain().c_str());
+        }
+      } else {
+        std::printf("unknown command %s\n", cmd.c_str());
+      }
+      std::printf("oosql> ");
+      std::fflush(stdout);
+      continue;
+    }
+
+    buffer += line + "\n";
+    if (buffer.find(';') == std::string::npos) {
+      std::printf("  ...> ");
+      std::fflush(stdout);
+      continue;
+    }
+
+    RewriteOptions opts;
+    if (!rewrites_enabled) {
+      opts.enable_setcmp = false;
+      opts.enable_quantifier = false;
+      opts.enable_map_join = false;
+      opts.enable_unnest_attr = false;
+      opts.enable_hoist = false;
+      opts.grouping = GroupingMode::kNone;
+    }
+    QueryEngine engine(db.get(), opts);
+    Result<QueryReport> r = engine.Run(buffer);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    } else {
+      PrintResult(r->result);
+      std::printf("[%s]\n", r->exec_stats.ToString().c_str());
+    }
+    buffer.clear();
+    std::printf("oosql> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Example Query 4 as an application: audit a database for referential
+// integrity violations and compare the three execution strategies the
+// paper discusses for it — naive nested loops, the attribute-unnest +
+// antijoin plan, and per-strategy cost counters.
+//
+//   $ ./build/examples/referential_integrity [num_parts] [num_suppliers]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "adl/printer.h"
+#include "core/engine.h"
+#include "storage/datagen.h"
+
+using namespace n2j;  // NOLINT — example code
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SupplierPartConfig config;
+  config.seed = 4;
+  config.num_parts = argc > 1 ? std::atoi(argv[1]) : 2000;
+  config.num_suppliers = argc > 2 ? std::atoi(argv[2]) : 500;
+  config.parts_per_supplier = 10;
+  config.match_fraction = 0.95;  // ~5% of references dangle
+  std::unique_ptr<Database> db = MakeSupplierPartDatabase(config);
+
+  const char* query =
+      "select s.eid from s in SUPPLIER where "
+      "exists z in s.parts : not exists p in PART : z.pid = p.pid";
+  std::printf("auditing %d suppliers x %d refs against %d parts\n",
+              config.num_suppliers, config.parts_per_supplier,
+              config.num_parts);
+  std::printf("query: %s\n\n", query);
+
+  // Strategy A: naive nested-loop execution of the translated query.
+  RewriteOptions off;
+  off.enable_setcmp = false;
+  off.enable_quantifier = false;
+  off.enable_map_join = false;
+  off.enable_unnest_attr = false;
+  off.enable_hoist = false;
+  off.grouping = GroupingMode::kNone;
+  QueryEngine naive(db.get(), off);
+  auto t0 = std::chrono::steady_clock::now();
+  Result<QueryReport> a = naive.Run(query);
+  double naive_ms = MillisSince(t0);
+  N2J_CHECK(a.ok());
+
+  // Strategy B: the paper's plan — µ_parts(SUPPLIER) ▷ PART.
+  QueryEngine optimized(db.get());
+  t0 = std::chrono::steady_clock::now();
+  Result<QueryReport> b = optimized.Run(query);
+  double opt_ms = MillisSince(t0);
+  N2J_CHECK(b.ok());
+
+  N2J_CHECK(a->result == b->result);
+  std::printf("violating suppliers: %zu of %d\n\n", b->result.set_size(),
+              config.num_suppliers);
+
+  std::printf("%-28s %12s %16s %14s\n", "strategy", "time (ms)",
+              "predicate evals", "hash probes");
+  std::printf("%-28s %12.2f %16llu %14llu\n", "nested loops (naive)",
+              naive_ms,
+              static_cast<unsigned long long>(a->exec_stats.predicate_evals),
+              static_cast<unsigned long long>(a->exec_stats.hash_probes));
+  std::printf("%-28s %12.2f %16llu %14llu\n", "unnest + antijoin (paper)",
+              opt_ms,
+              static_cast<unsigned long long>(b->exec_stats.predicate_evals),
+              static_cast<unsigned long long>(b->exec_stats.hash_probes));
+  std::printf("\noptimized plan: %s\n", AlgebraStr(b->optimized).c_str());
+  std::printf("speedup: %.1fx\n", naive_ms / (opt_ms > 0 ? opt_ms : 1e-9));
+  return 0;
+}

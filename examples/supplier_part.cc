@@ -1,0 +1,118 @@
+// The paper's running example: the supplier–part–delivery database of
+// Section 2, with all six Example Queries run through the full pipeline.
+// For each query the program prints the OOSQL text, the naive ADL
+// translation, the optimized plan, the fired rules and the execution
+// statistics — a guided tour of Sections 2–6.
+//
+//   $ ./build/examples/supplier_part
+
+#include <cstdio>
+
+#include "adl/printer.h"
+#include "core/engine.h"
+#include "storage/datagen.h"
+
+using namespace n2j;  // NOLINT — example code
+
+namespace {
+
+void RunAndReport(const QueryEngine& engine, const char* label,
+                  const char* comment, const std::string& query) {
+  std::printf("=== %s ===\n%s\n\n", label, comment);
+  std::printf("OOSQL:\n  %s\n", query.c_str());
+  Result<QueryReport> report = engine.Run(query);
+  if (!report.ok()) {
+    std::printf("  error: %s\n\n", report.status().ToString().c_str());
+    return;
+  }
+  std::printf("translated (naive, nested loops):\n  %s\n",
+              AlgebraStr(report->translated).c_str());
+  std::printf("optimized:\n  %s\n", AlgebraStr(report->optimized).c_str());
+  if (!report->trace.empty()) {
+    std::printf("rules fired:\n");
+    for (const RuleApplication& rule : report->trace) {
+      std::printf("  - %s\n", rule.rule.c_str());
+    }
+  }
+  std::printf("result size: %zu\n", report->result.set_size());
+  if (report->result.set_size() <= 4 && report->result.set_size() > 0) {
+    for (const Value& v : report->result.elements()) {
+      std::printf("  %s\n", v.ToString().c_str());
+    }
+  }
+  std::printf("exec stats:  %s\n\n", report->exec_stats.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  SupplierPartConfig config;
+  config.seed = 1994;  // the year of the paper
+  config.num_parts = 200;
+  config.num_suppliers = 50;
+  config.parts_per_supplier = 8;
+  config.red_fraction = 0.2;
+  config.match_fraction = 0.9;  // a few dangling references for Query 4
+  config.num_deliveries = 80;
+  std::unique_ptr<Database> db = MakeSupplierPartDatabase(config);
+  QueryEngine engine(db.get());
+
+  std::printf("Schema (Section 2):\n%s\n", db->schema().ToString().c_str());
+  std::printf("|SUPPLIER| = %zu, |PART| = %zu, |DELIVERY| = %zu\n\n",
+              db->FindTable("SUPPLIER")->size(),
+              db->FindTable("PART")->size(),
+              db->FindTable("DELIVERY")->size());
+
+  RunAndReport(engine, "Example Query 1",
+               "Nesting in the select-clause: supplier names with the "
+               "names of red parts supplied.\n(Dereferencing dangling part "
+               "refs would fail, so the inner block guards via an exists.)",
+               "select (sname = s.sname, "
+               "pnames = select p.pname from p in PART "
+               "where p[pid] in s.parts and p.color = \"red\") "
+               "from s in SUPPLIER");
+
+  RunAndReport(engine, "Example Query 2",
+               "Nesting in the from-clause (query composition); the "
+               "rewriter merges the blocks.",
+               "select d from d in (select e from e in DELIVERY "
+               "where e.supplier.sname = \"s1\") where d.date > 940600");
+
+  RunAndReport(engine, "Example Query 3.1",
+               "Nesting in the where-clause over a base table: suppliers "
+               "supplying all parts supplied by s1 (set comparison between "
+               "blocks; the uncorrelated block is a constant).",
+               "select s.sname from s in SUPPLIER where s.parts supseteq "
+               "(select x from t in SUPPLIER, x in t.parts "
+               "where t.sname = \"s1\")");
+
+  RunAndReport(engine, "Example Query 3.2",
+               "Nesting in the where-clause over a set-valued attribute: "
+               "deliveries including red parts (stays tuple-oriented, as "
+               "the paper prescribes for clustered attributes).",
+               "select d from d in DELIVERY where "
+               "exists x in d.supply : x.part.color = \"red\"");
+
+  RunAndReport(engine, "Example Query 4",
+               "Referential integrity violations: µ (attribute unnest) "
+               "followed by an antijoin — option 1 of Section 4.",
+               "select s.eid from s in SUPPLIER where "
+               "exists z in s.parts : not exists p in PART : z.pid = p.pid");
+
+  RunAndReport(engine, "Example Query 5",
+               "Suppliers supplying red parts: quantifier exchange + "
+               "Rule 1 produce the paper's semijoin.",
+               "select s.sname from s in SUPPLIER where "
+               "exists x in s.parts : exists p in PART : "
+               "x.pid = p.pid and p.color = \"red\"");
+
+  RunAndReport(engine, "Example Query 6",
+               "Supplier names with the set of supplied parts: no flat "
+               "relational join preserves dangling suppliers — the "
+               "nestjoin (Section 6.1) does.",
+               "select (sname = s.sname, partssuppl = "
+               "select p from p in PART where p[pid] in s.parts) "
+               "from s in SUPPLIER");
+
+  return 0;
+}

@@ -1,0 +1,266 @@
+#include "adl/analysis.h"
+
+#include "common/status.h"
+
+namespace n2j {
+
+namespace {
+
+/// Indices of children in which `var_` / `var2_` are bound, per kind.
+/// Children not listed see the enclosing scope.
+void BoundChildren(const Expr& e, std::vector<size_t>* out) {
+  out->clear();
+  switch (e.kind()) {
+    case ExprKind::kLet:
+    case ExprKind::kMap:
+    case ExprKind::kSelect:
+    case ExprKind::kQuantifier:
+      out->push_back(1);
+      break;
+    case ExprKind::kJoin:
+    case ExprKind::kSemiJoin:
+    case ExprKind::kAntiJoin:
+      out->push_back(2);
+      break;
+    case ExprKind::kNestJoin:
+      out->push_back(2);
+      out->push_back(3);
+      break;
+    default:
+      break;
+  }
+}
+
+bool IsBoundChild(const Expr& e, size_t i) {
+  std::vector<size_t> bc;
+  BoundChildren(e, &bc);
+  for (size_t b : bc) {
+    if (b == i) return true;
+  }
+  return false;
+}
+
+void CollectFree(const ExprPtr& e, std::set<std::string>& bound,
+                 std::set<std::string>* out) {
+  if (e->kind() == ExprKind::kVar) {
+    if (bound.count(e->name()) == 0) out->insert(e->name());
+    return;
+  }
+  for (size_t i = 0; i < e->num_children(); ++i) {
+    bool shadows1 = IsBoundChild(*e, i) && !e->var().empty();
+    bool shadows2 = IsBoundChild(*e, i) && !e->var2().empty();
+    bool added1 = shadows1 && bound.insert(e->var()).second;
+    bool added2 = shadows2 && bound.insert(e->var2()).second;
+    CollectFree(e->child(i), bound, out);
+    if (added1) bound.erase(e->var());
+    if (added2) bound.erase(e->var2());
+  }
+}
+
+}  // namespace
+
+std::set<std::string> FreeVars(const ExprPtr& e) {
+  std::set<std::string> bound;
+  std::set<std::string> out;
+  CollectFree(e, bound, &out);
+  return out;
+}
+
+bool IsFreeIn(const std::string& var, const ExprPtr& e) {
+  return FreeVars(e).count(var) > 0;
+}
+
+bool ContainsBaseTable(const ExprPtr& e) {
+  if (e->kind() == ExprKind::kGetTable) return true;
+  for (const ExprPtr& c : e->children()) {
+    if (ContainsBaseTable(c)) return true;
+  }
+  return false;
+}
+
+bool IsUncorrelated(const ExprPtr& e, const std::set<std::string>& vars) {
+  std::set<std::string> free = FreeVars(e);
+  for (const std::string& v : vars) {
+    if (free.count(v) > 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void CollectAllVars(const ExprPtr& e, std::set<std::string>* out) {
+  if (e->kind() == ExprKind::kVar) out->insert(e->name());
+  if (!e->var().empty()) out->insert(e->var());
+  if (!e->var2().empty()) out->insert(e->var2());
+  for (const ExprPtr& c : e->children()) CollectAllVars(c, out);
+}
+
+/// Rebuilds a binder node with a renamed bound variable (var or var2).
+ExprPtr RenameBinder(const ExprPtr& e, bool second, const std::string& fresh) {
+  const std::string& old = second ? e->var2() : e->var();
+  std::vector<ExprPtr> kids;
+  kids.reserve(e->num_children());
+  for (size_t i = 0; i < e->num_children(); ++i) {
+    if (IsBoundChild(*e, i)) {
+      kids.push_back(Substitute(e->child(i), old, Expr::Var(fresh)));
+    } else {
+      kids.push_back(e->child(i));
+    }
+  }
+  ExprPtr rebuilt = e->WithChildren(std::move(kids));
+  // WithChildren copies scalars; patch the variable by rebuilding through
+  // the generic path: we need a mutable copy, so reconstruct via a second
+  // WithChildren after swapping names is not possible. Instead rebuild the
+  // node from scratch per kind.
+  switch (e->kind()) {
+    case ExprKind::kLet:
+      return Expr::Let(fresh, rebuilt->child(0), rebuilt->child(1));
+    case ExprKind::kMap:
+      return Expr::Map(fresh, rebuilt->child(1), rebuilt->child(0));
+    case ExprKind::kSelect:
+      return Expr::Select(fresh, rebuilt->child(1), rebuilt->child(0));
+    case ExprKind::kQuantifier:
+      return Expr::Quant(e->quant_kind(), fresh, rebuilt->child(0),
+                         rebuilt->child(1));
+    case ExprKind::kJoin:
+    case ExprKind::kSemiJoin:
+    case ExprKind::kAntiJoin: {
+      std::string lv = second ? e->var() : fresh;
+      std::string rv = second ? fresh : e->var2();
+      if (e->kind() == ExprKind::kJoin) {
+        return Expr::Join(rebuilt->child(0), rebuilt->child(1), lv, rv,
+                          rebuilt->child(2));
+      }
+      if (e->kind() == ExprKind::kSemiJoin) {
+        return Expr::SemiJoin(rebuilt->child(0), rebuilt->child(1), lv, rv,
+                              rebuilt->child(2));
+      }
+      return Expr::AntiJoin(rebuilt->child(0), rebuilt->child(1), lv, rv,
+                            rebuilt->child(2));
+    }
+    case ExprKind::kNestJoin: {
+      std::string lv = second ? e->var() : fresh;
+      std::string rv = second ? fresh : e->var2();
+      return Expr::NestJoin(rebuilt->child(0), rebuilt->child(1), lv, rv,
+                            rebuilt->child(2), e->name(), rebuilt->child(3));
+    }
+    default:
+      N2J_CHECK(false);
+      return e;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> AllVars(const ExprPtr& e) {
+  std::set<std::string> out;
+  CollectAllVars(e, &out);
+  return out;
+}
+
+ExprPtr Substitute(const ExprPtr& e, const std::string& var,
+                   const ExprPtr& replacement) {
+  if (e->kind() == ExprKind::kVar) {
+    return e->name() == var ? replacement : e;
+  }
+  ExprPtr node = e;
+  // Alpha-rename binders that would capture free variables of the
+  // replacement, or that shadow `var` (in which case the bound children
+  // must not be rewritten).
+  std::set<std::string> repl_free = FreeVars(replacement);
+  for (int pass = 0; pass < 2; ++pass) {
+    bool second = pass == 1;
+    const std::string& bv = second ? node->var2() : node->var();
+    if (bv.empty() || bv == var) continue;
+    if (repl_free.count(bv) > 0) {
+      // Would capture: rename the binder first.
+      std::string fresh = FreshVar(bv, {node, replacement});
+      node = RenameBinder(node, second, fresh);
+    }
+  }
+  bool shadowed = node->var() == var || node->var2() == var;
+  std::vector<ExprPtr> kids;
+  kids.reserve(node->num_children());
+  bool changed = false;
+  for (size_t i = 0; i < node->num_children(); ++i) {
+    if (shadowed && IsBoundChild(*node, i)) {
+      kids.push_back(node->child(i));
+      continue;
+    }
+    ExprPtr nc = Substitute(node->child(i), var, replacement);
+    if (nc != node->child(i)) changed = true;
+    kids.push_back(std::move(nc));
+  }
+  if (!changed && node == e) return e;
+  return node->WithChildren(std::move(kids));
+}
+
+std::string FreshVar(const std::string& hint, const ExprPtr& e) {
+  return FreshVar(hint, std::vector<ExprPtr>{e});
+}
+
+std::string FreshVar(const std::string& hint,
+                     const std::vector<ExprPtr>& exprs) {
+  std::set<std::string> used;
+  for (const ExprPtr& e : exprs) CollectAllVars(e, &used);
+  if (used.count(hint) == 0) return hint;
+  for (int i = 1;; ++i) {
+    std::string cand = hint + std::to_string(i);
+    if (used.count(cand) == 0) return cand;
+  }
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& pred) {
+  std::vector<ExprPtr> out;
+  if (pred->kind() == ExprKind::kBinary && pred->bin_op() == BinOp::kAnd) {
+    for (const ExprPtr& side : {pred->child(0), pred->child(1)}) {
+      std::vector<ExprPtr> sub = SplitConjuncts(side);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  } else {
+    out.push_back(pred);
+  }
+  return out;
+}
+
+ExprPtr TransformBottomUp(
+    const ExprPtr& e, const std::function<ExprPtr(const ExprPtr&)>& fn) {
+  std::vector<ExprPtr> kids;
+  kids.reserve(e->num_children());
+  bool changed = false;
+  for (const ExprPtr& c : e->children()) {
+    ExprPtr nc = TransformBottomUp(c, fn);
+    if (nc != c) changed = true;
+    kids.push_back(std::move(nc));
+  }
+  ExprPtr node = changed ? e->WithChildren(std::move(kids)) : e;
+  ExprPtr replaced = fn(node);
+  return replaced != nullptr ? replaced : node;
+}
+
+ExprPtr TransformTopDown(
+    const ExprPtr& e, const std::function<ExprPtr(const ExprPtr&)>& fn) {
+  ExprPtr node = e;
+  for (int guard = 0; guard < 1000; ++guard) {
+    ExprPtr replaced = fn(node);
+    if (replaced == nullptr) break;
+    node = replaced;
+  }
+  std::vector<ExprPtr> kids;
+  kids.reserve(node->num_children());
+  bool changed = false;
+  for (const ExprPtr& c : node->children()) {
+    ExprPtr nc = TransformTopDown(c, fn);
+    if (nc != c) changed = true;
+    kids.push_back(std::move(nc));
+  }
+  return changed ? node->WithChildren(std::move(kids)) : node;
+}
+
+void VisitPreOrder(const ExprPtr& e,
+                   const std::function<void(const ExprPtr&)>& fn) {
+  fn(e);
+  for (const ExprPtr& c : e->children()) VisitPreOrder(c, fn);
+}
+
+}  // namespace n2j

@@ -1,0 +1,64 @@
+#ifndef N2J_ADL_ANALYSIS_H_
+#define N2J_ADL_ANALYSIS_H_
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "adl/expr.h"
+
+namespace n2j {
+
+/// Returns the free variables of `e` (variables not bound by an enclosing
+/// map/select/quantifier/join/let binder within `e` itself).
+std::set<std::string> FreeVars(const ExprPtr& e);
+
+/// True if `var` occurs free in `e`.
+bool IsFreeIn(const std::string& var, const ExprPtr& e);
+
+/// True if `e` contains a GetTable node anywhere (i.e., references a base
+/// table). The paper's unnesting goal is to remove such references from
+/// iterator parameter expressions.
+bool ContainsBaseTable(const ExprPtr& e);
+
+/// True if `e` is an *uncorrelated* expression w.r.t. the given variables:
+/// none of them occur free in `e`.
+bool IsUncorrelated(const ExprPtr& e, const std::set<std::string>& vars);
+
+/// Capture-avoiding substitution of `replacement` for free occurrences of
+/// `var` in `e`. Binders shadow as usual; N2J_CHECKs against variable
+/// capture (callers use FreshVar to avoid it).
+ExprPtr Substitute(const ExprPtr& e, const std::string& var,
+                   const ExprPtr& replacement);
+
+/// Generates a variable name not free (or bound) anywhere in `e`,
+/// derived from `hint` ("x" → "x1", "x2", ...).
+std::string FreshVar(const std::string& hint, const ExprPtr& e);
+std::string FreshVar(const std::string& hint,
+                     const std::vector<ExprPtr>& exprs);
+
+/// All variable names occurring in `e`, bound or free.
+std::set<std::string> AllVars(const ExprPtr& e);
+
+/// Splits a predicate into its top-level conjuncts (flattening nested
+/// `and`s).
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& pred);
+
+/// Generic bottom-up rewrite: applies `fn` to every node after its
+/// children have been rewritten; `fn` returns nullptr to keep a node.
+ExprPtr TransformBottomUp(
+    const ExprPtr& e, const std::function<ExprPtr(const ExprPtr&)>& fn);
+
+/// Applies `fn` to every node top-down, pre-order; if `fn` returns
+/// non-null the returned subtree replaces the node and is itself
+/// re-visited (fixpoint per node).
+ExprPtr TransformTopDown(
+    const ExprPtr& e, const std::function<ExprPtr(const ExprPtr&)>& fn);
+
+/// Visits every node pre-order.
+void VisitPreOrder(const ExprPtr& e,
+                   const std::function<void(const ExprPtr&)>& fn);
+
+}  // namespace n2j
+
+#endif  // N2J_ADL_ANALYSIS_H_

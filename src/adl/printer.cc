@@ -1,0 +1,399 @@
+#include "adl/printer.h"
+
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace n2j {
+
+namespace {
+
+/// Recursive printer. Scalar expressions use infix notation with enough
+/// parentheses to round-trip precedence; iterator operators use the
+/// paper's bracket/subscript style.
+class Printer {
+ public:
+  explicit Printer(const PrintOptions& opts) : opts_(opts) {}
+
+  std::string Print(const ExprPtr& e) { return P(e, 0); }
+
+ private:
+  const PrintOptions& opts_;
+
+  std::string Glyph(const char* uni, const char* ascii) const {
+    return opts_.unicode ? uni : ascii;
+  }
+
+  std::string BinOpGlyph(BinOp op) const {
+    if (!opts_.unicode) return BinOpName(op);
+    switch (op) {
+      case BinOp::kIn: return "∈";          // ∈
+      case BinOp::kContains: return "∋";    // ∋
+      case BinOp::kSubset: return "⊂";      // ⊂
+      case BinOp::kSubsetEq: return "⊆";    // ⊆
+      case BinOp::kSupset: return "⊃";      // ⊃
+      case BinOp::kSupsetEq: return "⊇";    // ⊇
+      case BinOp::kAnd: return "∧";         // ∧
+      case BinOp::kOr: return "∨";          // ∨
+      case BinOp::kNe: return "≠";          // ≠
+      case BinOp::kUnionOp: return "∪";     // ∪
+      case BinOp::kIntersectOp: return "∩"; // ∩
+      case BinOp::kDifferenceOp: return "∖"; // ∖
+      default: return BinOpName(op);
+    }
+  }
+
+  // Precedence levels for scalar expressions (higher binds tighter).
+  static int Prec(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::kBinary:
+        switch (e.bin_op()) {
+          case BinOp::kOr: return 1;
+          case BinOp::kAnd: return 2;
+          case BinOp::kEq:
+          case BinOp::kNe:
+          case BinOp::kLt:
+          case BinOp::kLe:
+          case BinOp::kGt:
+          case BinOp::kGe:
+          case BinOp::kIn:
+          case BinOp::kContains:
+          case BinOp::kSubset:
+          case BinOp::kSubsetEq:
+          case BinOp::kSupset:
+          case BinOp::kSupsetEq:
+            return 3;
+          case BinOp::kUnionOp:
+          case BinOp::kDifferenceOp:
+            return 4;
+          case BinOp::kIntersectOp:
+            return 5;
+          case BinOp::kAdd:
+          case BinOp::kSub:
+            return 6;
+          case BinOp::kMul:
+          case BinOp::kDiv:
+          case BinOp::kMod:
+            return 7;
+        }
+        return 3;
+      case ExprKind::kQuantifier:
+        return 0;
+      case ExprKind::kUnary:
+        return 8;
+      default:
+        return 9;  // atoms / bracketed forms never need parens
+    }
+  }
+
+  std::string P(const ExprPtr& ep, int parent_prec) {
+    const Expr& e = *ep;
+    std::string out;
+    switch (e.kind()) {
+      case ExprKind::kConst:
+        out = e.const_value().ToString();
+        break;
+      case ExprKind::kVar:
+        out = e.name();
+        break;
+      case ExprKind::kGetTable:
+        out = e.name();
+        break;
+      case ExprKind::kLet:
+        out = "let " + e.var() + " = " + P(e.child(0), 0) + " in " +
+              P(e.child(1), 0);
+        break;
+      case ExprKind::kFieldAccess:
+        out = P(e.child(0), 9) + "." + e.name();
+        break;
+      case ExprKind::kTupleProject:
+        out = P(e.child(0), 9) + "[" + Join(e.names(), ", ") + "]";
+        break;
+      case ExprKind::kTupleConstruct: {
+        std::vector<std::string> parts;
+        for (size_t i = 0; i < e.names().size(); ++i) {
+          parts.push_back(e.names()[i] + " = " + P(e.child(i), 0));
+        }
+        out = "(" + Join(parts, ", ") + ")";
+        break;
+      }
+      case ExprKind::kTupleConcat:
+        out = P(e.child(0), 9) + " " + Glyph("∘", "o") + " " +
+              P(e.child(1), 9);
+        break;
+      case ExprKind::kExcept: {
+        std::vector<std::string> parts;
+        for (size_t i = 0; i < e.names().size(); ++i) {
+          parts.push_back(e.names()[i] + " = " + P(e.child(i + 1), 0));
+        }
+        out = P(e.child(0), 9) + " except (" + Join(parts, ", ") + ")";
+        break;
+      }
+      case ExprKind::kSetConstruct: {
+        std::vector<std::string> parts;
+        for (const ExprPtr& c : e.children()) parts.push_back(P(c, 0));
+        out = "{" + Join(parts, ", ") + "}";
+        break;
+      }
+      case ExprKind::kDeref:
+        out = "deref" +
+              (e.name().empty() ? std::string() : "<" + e.name() + ">") +
+              "(" + P(e.child(0), 0) + ")";
+        break;
+      case ExprKind::kUnary:
+        if (e.un_op() == UnOp::kIsEmpty) {
+          out = "isempty(" + P(e.child(0), 0) + ")";
+        } else {
+          std::string op = e.un_op() == UnOp::kNot
+                               ? Glyph("¬", "not ")
+                               : std::string("-");
+          out = op + P(e.child(0), 8);
+        }
+        break;
+      case ExprKind::kBinary:
+        out = P(e.child(0), Prec(e)) + " " + BinOpGlyph(e.bin_op()) + " " +
+              P(e.child(1), Prec(e) + 1);
+        break;
+      case ExprKind::kQuantifier: {
+        std::string q = e.quant_kind() == QuantKind::kExists
+                            ? Glyph("∃", "exists ")
+                            : Glyph("∀", "forall ");
+        out = q + e.var() + " " + Glyph("∈", "in") + " " +
+              P(e.child(0), 9) + " " + Glyph("·", ".") + " " +
+              P(e.child(1), 0);
+        break;
+      }
+      case ExprKind::kAggregate:
+        out = std::string(AggKindName(e.agg_kind())) + "(" +
+              P(e.child(0), 0) + ")";
+        break;
+      case ExprKind::kMap:
+        out = Glyph("α", "map") + "[" + e.var() + " : " +
+              P(e.child(1), 0) + "](" + P(e.child(0), 0) + ")";
+        break;
+      case ExprKind::kSelect:
+        out = Glyph("σ", "select") + "[" + e.var() + " : " +
+              P(e.child(1), 0) + "](" + P(e.child(0), 0) + ")";
+        break;
+      case ExprKind::kProject:
+        out = Glyph("π", "project") + "_{" + Join(e.names(), ", ") +
+              "}(" + P(e.child(0), 0) + ")";
+        break;
+      case ExprKind::kFlatten:
+        out = Glyph("⋃", "flatten") + "(" + P(e.child(0), 0) + ")";
+        break;
+      case ExprKind::kNest:
+        out = Glyph("ν", "nest") + "_{" + Join(e.names(), ", ") +
+              " → " + e.name() + "}(" + P(e.child(0), 0) + ")";
+        break;
+      case ExprKind::kUnnest:
+        out = Glyph("μ", "unnest") + "_" + e.name() + "(" +
+              P(e.child(0), 0) + ")";
+        break;
+      case ExprKind::kProduct:
+        out = P(e.child(0), 9) + " " + Glyph("×", "x") + " " +
+              P(e.child(1), 9);
+        break;
+      case ExprKind::kJoin:
+      case ExprKind::kSemiJoin:
+      case ExprKind::kAntiJoin: {
+        const char* g = e.kind() == ExprKind::kJoin
+                            ? "⋈"
+                            : (e.kind() == ExprKind::kSemiJoin ? "⋉"
+                                                               : "▷");
+        const char* a = e.kind() == ExprKind::kJoin
+                            ? "JOIN"
+                            : (e.kind() == ExprKind::kSemiJoin ? "SEMIJOIN"
+                                                               : "ANTIJOIN");
+        out = P(e.child(0), 9) + " " + Glyph(g, a) + "_{" + e.var() + "," +
+              e.var2() + " : " + P(e.child(2), 0) + "} " + P(e.child(1), 9);
+        break;
+      }
+      case ExprKind::kNestJoin: {
+        std::string fn;
+        // Print the inner function only when it is not the identity.
+        if (!(e.child(3)->kind() == ExprKind::kVar &&
+              e.child(3)->name() == e.var2())) {
+          fn = " ; " + P(e.child(3), 0);
+        }
+        out = P(e.child(0), 9) + " " + Glyph("⊣", "NESTJOIN") + "_{" +
+              e.var() + "," + e.var2() + " : " + P(e.child(2), 0) + fn +
+              " ; " + e.name() + "} " + P(e.child(1), 9);
+        break;
+      }
+      case ExprKind::kDivide:
+        out = P(e.child(0), 9) + " " + Glyph("÷", "DIVIDE") + " " +
+              P(e.child(1), 9);
+        break;
+      case ExprKind::kUnion:
+        out = P(e.child(0), 9) + " " + Glyph("∪", "UNION") + " " +
+              P(e.child(1), 9);
+        break;
+      case ExprKind::kIntersect:
+        out = P(e.child(0), 9) + " " + Glyph("∩", "INTERSECT") + " " +
+              P(e.child(1), 9);
+        break;
+      case ExprKind::kDifference:
+        out = P(e.child(0), 9) + " " + Glyph("∖", "MINUS") + " " +
+              P(e.child(1), 9);
+        break;
+    }
+    if (Prec(e) < parent_prec) return "(" + out + ")";
+    return out;
+  }
+};
+
+/// Multi-line plan renderer: set-level operators (the "plan" shape) get
+/// one line each with indentation; scalar parameter expressions render
+/// inline via the single-line printer.
+class PrettyPrinter {
+ public:
+  explicit PrettyPrinter(const PrintOptions& opts)
+      : opts_(opts), inline_printer_(opts) {}
+
+  std::string Print(const ExprPtr& e) { return P(e, 0); }
+
+ private:
+  std::string Pad(int depth) const {
+    return std::string(static_cast<size_t>(depth) *
+                           static_cast<size_t>(opts_.indent),
+                       ' ');
+  }
+
+  std::string Inline(const ExprPtr& e) { return inline_printer_.Print(e); }
+
+  bool IsPlanNode(const Expr& e) const {
+    switch (e.kind()) {
+      case ExprKind::kMap:
+      case ExprKind::kSelect:
+      case ExprKind::kProject:
+      case ExprKind::kFlatten:
+      case ExprKind::kNest:
+      case ExprKind::kUnnest:
+      case ExprKind::kProduct:
+      case ExprKind::kJoin:
+      case ExprKind::kSemiJoin:
+      case ExprKind::kAntiJoin:
+      case ExprKind::kNestJoin:
+      case ExprKind::kDivide:
+      case ExprKind::kUnion:
+      case ExprKind::kIntersect:
+      case ExprKind::kDifference:
+      case ExprKind::kLet:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  std::string P(const ExprPtr& ep, int depth) {
+    const Expr& e = *ep;
+    if (!IsPlanNode(e)) return Pad(depth) + Inline(ep);
+    auto g = [&](const char* uni, const char* ascii) {
+      return std::string(opts_.unicode ? uni : ascii);
+    };
+    std::string out;
+    switch (e.kind()) {
+      case ExprKind::kMap:
+        out = Pad(depth) + g("α", "map") + "[" + e.var() + " : " +
+              Inline(e.child(1)) + "]\n" + P(e.child(0), depth + 1);
+        break;
+      case ExprKind::kSelect:
+        out = Pad(depth) + g("σ", "select") + "[" + e.var() + " : " +
+              Inline(e.child(1)) + "]\n" + P(e.child(0), depth + 1);
+        break;
+      case ExprKind::kProject:
+        out = Pad(depth) + g("π", "project") + "_{" +
+              Join(e.names(), ", ") + "}\n" + P(e.child(0), depth + 1);
+        break;
+      case ExprKind::kFlatten:
+        out = Pad(depth) + g("⋃", "flatten") + "\n" +
+              P(e.child(0), depth + 1);
+        break;
+      case ExprKind::kNest:
+        out = Pad(depth) + g("ν", "nest") + "_{" + Join(e.names(), ", ") +
+              " " + g("→", "->") + " " + e.name() + "}\n" +
+              P(e.child(0), depth + 1);
+        break;
+      case ExprKind::kUnnest:
+        out = Pad(depth) + g("μ", "unnest") + "_" + e.name() + "\n" +
+              P(e.child(0), depth + 1);
+        break;
+      case ExprKind::kLet:
+        out = Pad(depth) + "let " + e.var() + " =\n" +
+              P(e.child(0), depth + 1) + "\n" + Pad(depth) + "in\n" +
+              P(e.child(1), depth + 1);
+        break;
+      case ExprKind::kProduct:
+      case ExprKind::kDivide:
+      case ExprKind::kUnion:
+      case ExprKind::kIntersect:
+      case ExprKind::kDifference: {
+        const char* name =
+            e.kind() == ExprKind::kProduct
+                ? "PRODUCT"
+                : (e.kind() == ExprKind::kDivide
+                       ? "DIVIDE"
+                       : (e.kind() == ExprKind::kUnion
+                              ? "UNION"
+                              : (e.kind() == ExprKind::kIntersect
+                                     ? "INTERSECT"
+                                     : "MINUS")));
+        out = Pad(depth) + name + "\n" + P(e.child(0), depth + 1) + "\n" +
+              P(e.child(1), depth + 1);
+        break;
+      }
+      case ExprKind::kJoin:
+      case ExprKind::kSemiJoin:
+      case ExprKind::kAntiJoin: {
+        const char* uni = e.kind() == ExprKind::kJoin
+                              ? "⋈"
+                              : (e.kind() == ExprKind::kSemiJoin ? "⋉"
+                                                                 : "▷");
+        const char* ascii =
+            e.kind() == ExprKind::kJoin
+                ? "JOIN"
+                : (e.kind() == ExprKind::kSemiJoin ? "SEMIJOIN"
+                                                   : "ANTIJOIN");
+        out = Pad(depth) + g(uni, ascii) + "_{" + e.var() + "," + e.var2() +
+              " : " + Inline(e.child(2)) + "}\n" +
+              P(e.child(0), depth + 1) + "\n" + P(e.child(1), depth + 1);
+        break;
+      }
+      case ExprKind::kNestJoin: {
+        std::string fn;
+        if (!(e.child(3)->kind() == ExprKind::kVar &&
+              e.child(3)->name() == e.var2())) {
+          fn = " ; " + Inline(e.child(3));
+        }
+        out = Pad(depth) + g("⊣", "NESTJOIN") + "_{" + e.var() + "," +
+              e.var2() + " : " + Inline(e.child(2)) + fn + " ; " + e.name() +
+              "}\n" + P(e.child(0), depth + 1) + "\n" +
+              P(e.child(1), depth + 1);
+        break;
+      }
+      default:
+        out = Pad(depth) + Inline(ep);
+        break;
+    }
+    return out;
+  }
+
+  const PrintOptions& opts_;
+  Printer inline_printer_;
+};
+
+}  // namespace
+
+std::string ToAlgebraString(const ExprPtr& e, const PrintOptions& opts) {
+  if (opts.pretty) {
+    PrettyPrinter p(opts);
+    return p.Print(e);
+  }
+  Printer p(opts);
+  return p.Print(e);
+}
+
+std::string AlgebraStr(const ExprPtr& e) { return ToAlgebraString(e); }
+
+}  // namespace n2j

@@ -1,0 +1,31 @@
+#ifndef N2J_ADL_PRINTER_H_
+#define N2J_ADL_PRINTER_H_
+
+#include <string>
+
+#include "adl/expr.h"
+
+namespace n2j {
+
+/// Options for printing ADL expressions.
+struct PrintOptions {
+  /// Use the paper's unicode operator glyphs (σ, α, π, ⋈, ⋉, ▷, ⊣, µ, ν);
+  /// otherwise ASCII names (select, map, ...).
+  bool unicode = true;
+  /// Insert newlines/indentation for large expressions.
+  bool pretty = false;
+  /// Indentation width when pretty-printing.
+  int indent = 2;
+};
+
+/// Renders an ADL expression in the paper's notation, e.g.
+///   σ[s : ∃x ∈ s.parts · ∃p ∈ PART · x = p[pid] ∧ p.color = "red"](SUPPLIER)
+std::string ToAlgebraString(const ExprPtr& e,
+                            const PrintOptions& opts = PrintOptions());
+
+/// Shorthand: single-line unicode rendering.
+std::string AlgebraStr(const ExprPtr& e);
+
+}  // namespace n2j
+
+#endif  // N2J_ADL_PRINTER_H_

@@ -1,0 +1,522 @@
+#include "adl/typecheck.h"
+
+#include "adl/printer.h"
+
+namespace n2j {
+
+TypePtr TypeOfValue(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      return Type::Any();
+    case Value::Kind::kBool:
+      return Type::Bool();
+    case Value::Kind::kInt:
+      return Type::Int();
+    case Value::Kind::kDouble:
+      return Type::Double();
+    case Value::Kind::kString:
+      return Type::String();
+    case Value::Kind::kOid:
+      return Type::OidType();
+    case Value::Kind::kTuple: {
+      std::vector<TypeField> fields;
+      fields.reserve(v.fields().size());
+      for (const Field& f : v.fields()) {
+        fields.push_back({f.name, TypeOfValue(*f.value)});
+      }
+      return Type::Tuple(std::move(fields));
+    }
+    case Value::Kind::kSet: {
+      if (v.set_size() == 0) return Type::Set(Type::Any());
+      return Type::Set(TypeOfValue(v.elements()[0]));
+    }
+  }
+  return Type::Any();
+}
+
+Result<std::vector<std::string>> TypeChecker::SchemaOf(const ExprPtr& e,
+                                                       TypeEnv& env) {
+  N2J_ASSIGN_OR_RETURN(TypePtr t, Infer(e, env));
+  if (!t->is_set() || !t->element()->is_tuple()) {
+    return TypeError("SCH on non-table expression of type " + t->ToString() +
+                     ": " + AlgebraStr(e));
+  }
+  return t->element()->FieldNames();
+}
+
+Result<TypePtr> TypeChecker::Infer(const ExprPtr& ep, TypeEnv& env) {
+  const Expr& e = *ep;
+  switch (e.kind()) {
+    case ExprKind::kConst:
+      return TypeOfValue(e.const_value());
+
+    case ExprKind::kVar: {
+      const TypePtr* t = env.Lookup(e.name());
+      if (t == nullptr) return TypeError("unbound variable " + e.name());
+      return *t;
+    }
+
+    case ExprKind::kGetTable: {
+      if (const ClassDef* cls = schema_.FindClassByExtent(e.name())) {
+        return cls->ExtentType();
+      }
+      if (db_ != nullptr) {
+        if (const Table* t = db_->FindTable(e.name())) {
+          return Type::Set(t->row_type());
+        }
+      }
+      return TypeError("unknown table " + e.name());
+    }
+
+    case ExprKind::kLet: {
+      N2J_ASSIGN_OR_RETURN(TypePtr def, Infer(e.child(0), env));
+      env.Push(e.var(), def);
+      Result<TypePtr> body = Infer(e.child(1), env);
+      env.Pop();
+      return body;
+    }
+
+    case ExprKind::kFieldAccess: {
+      N2J_ASSIGN_OR_RETURN(TypePtr base, Infer(e.child(0), env));
+      if (base->is_ref()) {
+        const ClassDef* cls = schema_.FindClass(base->class_name());
+        if (cls == nullptr) {
+          return TypeError("reference to unknown class " +
+                           base->class_name());
+        }
+        base = cls->ObjectType();
+      }
+      if (base->is_any()) return Type::Any();
+      if (!base->is_tuple()) {
+        return TypeError("field access '." + e.name() + "' on " +
+                         base->ToString());
+      }
+      TypePtr ft = base->FindField(e.name());
+      if (ft == nullptr) {
+        return TypeError("no attribute '" + e.name() + "' in " +
+                         base->ToString());
+      }
+      return ft;
+    }
+
+    case ExprKind::kTupleProject: {
+      N2J_ASSIGN_OR_RETURN(TypePtr base, Infer(e.child(0), env));
+      if (base->is_any()) return Type::Any();
+      if (!base->is_tuple()) {
+        return TypeError("tuple projection on " + base->ToString());
+      }
+      std::vector<TypeField> fields;
+      for (const std::string& n : e.names()) {
+        TypePtr ft = base->FindField(n);
+        if (ft == nullptr) {
+          return TypeError("no attribute '" + n + "' in " +
+                           base->ToString());
+        }
+        fields.push_back({n, ft});
+      }
+      return Type::Tuple(std::move(fields));
+    }
+
+    case ExprKind::kTupleConstruct: {
+      std::vector<TypeField> fields;
+      for (size_t i = 0; i < e.names().size(); ++i) {
+        N2J_ASSIGN_OR_RETURN(TypePtr t, Infer(e.child(i), env));
+        fields.push_back({e.names()[i], t});
+      }
+      return Type::Tuple(std::move(fields));
+    }
+
+    case ExprKind::kTupleConcat: {
+      N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
+      if (l->is_any() || r->is_any()) return Type::Any();
+      if (!l->is_tuple() || !r->is_tuple()) {
+        return TypeError("tuple concatenation on non-tuples");
+      }
+      std::vector<TypeField> fields = l->fields();
+      for (const TypeField& f : r->fields()) {
+        if (l->FindField(f.name) != nullptr) {
+          return TypeError("attribute conflict in concatenation: " + f.name);
+        }
+        fields.push_back(f);
+      }
+      return Type::Tuple(std::move(fields));
+    }
+
+    case ExprKind::kExcept: {
+      N2J_ASSIGN_OR_RETURN(TypePtr base, Infer(e.child(0), env));
+      if (base->is_any()) return Type::Any();
+      if (!base->is_tuple()) return TypeError("except on non-tuple");
+      std::vector<TypeField> fields = base->fields();
+      for (size_t i = 0; i < e.names().size(); ++i) {
+        N2J_ASSIGN_OR_RETURN(TypePtr t, Infer(e.child(i + 1), env));
+        bool found = false;
+        for (TypeField& f : fields) {
+          if (f.name == e.names()[i]) {
+            f.type = t;
+            found = true;
+            break;
+          }
+        }
+        if (!found) fields.push_back({e.names()[i], t});
+      }
+      return Type::Tuple(std::move(fields));
+    }
+
+    case ExprKind::kSetConstruct: {
+      TypePtr elem = Type::Any();
+      for (const ExprPtr& c : e.children()) {
+        N2J_ASSIGN_OR_RETURN(TypePtr t, Infer(c, env));
+        if (elem->is_any()) {
+          elem = t;
+        } else if (!elem->Equals(*t)) {
+          return TypeError("mixed element types in set constructor");
+        }
+      }
+      return Type::Set(elem);
+    }
+
+    case ExprKind::kDeref: {
+      N2J_ASSIGN_OR_RETURN(TypePtr t, Infer(e.child(0), env));
+      std::string cls_name = e.name();
+      if (cls_name.empty() && t->is_ref()) cls_name = t->class_name();
+      if (cls_name.empty()) {
+        return TypeError("deref with unknown target class");
+      }
+      const ClassDef* cls = schema_.FindClass(cls_name);
+      if (cls == nullptr) return TypeError("unknown class " + cls_name);
+      if (!t->is_ref() && !t->is_oid() && !t->is_any()) {
+        return TypeError("deref of non-reference " + t->ToString());
+      }
+      return cls->ObjectType();
+    }
+
+    case ExprKind::kUnary: {
+      N2J_ASSIGN_OR_RETURN(TypePtr t, Infer(e.child(0), env));
+      switch (e.un_op()) {
+        case UnOp::kNot:
+          if (!t->is_bool() && !t->is_any()) {
+            return TypeError("not on " + t->ToString());
+          }
+          return Type::Bool();
+        case UnOp::kNeg:
+          if (!t->is_numeric() && !t->is_any()) {
+            return TypeError("negation of " + t->ToString());
+          }
+          return t;
+        case UnOp::kIsEmpty:
+          if (!t->is_set() && !t->is_any()) {
+            return TypeError("isempty on " + t->ToString());
+          }
+          return Type::Bool();
+      }
+      return TypeError("bad unary op");
+    }
+
+    case ExprKind::kBinary: {
+      N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
+      switch (e.bin_op()) {
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv:
+        case BinOp::kMod:
+          if ((!l->is_numeric() && !l->is_any()) ||
+              (!r->is_numeric() && !r->is_any())) {
+            return TypeError("arithmetic on " + l->ToString() + ", " +
+                             r->ToString());
+          }
+          return (l->is_double() || r->is_double()) ? Type::Double()
+                                                    : Type::Int();
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe:
+          if (!l->ComparableWith(*r)) {
+            return TypeError("comparison of " + l->ToString() + " with " +
+                             r->ToString());
+          }
+          return Type::Bool();
+        case BinOp::kIn:
+          if (!r->is_set() && !r->is_any()) {
+            return TypeError("in: rhs is " + r->ToString());
+          }
+          if (r->is_set() && !l->ComparableWith(*r->element())) {
+            return TypeError("in: element type mismatch");
+          }
+          return Type::Bool();
+        case BinOp::kContains:
+          if (!l->is_set() && !l->is_any()) {
+            return TypeError("contains: lhs is " + l->ToString());
+          }
+          if (l->is_set() && !r->ComparableWith(*l->element())) {
+            return TypeError("contains: element type mismatch");
+          }
+          return Type::Bool();
+        case BinOp::kSubset:
+        case BinOp::kSubsetEq:
+        case BinOp::kSupset:
+        case BinOp::kSupsetEq:
+          if ((!l->is_set() && !l->is_any()) ||
+              (!r->is_set() && !r->is_any())) {
+            return TypeError("set comparison on " + l->ToString() + ", " +
+                             r->ToString());
+          }
+          return Type::Bool();
+        case BinOp::kAnd:
+        case BinOp::kOr:
+          if ((!l->is_bool() && !l->is_any()) ||
+              (!r->is_bool() && !r->is_any())) {
+            return TypeError("boolean connective on " + l->ToString() +
+                             ", " + r->ToString());
+          }
+          return Type::Bool();
+        case BinOp::kUnionOp:
+        case BinOp::kIntersectOp:
+        case BinOp::kDifferenceOp:
+          if ((!l->is_set() && !l->is_any()) ||
+              (!r->is_set() && !r->is_any())) {
+            return TypeError("set operator on non-sets");
+          }
+          return l->is_set() ? l : r;
+      }
+      return TypeError("bad binary op");
+    }
+
+    case ExprKind::kQuantifier: {
+      N2J_ASSIGN_OR_RETURN(TypePtr range, Infer(e.child(0), env));
+      if (!range->is_set() && !range->is_any()) {
+        return TypeError("quantifier range is " + range->ToString());
+      }
+      env.Push(e.var(),
+               range->is_set() ? range->element() : Type::Any());
+      Result<TypePtr> pred = Infer(e.child(1), env);
+      env.Pop();
+      if (!pred.ok()) return pred.status();
+      if (!(*pred)->is_bool() && !(*pred)->is_any()) {
+        return TypeError("quantifier predicate is " + (*pred)->ToString());
+      }
+      return Type::Bool();
+    }
+
+    case ExprKind::kAggregate: {
+      N2J_ASSIGN_OR_RETURN(TypePtr t, Infer(e.child(0), env));
+      if (!t->is_set() && !t->is_any()) {
+        return TypeError("aggregate over " + t->ToString());
+      }
+      TypePtr elem = t->is_set() ? t->element() : Type::Any();
+      switch (e.agg_kind()) {
+        case AggKind::kCount:
+          return Type::Int();
+        case AggKind::kAvg:
+          return Type::Double();
+        case AggKind::kSum:
+        case AggKind::kMin:
+        case AggKind::kMax:
+          return elem;
+      }
+      return TypeError("bad aggregate");
+    }
+
+    case ExprKind::kMap: {
+      N2J_ASSIGN_OR_RETURN(TypePtr in, Infer(e.child(0), env));
+      if (!in.get()->is_set() && !in->is_any()) {
+        return TypeError("map over " + in->ToString());
+      }
+      env.Push(e.var(), in->is_set() ? in->element() : Type::Any());
+      Result<TypePtr> body = Infer(e.child(1), env);
+      env.Pop();
+      if (!body.ok()) return body.status();
+      return Type::Set(*body);
+    }
+
+    case ExprKind::kSelect: {
+      N2J_ASSIGN_OR_RETURN(TypePtr in, Infer(e.child(0), env));
+      if (!in->is_set() && !in->is_any()) {
+        return TypeError("select over " + in->ToString());
+      }
+      env.Push(e.var(), in->is_set() ? in->element() : Type::Any());
+      Result<TypePtr> pred = Infer(e.child(1), env);
+      env.Pop();
+      if (!pred.ok()) return pred.status();
+      if (!(*pred)->is_bool() && !(*pred)->is_any()) {
+        return TypeError("selection predicate is " + (*pred)->ToString());
+      }
+      return in;
+    }
+
+    case ExprKind::kProject: {
+      N2J_ASSIGN_OR_RETURN(TypePtr in, Infer(e.child(0), env));
+      if (in->is_any()) return Type::Any();
+      if (!in->is_set() || !in->element()->is_tuple()) {
+        return TypeError("project over " + in->ToString());
+      }
+      std::vector<TypeField> fields;
+      for (const std::string& n : e.names()) {
+        TypePtr ft = in->element()->FindField(n);
+        if (ft == nullptr) {
+          return TypeError("no attribute '" + n + "' to project");
+        }
+        fields.push_back({n, ft});
+      }
+      return Type::Set(Type::Tuple(std::move(fields)));
+    }
+
+    case ExprKind::kFlatten: {
+      N2J_ASSIGN_OR_RETURN(TypePtr in, Infer(e.child(0), env));
+      if (in->is_any()) return Type::Any();
+      if (!in->is_set() || (!in->element()->is_set() &&
+                            !in->element()->is_any())) {
+        return TypeError("flatten over " + in->ToString());
+      }
+      return in->element()->is_set() ? in->element()
+                                     : Type::Set(Type::Any());
+    }
+
+    case ExprKind::kNest: {
+      N2J_ASSIGN_OR_RETURN(TypePtr in, Infer(e.child(0), env));
+      if (!in->is_set() || !in->element()->is_tuple()) {
+        return TypeError("nest over " + in->ToString());
+      }
+      std::vector<TypeField> grouped;
+      std::vector<TypeField> rest;
+      for (const TypeField& f : in->element()->fields()) {
+        bool is_grouped = false;
+        for (const std::string& g : e.names()) {
+          if (f.name == g) {
+            is_grouped = true;
+            break;
+          }
+        }
+        (is_grouped ? grouped : rest).push_back(f);
+      }
+      if (grouped.size() != e.names().size()) {
+        return TypeError("nest: missing grouped attribute");
+      }
+      rest.push_back({e.name(), Type::Set(Type::Tuple(std::move(grouped)))});
+      return Type::Set(Type::Tuple(std::move(rest)));
+    }
+
+    case ExprKind::kUnnest: {
+      N2J_ASSIGN_OR_RETURN(TypePtr in, Infer(e.child(0), env));
+      if (!in->is_set() || !in->element()->is_tuple()) {
+        return TypeError("unnest over " + in->ToString());
+      }
+      TypePtr attr = in->element()->FindField(e.name());
+      if (attr == nullptr) {
+        return TypeError("unnest: no attribute '" + e.name() + "'");
+      }
+      if (!attr->is_set() || !attr->element()->is_tuple()) {
+        return TypeError("unnest: attribute '" + e.name() +
+                         "' is not a set of tuples");
+      }
+      std::vector<TypeField> fields = attr->element()->fields();
+      for (const TypeField& f : in->element()->fields()) {
+        if (f.name == e.name()) continue;
+        fields.push_back(f);
+      }
+      return Type::Set(Type::Tuple(std::move(fields)));
+    }
+
+    case ExprKind::kProduct:
+    case ExprKind::kJoin: {
+      N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
+      if (!l->is_set() || !r->is_set() || !l->element()->is_tuple() ||
+          !r->element()->is_tuple()) {
+        return TypeError("product/join over non-tables");
+      }
+      if (e.kind() == ExprKind::kJoin) {
+        env.Push(e.var(), l->element());
+        env.Push(e.var2(), r->element());
+        Result<TypePtr> pred = Infer(e.child(2), env);
+        env.Pop();
+        env.Pop();
+        if (!pred.ok()) return pred.status();
+      }
+      std::vector<TypeField> fields = l->element()->fields();
+      for (const TypeField& f : r->element()->fields()) {
+        if (l->element()->FindField(f.name) != nullptr) {
+          return TypeError("attribute conflict in join: " + f.name);
+        }
+        fields.push_back(f);
+      }
+      return Type::Set(Type::Tuple(std::move(fields)));
+    }
+
+    case ExprKind::kSemiJoin:
+    case ExprKind::kAntiJoin: {
+      N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
+      if (!l->is_set() || !r->is_set()) {
+        return TypeError("semijoin/antijoin over non-sets");
+      }
+      env.Push(e.var(), l->element());
+      env.Push(e.var2(), r->element());
+      Result<TypePtr> pred = Infer(e.child(2), env);
+      env.Pop();
+      env.Pop();
+      if (!pred.ok()) return pred.status();
+      return l;
+    }
+
+    case ExprKind::kNestJoin: {
+      N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
+      if (!l->is_set() || !r->is_set() || !l->element()->is_tuple()) {
+        return TypeError("nestjoin over non-tables");
+      }
+      env.Push(e.var(), l->element());
+      env.Push(e.var2(), r->element());
+      Result<TypePtr> pred = Infer(e.child(2), env);
+      Result<TypePtr> inner = Infer(e.child(3), env);
+      env.Pop();
+      env.Pop();
+      if (!pred.ok()) return pred.status();
+      if (!inner.ok()) return inner.status();
+      if (l->element()->FindField(e.name()) != nullptr) {
+        return TypeError("nestjoin attribute conflict: " + e.name());
+      }
+      std::vector<TypeField> fields = l->element()->fields();
+      fields.push_back({e.name(), Type::Set(*inner)});
+      return Type::Set(Type::Tuple(std::move(fields)));
+    }
+
+    case ExprKind::kDivide: {
+      N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
+      if (!l->is_set() || !r->is_set() || !l->element()->is_tuple() ||
+          !r->element()->is_tuple()) {
+        return TypeError("division over non-tables");
+      }
+      std::vector<TypeField> fields;
+      for (const TypeField& f : l->element()->fields()) {
+        if (r->element()->FindField(f.name) == nullptr) {
+          fields.push_back(f);
+        }
+      }
+      return Type::Set(Type::Tuple(std::move(fields)));
+    }
+
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference: {
+      N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
+      if (!l->is_set() || !r->is_set()) {
+        return TypeError("set operation over non-sets");
+      }
+      if (!l->Equals(*r)) {
+        return TypeError("set operation on mismatched types " +
+                         l->ToString() + " vs " + r->ToString());
+      }
+      return l->element()->is_any() ? r : l;
+    }
+  }
+  return TypeError("unhandled expression kind");
+}
+
+}  // namespace n2j

@@ -1,0 +1,69 @@
+#ifndef N2J_ADL_TYPECHECK_H_
+#define N2J_ADL_TYPECHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "adl/expr.h"
+#include "adl/schema.h"
+#include "adl/type.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace n2j {
+
+/// Variable typing context for ADL type inference.
+class TypeEnv {
+ public:
+  void Push(const std::string& name, TypePtr type) {
+    bindings_.emplace_back(name, std::move(type));
+  }
+  void Pop() { bindings_.pop_back(); }
+  const TypePtr* Lookup(const std::string& name) const {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::pair<std::string, TypePtr>> bindings_;
+};
+
+/// Infers the type of an ADL expression. ADL is a *typed* algebra
+/// (Section 3); the rewriter uses inference to compute schemas (SCH) for
+/// the grouping/nestjoin substitutions, and the tests use it to check
+/// that every rewrite is type-preserving.
+///
+/// `db` may be null; then only class extents (from `schema`) resolve as
+/// tables.
+class TypeChecker {
+ public:
+  explicit TypeChecker(const Schema& schema, const Database* db = nullptr)
+      : schema_(schema), db_(db) {}
+
+  Result<TypePtr> Infer(const ExprPtr& e) {
+    TypeEnv env;
+    return Infer(e, env);
+  }
+  Result<TypePtr> Infer(const ExprPtr& e, TypeEnv& env);
+
+  /// SCH of a set-of-tuples expression: its top-level attribute names.
+  Result<std::vector<std::string>> SchemaOf(const ExprPtr& e, TypeEnv& env);
+
+ private:
+  Status TypeError(const std::string& msg) const {
+    return Status::TypeError(msg);
+  }
+
+  const Schema& schema_;
+  const Database* db_;
+};
+
+/// Derives the most specific type of a runtime value (oids type as plain
+/// oid; empty sets as { any }).
+TypePtr TypeOfValue(const Value& v);
+
+}  // namespace n2j
+
+#endif  // N2J_ADL_TYPECHECK_H_

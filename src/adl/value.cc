@@ -1,0 +1,421 @@
+#include "adl/value.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace n2j {
+
+Field::Field(std::string n, Value v)
+    : name(std::move(n)), value(std::make_unique<Value>(std::move(v))) {}
+Field::Field(const Field& other)
+    : name(other.name), value(std::make_unique<Value>(*other.value)) {}
+Field::Field(Field&&) noexcept = default;
+Field& Field::operator=(const Field& other) {
+  name = other.name;
+  value = std::make_unique<Value>(*other.value);
+  return *this;
+}
+Field& Field::operator=(Field&&) noexcept = default;
+Field::~Field() = default;
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.b_ = b;
+  return v;
+}
+
+Value Value::Int(int64_t i) {
+  Value v;
+  v.kind_ = Kind::kInt;
+  v.i_ = i;
+  return v;
+}
+
+Value Value::Double(double d) {
+  Value v;
+  v.kind_ = Kind::kDouble;
+  v.d_ = d;
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.s_ = std::make_shared<const std::string>(std::move(s));
+  return v;
+}
+
+Value Value::MakeOidValue(Oid oid) {
+  Value v;
+  v.kind_ = Kind::kOid;
+  v.o_ = oid;
+  return v;
+}
+
+Value Value::Tuple(std::vector<Field> fields) {
+  Value v;
+  v.kind_ = Kind::kTuple;
+  v.tuple_ = std::make_shared<const std::vector<Field>>(std::move(fields));
+  return v;
+}
+
+Value Value::Set(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  return SetFromCanonical(std::move(elements));
+}
+
+Value Value::SetFromCanonical(std::vector<Value> elements) {
+  Value v;
+  v.kind_ = Kind::kSet;
+  v.set_ = std::make_shared<const std::vector<Value>>(std::move(elements));
+  return v;
+}
+
+bool Value::bool_value() const {
+  N2J_CHECK(is_bool());
+  return b_;
+}
+
+int64_t Value::int_value() const {
+  N2J_CHECK(is_int());
+  return i_;
+}
+
+double Value::double_value() const {
+  N2J_CHECK(is_double());
+  return d_;
+}
+
+double Value::as_double() const {
+  N2J_CHECK(is_numeric());
+  return is_int() ? static_cast<double>(i_) : d_;
+}
+
+const std::string& Value::string_value() const {
+  N2J_CHECK(is_string());
+  return *s_;
+}
+
+Oid Value::oid_value() const {
+  N2J_CHECK(is_oid());
+  return o_;
+}
+
+const std::vector<Field>& Value::fields() const {
+  N2J_CHECK(is_tuple());
+  return *tuple_;
+}
+
+const Value* Value::FindField(std::string_view name) const {
+  N2J_CHECK(is_tuple());
+  for (const Field& f : *tuple_) {
+    if (f.name == name) return f.value.get();
+  }
+  return nullptr;
+}
+
+Value Value::ProjectTuple(const std::vector<std::string>& names) const {
+  std::vector<Field> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    const Value* v = FindField(n);
+    N2J_CHECK(v != nullptr);
+    out.emplace_back(n, *v);
+  }
+  return Tuple(std::move(out));
+}
+
+Value Value::ConcatTuple(const Value& other) const {
+  N2J_CHECK(is_tuple() && other.is_tuple());
+  std::vector<Field> out = *tuple_;
+  for (const Field& f : other.fields()) {
+    N2J_CHECK(FindField(f.name) == nullptr);
+    out.push_back(f);
+  }
+  return Tuple(std::move(out));
+}
+
+Value Value::ExceptUpdate(const std::vector<Field>& updates) const {
+  N2J_CHECK(is_tuple());
+  std::vector<Field> out = *tuple_;
+  for (const Field& u : updates) {
+    bool found = false;
+    for (Field& f : out) {
+      if (f.name == u.name) {
+        f = u;
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.push_back(u);
+  }
+  return Tuple(std::move(out));
+}
+
+std::vector<std::string> Value::FieldNames() const {
+  std::vector<std::string> out;
+  out.reserve(fields().size());
+  for (const Field& f : fields()) out.push_back(f.name);
+  return out;
+}
+
+const std::vector<Value>& Value::elements() const {
+  N2J_CHECK(is_set());
+  return *set_;
+}
+
+bool Value::SetContains(const Value& v) const {
+  const std::vector<Value>& es = elements();
+  return std::binary_search(es.begin(), es.end(), v);
+}
+
+bool Value::IsSubsetOf(const Value& other, bool strict) const {
+  const std::vector<Value>& a = elements();
+  const std::vector<Value>& b = other.elements();
+  if (a.size() > b.size()) return false;
+  // Sorted-merge subset test.
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    int c = a[i].Compare(b[j]);
+    if (c == 0) {
+      ++i;
+      ++j;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      return false;  // a[i] not present in b
+    }
+  }
+  if (i < a.size()) return false;
+  return strict ? a.size() < b.size() : true;
+}
+
+Value Value::SetUnion(const Value& other) const {
+  const std::vector<Value>& a = elements();
+  const std::vector<Value>& b = other.elements();
+  std::vector<Value> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return SetFromCanonical(std::move(out));
+}
+
+Value Value::SetIntersect(const Value& other) const {
+  const std::vector<Value>& a = elements();
+  const std::vector<Value>& b = other.elements();
+  std::vector<Value> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return SetFromCanonical(std::move(out));
+}
+
+Value Value::SetDifference(const Value& other) const {
+  const std::vector<Value>& a = elements();
+  const std::vector<Value>& b = other.elements();
+  std::vector<Value> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return SetFromCanonical(std::move(out));
+}
+
+namespace {
+
+int KindRank(Value::Kind k) { return static_cast<int>(k); }
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  // int/double compare numerically so 1 == 1.0 inside mixed expressions.
+  if (is_numeric() && other.is_numeric() &&
+      (is_double() || other.is_double())) {
+    return CompareDoubles(as_double(), other.as_double());
+  }
+  if (kind_ != other.kind_) {
+    return KindRank(kind_) < KindRank(other.kind_) ? -1 : 1;
+  }
+  switch (kind_) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kBool:
+      return (b_ == other.b_) ? 0 : (b_ ? 1 : -1);
+    case Kind::kInt:
+      return (i_ == other.i_) ? 0 : (i_ < other.i_ ? -1 : 1);
+    case Kind::kDouble:
+      return CompareDoubles(d_, other.d_);
+    case Kind::kString:
+      return s_->compare(*other.s_);
+    case Kind::kOid:
+      return (o_ == other.o_) ? 0 : (o_ < other.o_ ? -1 : 1);
+    case Kind::kTuple: {
+      const std::vector<Field>& a = *tuple_;
+      const std::vector<Field>& b = *other.tuple_;
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      // Fast path: identical field order (the overwhelmingly common
+      // case).
+      bool same_order = true;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].name != b[i].name) {
+          same_order = false;
+          break;
+        }
+      }
+      if (same_order) {
+        for (size_t i = 0; i < a.size(); ++i) {
+          int c = a[i].value->Compare(*b[i].value);
+          if (c != 0) return c;
+        }
+        return 0;
+      }
+      // Attribute order is irrelevant to tuple identity (relational
+      // convention): compare via name-sorted field sequences.
+      auto sorted_indices = [](const std::vector<Field>& fs) {
+        std::vector<size_t> idx(fs.size());
+        for (size_t i = 0; i < fs.size(); ++i) idx[i] = i;
+        std::sort(idx.begin(), idx.end(), [&fs](size_t i, size_t j) {
+          return fs[i].name < fs[j].name;
+        });
+        return idx;
+      };
+      std::vector<size_t> ia = sorted_indices(a);
+      std::vector<size_t> ib = sorted_indices(b);
+      for (size_t i = 0; i < a.size(); ++i) {
+        int c = a[ia[i]].name.compare(b[ib[i]].name);
+        if (c != 0) return c < 0 ? -1 : 1;
+        c = a[ia[i]].value->Compare(*b[ib[i]].value);
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+    case Kind::kSet: {
+      const std::vector<Value>& a = *set_;
+      const std::vector<Value>& b = *other.set_;
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return 0x6e756c6cULL;
+    case Kind::kBool:
+      return b_ ? 0x74727565ULL : 0x66616c73ULL;
+    case Kind::kInt:
+      return Fnv1a(&i_, sizeof(i_));
+    case Kind::kDouble: {
+      // Hash integral doubles as their int64 so numeric equality implies
+      // hash equality (Compare treats 1 and 1.0 as equal).
+      double d = d_;
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      if (std::floor(d) == d && d >= -9.2e18 && d <= 9.2e18) {
+        int64_t as_int = static_cast<int64_t>(d);
+        return Fnv1a(&as_int, sizeof(as_int));
+      }
+      return Fnv1a(&d, sizeof(d));
+    }
+    case Kind::kString:
+      return Fnv1a(s_->data(), s_->size());
+    case Kind::kOid: {
+      uint64_t mix = o_ ^ 0x6f696400ULL;
+      return Fnv1a(&mix, sizeof(mix));
+    }
+    case Kind::kTuple: {
+      // Commutative combination so field order does not affect the hash
+      // (consistent with order-insensitive tuple equality).
+      uint64_t h = 0x7475706cULL + tuple_->size();
+      for (const Field& f : *tuple_) {
+        h += HashCombine(Fnv1a(f.name.data(), f.name.size()),
+                         f.value->Hash());
+      }
+      return h;
+    }
+    case Kind::kSet: {
+      uint64_t h = 0x736574ULL;
+      for (const Value& v : *set_) h = HashCombine(h, v.Hash());
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return b_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(i_);
+    case Kind::kDouble: {
+      std::string s = StrFormat("%g", d_);
+      return s;
+    }
+    case Kind::kString:
+      return "\"" + *s_ + "\"";
+    case Kind::kOid:
+      return StrFormat("@%u.%llu", OidClassId(o_),
+                       static_cast<unsigned long long>(OidSeq(o_)));
+    case Kind::kTuple: {
+      std::vector<std::string> parts;
+      parts.reserve(tuple_->size());
+      for (const Field& f : *tuple_) {
+        parts.push_back(f.name + " = " + f.value->ToString());
+      }
+      return "(" + Join(parts, ", ") + ")";
+    }
+    case Kind::kSet: {
+      std::vector<std::string> parts;
+      parts.reserve(set_->size());
+      for (const Value& v : *set_) parts.push_back(v.ToString());
+      return "{" + Join(parts, ", ") + "}";
+    }
+  }
+  return "?";
+}
+
+size_t Value::ApproxBytes() const {
+  switch (kind_) {
+    case Kind::kNull:
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kDouble:
+    case Kind::kOid:
+      return 16;
+    case Kind::kString:
+      return 32 + s_->size();
+    case Kind::kTuple: {
+      size_t total = 24;
+      for (const Field& f : *tuple_) {
+        total += 32 + f.name.size() + f.value->ApproxBytes();
+      }
+      return total;
+    }
+    case Kind::kSet: {
+      size_t total = 24;
+      for (const Value& v : *set_) total += v.ApproxBytes();
+      return total;
+    }
+  }
+  return 16;
+}
+
+}  // namespace n2j

@@ -1,0 +1,164 @@
+#ifndef N2J_ADL_VALUE_H_
+#define N2J_ADL_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace n2j {
+
+/// Object identifier. The high 16 bits identify the class, the low 48 bits
+/// are a per-class sequence number. Oids are opaque values at the algebra
+/// level; the storage layer (ObjectStore) maps them back to objects.
+using Oid = uint64_t;
+
+/// Builds an oid from a class id and a sequence number.
+inline Oid MakeOid(uint16_t class_id, uint64_t seq) {
+  return (static_cast<uint64_t>(class_id) << 48) | (seq & 0xffffffffffffULL);
+}
+inline uint16_t OidClassId(Oid oid) { return static_cast<uint16_t>(oid >> 48); }
+inline uint64_t OidSeq(Oid oid) { return oid & 0xffffffffffffULL; }
+
+class Value;
+
+/// One named field of a tuple value.
+struct Field {
+  std::string name;
+  // Defined out of line because Value is incomplete here.
+  Field(std::string n, Value v);
+  Field(const Field&);
+  Field(Field&&) noexcept;
+  Field& operator=(const Field&);
+  Field& operator=(Field&&) noexcept;
+  ~Field();
+  std::unique_ptr<Value> value;  // never null
+
+  const Value& val() const { return *value; }
+};
+
+/// A complex-object value in the ADL data model: an atom (null, bool, int,
+/// double, string, oid), a tuple of named fields, or a set.
+///
+/// Sets are kept in *canonical form* — sorted by Value::Compare and
+/// deduplicated — so set equality is element-wise equality and the subset /
+/// membership operations run by merging. Tuples preserve field order.
+///
+/// Values are immutable; copies share the underlying representation of
+/// strings, tuples and sets via shared_ptr, so passing Values around is
+/// cheap even for large nested sets.
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kOid,
+    kTuple,
+    kSet,
+  };
+
+  /// Default-constructed value is null.
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Int(int64_t i);
+  static Value Double(double d);
+  static Value String(std::string s);
+  static Value MakeOidValue(Oid oid);
+  /// Builds a tuple preserving field order. Field names must be distinct.
+  static Value Tuple(std::vector<Field> fields);
+  /// Builds a set; canonicalizes (sorts and deduplicates) the elements.
+  static Value Set(std::vector<Value> elements);
+  /// Builds a set from elements already sorted and deduplicated.
+  static Value SetFromCanonical(std::vector<Value> elements);
+  static Value EmptySet() { return SetFromCanonical({}); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_numeric() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_oid() const { return kind_ == Kind::kOid; }
+  bool is_tuple() const { return kind_ == Kind::kTuple; }
+  bool is_set() const { return kind_ == Kind::kSet; }
+
+  bool bool_value() const;
+  int64_t int_value() const;
+  double double_value() const;
+  /// Numeric value as double (int or double kinds).
+  double as_double() const;
+  const std::string& string_value() const;
+  Oid oid_value() const;
+
+  /// Tuple accessors. Precondition: is_tuple().
+  const std::vector<Field>& fields() const;
+  /// Returns the field value or nullptr if absent.
+  const Value* FindField(std::string_view name) const;
+  /// Tuple subscription e[a1,...,an]: projects onto the named fields, in
+  /// the given order. Missing fields are an internal error.
+  Value ProjectTuple(const std::vector<std::string>& names) const;
+  /// Tuple concatenation x o y. Field names must not collide.
+  Value ConcatTuple(const Value& other) const;
+  /// The `except` operator: updates existing fields / appends new ones.
+  Value ExceptUpdate(const std::vector<Field>& updates) const;
+  /// Field names in order.
+  std::vector<std::string> FieldNames() const;
+
+  /// Set accessors. Precondition: is_set().
+  const std::vector<Value>& elements() const;
+  size_t set_size() const { return elements().size(); }
+  bool SetContains(const Value& v) const;
+  /// this ⊆ other (strict = proper subset this ⊂ other).
+  bool IsSubsetOf(const Value& other, bool strict) const;
+  Value SetUnion(const Value& other) const;
+  Value SetIntersect(const Value& other) const;
+  Value SetDifference(const Value& other) const;
+
+  /// Total order over all values. Values of different kinds order by kind
+  /// rank, except int/double which compare numerically. Tuples compare
+  /// field-by-field (name then value); sets compare lexicographically over
+  /// their canonical element sequences.
+  int Compare(const Value& other) const;
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== .
+  uint64_t Hash() const;
+
+  /// Printable form: atoms as literals, tuples as (a = v, ...), sets as
+  /// {v, ...}.
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint in bytes, used by the PNHL memory
+  /// budget accounting.
+  size_t ApproxBytes() const;
+
+ private:
+  Kind kind_;
+  bool b_ = false;
+  int64_t i_ = 0;
+  double d_ = 0.0;
+  Oid o_ = 0;
+  std::shared_ptr<const std::string> s_;
+  std::shared_ptr<const std::vector<Field>> tuple_;
+  std::shared_ptr<const std::vector<Value>> set_;
+};
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace n2j
+
+#endif  // N2J_ADL_VALUE_H_

@@ -1,0 +1,65 @@
+#ifndef N2J_COMMON_RESULT_H_
+#define N2J_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace n2j {
+
+/// Result<T> carries either a value of type T or a non-OK Status.
+/// Modelled on absl::StatusOr / arrow::Result; used instead of exceptions.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    N2J_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    N2J_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    N2J_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    N2J_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller.
+#define N2J_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define N2J_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define N2J_ASSIGN_OR_RETURN_NAME(a, b) N2J_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define N2J_ASSIGN_OR_RETURN(lhs, rexpr) \
+  N2J_ASSIGN_OR_RETURN_IMPL(             \
+      N2J_ASSIGN_OR_RETURN_NAME(_n2j_result_, __LINE__), lhs, rexpr)
+
+}  // namespace n2j
+
+#endif  // N2J_COMMON_RESULT_H_

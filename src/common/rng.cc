@@ -1,0 +1,50 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+namespace n2j {
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return Uniform(0, n - 1);
+  // Inverse-CDF sampling over the harmonic weights. For the data sizes used
+  // by the generator (n up to ~1e6) a linear scan of the CDF would be too
+  // slow per sample, so we use the classical rejection-free approximation
+  // of Gray et al. ("Quickly generating billion-record synthetic
+  // databases"): draw u and invert the generalized harmonic CDF.
+  // We precompute nothing here to keep the RNG stateless w.r.t. n; callers
+  // that need many samples with the same (n, theta) should use ZipfGen.
+  double alpha = 1.0 / (1.0 - theta);
+  double zetan = 0.0;
+  // Approximate zeta(n, theta) with the integral bound; exact enough for
+  // skewed data generation purposes.
+  zetan = (std::pow(static_cast<double>(n), 1.0 - theta) - 1.0) /
+              (1.0 - theta) +
+          0.5;
+  double u = NextDouble();
+  double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  int64_t v = static_cast<int64_t>(
+      static_cast<double>(n) *
+      std::pow(zetan * u / zetan, alpha) / std::pow(zetan, alpha - 1.0));
+  // Clamp: the approximation can stray slightly out of range.
+  double frac = std::pow(u, alpha);
+  v = static_cast<int64_t>(static_cast<double>(n) * frac);
+  if (v < 0) v = 0;
+  if (v >= n) v = n - 1;
+  return v;
+}
+
+std::string Rng::NextString(int len) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[Next() % 26]);
+  }
+  return out;
+}
+
+}  // namespace n2j

@@ -1,0 +1,64 @@
+#ifndef N2J_COMMON_RNG_H_
+#define N2J_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace n2j {
+
+/// Deterministic PRNG (xorshift128+) so data generation, property tests and
+/// benchmarks are reproducible across platforms without depending on the
+/// implementation-defined std::mt19937 distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // SplitMix64 seeding to avoid bad states from small seeds.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 2; ++i) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = t ^ (t >> 31);
+    }
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed integer in [0, n): rank r chosen with probability
+  /// proportional to 1/(r+1)^theta. theta = 0 gives uniform.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Random lowercase identifier-like string of the given length.
+  std::string NextString(int len);
+
+ private:
+  uint64_t s_[2];
+};
+
+}  // namespace n2j
+
+#endif  // N2J_COMMON_RNG_H_

@@ -1,0 +1,94 @@
+#ifndef N2J_COMMON_STATUS_H_
+#define N2J_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace n2j {
+
+/// Error categories used throughout the library. The set is deliberately
+/// small: queries fail either because the input is malformed (syntax/type),
+/// because a rewrite precondition does not hold, or because execution hit a
+/// runtime problem (unknown table, bad oid, ...).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kTypeError,
+  kUnsupported,
+  kRuntimeError,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("TypeError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A RocksDB/Abseil-style status object. The library is built without
+/// using C++ exceptions; every fallible operation returns a Status or a
+/// Result<T> (see result.h).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// CHECK-style assertion: aborts with a message on failure. Used for
+/// internal invariants only, never for user-visible error paths.
+#define N2J_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "N2J_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define N2J_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::n2j::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace n2j
+
+#endif  // N2J_COMMON_STATUS_H_

@@ -1,0 +1,74 @@
+#include "core/engine.h"
+
+#include "adl/printer.h"
+#include "oosql/translate.h"
+
+namespace n2j {
+
+std::string QueryReport::Explain() const {
+  std::string out;
+  if (!oosql.empty()) {
+    out += "OOSQL:      " + oosql + "\n";
+  }
+  if (translated != nullptr) {
+    out += "translated: " + AlgebraStr(translated) + "\n";
+  }
+  if (type != nullptr) {
+    out += "type:       " + type->ToString() + "\n";
+  }
+  if (optimized != nullptr) {
+    out += "optimized:  " + AlgebraStr(optimized) + "\n";
+    PrintOptions pretty;
+    pretty.pretty = true;
+    out += "plan:\n" + ToAlgebraString(optimized, pretty) + "\n";
+  }
+  if (!trace.empty()) {
+    out += "rules:\n";
+    for (const RuleApplication& a : trace) {
+      out += "  [" + a.rule + "] " + a.detail + "\n";
+    }
+  }
+  out += "stats:      " + exec_stats.ToString() + "\n";
+  return out;
+}
+
+Result<QueryReport> QueryEngine::Translate(const std::string& oosql) const {
+  QueryReport report;
+  report.oosql = oosql;
+  Translator translator(db_->schema(), db_);
+  N2J_ASSIGN_OR_RETURN(TypedExpr typed, translator.TranslateString(oosql));
+  report.translated = typed.expr;
+  report.type = typed.type;
+  return report;
+}
+
+Result<RewriteResult> QueryEngine::Optimize(const ExprPtr& adl) const {
+  Rewriter rewriter(db_->schema(), db_, rewrite_options_);
+  return rewriter.Rewrite(adl);
+}
+
+Result<QueryReport> QueryEngine::Run(const std::string& oosql) const {
+  N2J_ASSIGN_OR_RETURN(QueryReport report, Translate(oosql));
+  N2J_ASSIGN_OR_RETURN(RewriteResult rewritten,
+                       Optimize(report.translated));
+  report.optimized = rewritten.expr;
+  report.trace = std::move(rewritten.trace);
+  Evaluator ev(*db_, eval_options_);
+  N2J_ASSIGN_OR_RETURN(report.result, ev.Eval(report.optimized));
+  report.exec_stats = ev.stats();
+  return report;
+}
+
+Result<QueryReport> QueryEngine::RunAdl(const ExprPtr& adl) const {
+  QueryReport report;
+  report.translated = adl;
+  N2J_ASSIGN_OR_RETURN(RewriteResult rewritten, Optimize(adl));
+  report.optimized = rewritten.expr;
+  report.trace = std::move(rewritten.trace);
+  Evaluator ev(*db_, eval_options_);
+  N2J_ASSIGN_OR_RETURN(report.result, ev.Eval(report.optimized));
+  report.exec_stats = ev.stats();
+  return report;
+}
+
+}  // namespace n2j

@@ -1,0 +1,66 @@
+#ifndef N2J_CORE_ENGINE_H_
+#define N2J_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "adl/expr.h"
+#include "adl/type.h"
+#include "common/result.h"
+#include "exec/eval.h"
+#include "rewrite/rewriter.h"
+#include "storage/database.h"
+
+namespace n2j {
+
+/// Everything the engine knows about one executed query, for explain
+/// output and experiments.
+struct QueryReport {
+  std::string oosql;          // original query text (if it came from text)
+  ExprPtr translated;         // naive ADL translation (nested loops)
+  TypePtr type;               // inferred result type
+  ExprPtr optimized;          // after the rewriter
+  std::vector<RuleApplication> trace;  // fired rules
+  Value result;               // query result
+  EvalStats exec_stats;       // operator counters of the final execution
+
+  /// Human-readable explain block.
+  std::string Explain() const;
+};
+
+/// The public façade: parse OOSQL → type-check/translate to ADL →
+/// rewrite per the paper's strategy → evaluate.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Database* db,
+                       RewriteOptions rewrite_options = RewriteOptions(),
+                       EvalOptions eval_options = EvalOptions())
+      : db_(db),
+        rewrite_options_(rewrite_options),
+        eval_options_(eval_options) {}
+
+  /// Runs an OOSQL query end to end.
+  Result<QueryReport> Run(const std::string& oosql) const;
+
+  /// Runs a hand-built ADL expression (skipping the front end).
+  Result<QueryReport> RunAdl(const ExprPtr& adl) const;
+
+  /// Translation only (parse + typecheck + lower, no rewrite/execute).
+  Result<QueryReport> Translate(const std::string& oosql) const;
+
+  /// Rewrite only.
+  Result<RewriteResult> Optimize(const ExprPtr& adl) const;
+
+  const Database& db() const { return *db_; }
+  RewriteOptions& rewrite_options() { return rewrite_options_; }
+  EvalOptions& eval_options() { return eval_options_; }
+
+ private:
+  const Database* db_;
+  RewriteOptions rewrite_options_;
+  EvalOptions eval_options_;
+};
+
+}  // namespace n2j
+
+#endif  // N2J_CORE_ENGINE_H_

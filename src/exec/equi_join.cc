@@ -1,0 +1,35 @@
+#include "exec/equi_join.h"
+
+#include "adl/analysis.h"
+
+namespace n2j {
+
+EquiJoinKeys ExtractEquiKeys(const ExprPtr& pred, const std::string& lvar,
+                             const std::string& rvar) {
+  EquiJoinKeys out;
+  for (const ExprPtr& conjunct : SplitConjuncts(pred)) {
+    if (conjunct->kind() == ExprKind::kBinary &&
+        conjunct->bin_op() == BinOp::kEq) {
+      const ExprPtr& a = conjunct->child(0);
+      const ExprPtr& b = conjunct->child(1);
+      bool a_has_l = IsFreeIn(lvar, a);
+      bool a_has_r = IsFreeIn(rvar, a);
+      bool b_has_l = IsFreeIn(lvar, b);
+      bool b_has_r = IsFreeIn(rvar, b);
+      if (a_has_l && !a_has_r && b_has_r && !b_has_l) {
+        out.left_keys.push_back(a);
+        out.right_keys.push_back(b);
+        continue;
+      }
+      if (b_has_l && !b_has_r && a_has_r && !a_has_l) {
+        out.left_keys.push_back(b);
+        out.right_keys.push_back(a);
+        continue;
+      }
+    }
+    out.residual.push_back(conjunct);
+  }
+  return out;
+}
+
+}  // namespace n2j

@@ -1,0 +1,37 @@
+#ifndef N2J_EXEC_EQUI_JOIN_H_
+#define N2J_EXEC_EQUI_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "adl/expr.h"
+
+namespace n2j {
+
+/// Decomposition of a join predicate p(x, y) into hashable equi-key pairs
+/// plus a residual conjunction:
+///
+///   p  =  (k1_l(x) = k1_r(y)) ∧ ... ∧ residual(x, y)
+///
+/// This is what lets the logical join operators produced by the paper's
+/// rewrites ("so that the optimizer may choose from a number of different
+/// join processing strategies", Section 5.1) run as hash joins.
+struct EquiJoinKeys {
+  std::vector<ExprPtr> left_keys;   // functions of the left variable
+  std::vector<ExprPtr> right_keys;  // functions of the right variable
+  std::vector<ExprPtr> residual;    // remaining conjuncts (may be empty)
+
+  /// True when at least one equi-key pair was extracted.
+  bool usable() const { return !left_keys.empty(); }
+};
+
+/// Analyzes `pred` (with bound variables `lvar`, `rvar`). A conjunct
+/// `e1 = e2` becomes a key pair when one side mentions only `lvar` (plus
+/// outer variables) and the other only `rvar`. Everything else lands in
+/// `residual`.
+EquiJoinKeys ExtractEquiKeys(const ExprPtr& pred, const std::string& lvar,
+                             const std::string& rvar);
+
+}  // namespace n2j
+
+#endif  // N2J_EXEC_EQUI_JOIN_H_

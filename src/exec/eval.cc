@@ -1,0 +1,758 @@
+#include "exec/eval.h"
+
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace n2j {
+
+std::string EvalStats::ToString() const {
+  return StrFormat(
+      "scanned=%llu preds=%llu h_ins=%llu h_probe=%llu sorted=%llu "
+      "idx=%llu derefs=%llu nodes=%llu",
+      static_cast<unsigned long long>(tuples_scanned),
+      static_cast<unsigned long long>(predicate_evals),
+      static_cast<unsigned long long>(hash_inserts),
+      static_cast<unsigned long long>(hash_probes),
+      static_cast<unsigned long long>(rows_sorted),
+      static_cast<unsigned long long>(index_probes),
+      static_cast<unsigned long long>(derefs),
+      static_cast<unsigned long long>(nodes_evaluated));
+}
+
+Result<Value> Evaluator::Eval(const ExprPtr& e) {
+  Environment env;
+  return Eval(e, env);
+}
+
+Result<Value> Evaluator::Eval(const ExprPtr& e, Environment& env) {
+  return EvalNode(*e, env);
+}
+
+Result<Value> Evaluator::ConcatTuples(const Value& l, const Value& r) {
+  if (!l.is_tuple() || !r.is_tuple()) {
+    return Status::RuntimeError("tuple concatenation on non-tuples");
+  }
+  for (const Field& f : r.fields()) {
+    if (l.FindField(f.name) != nullptr) {
+      return Status::RuntimeError("attribute naming conflict: " + f.name);
+    }
+  }
+  return l.ConcatTuple(r);
+}
+
+Result<Value> Evaluator::TableValue(const std::string& name) {
+  auto it = table_cache_.find(name);
+  if (it != table_cache_.end()) return it->second;
+  const Table* t = db_.FindTable(name);
+  if (t == nullptr) return Status::NotFound("no such table: " + name);
+  Value v = t->AsSetValue();
+  table_cache_.emplace(name, v);
+  return v;
+}
+
+Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
+  ++stats_.nodes_evaluated;
+  switch (e.kind()) {
+    case ExprKind::kConst:
+      return e.const_value();
+
+    case ExprKind::kVar: {
+      const Value* v = env.Lookup(e.name());
+      if (v == nullptr) {
+        return Status::RuntimeError("unbound variable: " + e.name());
+      }
+      return *v;
+    }
+
+    case ExprKind::kGetTable:
+      return TableValue(e.name());
+
+    case ExprKind::kLet: {
+      N2J_ASSIGN_OR_RETURN(Value def, EvalNode(*e.child(0), env));
+      env.Push(e.var(), std::move(def));
+      Result<Value> body = EvalNode(*e.child(1), env);
+      env.Pop();
+      return body;
+    }
+
+    case ExprKind::kFieldAccess: {
+      N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+      // Implicit pointer traversal: accessing a field through a reference
+      // dereferences the oid first (path expressions, Section 6.2).
+      if (in.is_oid()) {
+        ++stats_.derefs;
+        N2J_ASSIGN_OR_RETURN(in, db_.Deref(in.oid_value()));
+      }
+      if (!in.is_tuple()) {
+        return Status::RuntimeError("field access '" + e.name() +
+                                    "' on non-tuple value");
+      }
+      const Value* f = in.FindField(e.name());
+      if (f == nullptr) {
+        return Status::RuntimeError("no field '" + e.name() + "' in " +
+                                    in.ToString());
+      }
+      return *f;
+    }
+
+    case ExprKind::kTupleProject: {
+      N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+      if (!in.is_tuple()) {
+        return Status::RuntimeError("tuple projection on non-tuple");
+      }
+      for (const std::string& n : e.names()) {
+        if (in.FindField(n) == nullptr) {
+          return Status::RuntimeError("no field '" + n + "' in tuple");
+        }
+      }
+      return in.ProjectTuple(e.names());
+    }
+
+    case ExprKind::kTupleConstruct: {
+      std::vector<Field> fields;
+      fields.reserve(e.names().size());
+      for (size_t i = 0; i < e.names().size(); ++i) {
+        N2J_ASSIGN_OR_RETURN(Value v, EvalNode(*e.child(i), env));
+        fields.emplace_back(e.names()[i], std::move(v));
+      }
+      return Value::Tuple(std::move(fields));
+    }
+
+    case ExprKind::kTupleConcat: {
+      N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
+      return ConcatTuples(l, r);
+    }
+
+    case ExprKind::kExcept: {
+      N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+      if (!in.is_tuple()) {
+        return Status::RuntimeError("except on non-tuple");
+      }
+      std::vector<Field> updates;
+      updates.reserve(e.names().size());
+      for (size_t i = 0; i < e.names().size(); ++i) {
+        N2J_ASSIGN_OR_RETURN(Value v, EvalNode(*e.child(i + 1), env));
+        updates.emplace_back(e.names()[i], std::move(v));
+      }
+      return in.ExceptUpdate(updates);
+    }
+
+    case ExprKind::kSetConstruct: {
+      std::vector<Value> elems;
+      elems.reserve(e.num_children());
+      for (const ExprPtr& c : e.children()) {
+        N2J_ASSIGN_OR_RETURN(Value v, EvalNode(*c, env));
+        elems.push_back(std::move(v));
+      }
+      return Value::Set(std::move(elems));
+    }
+
+    case ExprKind::kDeref: {
+      N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+      if (!in.is_oid()) {
+        return Status::RuntimeError("deref on non-oid value");
+      }
+      ++stats_.derefs;
+      return db_.Deref(in.oid_value());
+    }
+
+    case ExprKind::kUnary: {
+      N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+      switch (e.un_op()) {
+        case UnOp::kNot:
+          if (!in.is_bool()) {
+            return Status::RuntimeError("not on non-bool");
+          }
+          return Value::Bool(!in.bool_value());
+        case UnOp::kNeg:
+          if (in.is_int()) return Value::Int(-in.int_value());
+          if (in.is_double()) return Value::Double(-in.double_value());
+          return Status::RuntimeError("negation on non-numeric");
+        case UnOp::kIsEmpty:
+          if (!in.is_set()) {
+            return Status::RuntimeError("isempty on non-set");
+          }
+          return Value::Bool(in.set_size() == 0);
+      }
+      return Status::Internal("bad unary op");
+    }
+
+    case ExprKind::kBinary:
+      return EvalBinary(e, env);
+
+    case ExprKind::kQuantifier:
+      return EvalQuantifier(e, env);
+
+    case ExprKind::kAggregate:
+      return EvalAggregate(e, env);
+
+    case ExprKind::kMap: {
+      if (opts_.enable_pnhl) {
+        Result<Value> fast = TryPnhlMap(e, env);
+        if (fast.ok()) return fast;
+        if (fast.status().code() != StatusCode::kUnsupported) {
+          return fast.status();
+        }
+      }
+      N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+      if (!in.is_set()) return Status::RuntimeError("map over non-set");
+      std::vector<Value> out;
+      out.reserve(in.set_size());
+      for (const Value& x : in.elements()) {
+        ++stats_.tuples_scanned;
+        env.Push(e.var(), x);
+        Result<Value> r = EvalNode(*e.child(1), env);
+        env.Pop();
+        if (!r.ok()) return r.status();
+        out.push_back(std::move(r).value());
+      }
+      return Value::Set(std::move(out));
+    }
+
+    case ExprKind::kSelect: {
+      N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+      if (!in.is_set()) return Status::RuntimeError("select over non-set");
+      std::vector<Value> out;
+      for (const Value& x : in.elements()) {
+        ++stats_.tuples_scanned;
+        ++stats_.predicate_evals;
+        env.Push(e.var(), x);
+        Result<Value> r = EvalNode(*e.child(1), env);
+        env.Pop();
+        if (!r.ok()) return r.status();
+        if (!r->is_bool()) {
+          return Status::RuntimeError("selection predicate not boolean");
+        }
+        if (r->bool_value()) out.push_back(x);
+      }
+      return Value::SetFromCanonical(std::move(out));
+    }
+
+    case ExprKind::kProject: {
+      N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+      if (!in.is_set()) return Status::RuntimeError("project over non-set");
+      std::vector<Value> out;
+      out.reserve(in.set_size());
+      for (const Value& x : in.elements()) {
+        ++stats_.tuples_scanned;
+        if (!x.is_tuple()) {
+          return Status::RuntimeError("projection element not a tuple");
+        }
+        for (const std::string& n : e.names()) {
+          if (x.FindField(n) == nullptr) {
+            return Status::RuntimeError("no field '" + n +
+                                        "' in projection input");
+          }
+        }
+        out.push_back(x.ProjectTuple(e.names()));
+      }
+      return Value::Set(std::move(out));
+    }
+
+    case ExprKind::kFlatten: {
+      N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+      if (!in.is_set()) return Status::RuntimeError("flatten over non-set");
+      std::vector<Value> out;
+      for (const Value& x : in.elements()) {
+        ++stats_.tuples_scanned;
+        if (!x.is_set()) {
+          return Status::RuntimeError("flatten element not a set");
+        }
+        for (const Value& y : x.elements()) out.push_back(y);
+      }
+      return Value::Set(std::move(out));
+    }
+
+    case ExprKind::kNest:
+      return EvalNest(e, env);
+
+    case ExprKind::kUnnest:
+      return EvalUnnest(e, env);
+
+    case ExprKind::kProduct: {
+      N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
+      if (!l.is_set() || !r.is_set()) {
+        return Status::RuntimeError("product over non-sets");
+      }
+      std::vector<Value> out;
+      out.reserve(l.set_size() * r.set_size());
+      for (const Value& x : l.elements()) {
+        for (const Value& y : r.elements()) {
+          ++stats_.tuples_scanned;
+          N2J_ASSIGN_OR_RETURN(Value combined, ConcatTuples(x, y));
+          out.push_back(std::move(combined));
+        }
+      }
+      return Value::Set(std::move(out));
+    }
+
+    case ExprKind::kJoin:
+    case ExprKind::kSemiJoin:
+    case ExprKind::kAntiJoin:
+    case ExprKind::kNestJoin:
+      return EvalJoinLike(e, env);
+
+    case ExprKind::kDivide:
+      return EvalDivide(e, env);
+
+    case ExprKind::kUnion: {
+      N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
+      if (!l.is_set() || !r.is_set()) {
+        return Status::RuntimeError("union over non-sets");
+      }
+      return l.SetUnion(r);
+    }
+    case ExprKind::kIntersect: {
+      N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
+      if (!l.is_set() || !r.is_set()) {
+        return Status::RuntimeError("intersect over non-sets");
+      }
+      return l.SetIntersect(r);
+    }
+    case ExprKind::kDifference: {
+      N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
+      N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
+      if (!l.is_set() || !r.is_set()) {
+        return Status::RuntimeError("difference over non-sets");
+      }
+      return l.SetDifference(r);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Value> Evaluator::EvalBinary(const Expr& e, Environment& env) {
+  BinOp op = e.bin_op();
+  // Short-circuit boolean connectives.
+  if (op == BinOp::kAnd || op == BinOp::kOr) {
+    N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
+    if (!l.is_bool()) return Status::RuntimeError("and/or on non-bool");
+    if (op == BinOp::kAnd && !l.bool_value()) return Value::Bool(false);
+    if (op == BinOp::kOr && l.bool_value()) return Value::Bool(true);
+    N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
+    if (!r.is_bool()) return Status::RuntimeError("and/or on non-bool");
+    return r;
+  }
+
+  N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
+  N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
+
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod: {
+      if (!l.is_numeric() || !r.is_numeric()) {
+        return Status::RuntimeError("arithmetic on non-numeric values");
+      }
+      if (l.is_int() && r.is_int()) {
+        int64_t a = l.int_value(), b = r.int_value();
+        switch (op) {
+          case BinOp::kAdd: return Value::Int(a + b);
+          case BinOp::kSub: return Value::Int(a - b);
+          case BinOp::kMul: return Value::Int(a * b);
+          case BinOp::kDiv:
+            if (b == 0) return Status::RuntimeError("division by zero");
+            return Value::Int(a / b);
+          case BinOp::kMod:
+            if (b == 0) return Status::RuntimeError("modulo by zero");
+            return Value::Int(a % b);
+          default: break;
+        }
+      }
+      double a = l.as_double(), b = r.as_double();
+      switch (op) {
+        case BinOp::kAdd: return Value::Double(a + b);
+        case BinOp::kSub: return Value::Double(a - b);
+        case BinOp::kMul: return Value::Double(a * b);
+        case BinOp::kDiv:
+          if (b == 0.0) return Status::RuntimeError("division by zero");
+          return Value::Double(a / b);
+        case BinOp::kMod:
+          return Status::RuntimeError("modulo on non-integers");
+        default: break;
+      }
+      return Status::Internal("bad arithmetic op");
+    }
+
+    case BinOp::kEq: return Value::Bool(l == r);
+    case BinOp::kNe: return Value::Bool(l != r);
+    case BinOp::kLt: return Value::Bool(l.Compare(r) < 0);
+    case BinOp::kLe: return Value::Bool(l.Compare(r) <= 0);
+    case BinOp::kGt: return Value::Bool(l.Compare(r) > 0);
+    case BinOp::kGe: return Value::Bool(l.Compare(r) >= 0);
+
+    case BinOp::kIn:
+      if (!r.is_set()) return Status::RuntimeError("in: rhs not a set");
+      return Value::Bool(r.SetContains(l));
+    case BinOp::kContains:
+      if (!l.is_set()) {
+        return Status::RuntimeError("contains: lhs not a set");
+      }
+      return Value::Bool(l.SetContains(r));
+    case BinOp::kSubset:
+    case BinOp::kSubsetEq:
+    case BinOp::kSupset:
+    case BinOp::kSupsetEq: {
+      if (!l.is_set() || !r.is_set()) {
+        return Status::RuntimeError("set comparison on non-sets");
+      }
+      switch (op) {
+        case BinOp::kSubset: return Value::Bool(l.IsSubsetOf(r, true));
+        case BinOp::kSubsetEq: return Value::Bool(l.IsSubsetOf(r, false));
+        case BinOp::kSupset: return Value::Bool(r.IsSubsetOf(l, true));
+        case BinOp::kSupsetEq: return Value::Bool(r.IsSubsetOf(l, false));
+        default: break;
+      }
+      return Status::Internal("bad set comparison");
+    }
+
+    case BinOp::kUnionOp:
+    case BinOp::kIntersectOp:
+    case BinOp::kDifferenceOp: {
+      if (!l.is_set() || !r.is_set()) {
+        return Status::RuntimeError("set operator on non-sets");
+      }
+      if (op == BinOp::kUnionOp) return l.SetUnion(r);
+      if (op == BinOp::kIntersectOp) return l.SetIntersect(r);
+      return l.SetDifference(r);
+    }
+
+    case BinOp::kAnd:
+    case BinOp::kOr:
+      break;  // handled above
+  }
+  return Status::Internal("unhandled binary op");
+}
+
+Result<Value> Evaluator::EvalQuantifier(const Expr& e, Environment& env) {
+  N2J_ASSIGN_OR_RETURN(Value range, EvalNode(*e.child(0), env));
+  if (!range.is_set()) {
+    return Status::RuntimeError("quantifier range not a set");
+  }
+  bool exists = e.quant_kind() == QuantKind::kExists;
+  for (const Value& x : range.elements()) {
+    ++stats_.tuples_scanned;
+    ++stats_.predicate_evals;
+    env.Push(e.var(), x);
+    Result<Value> r = EvalNode(*e.child(1), env);
+    env.Pop();
+    if (!r.ok()) return r.status();
+    if (!r->is_bool()) {
+      return Status::RuntimeError("quantifier predicate not boolean");
+    }
+    if (exists && r->bool_value()) return Value::Bool(true);
+    if (!exists && !r->bool_value()) return Value::Bool(false);
+  }
+  // Existential quantification over the empty set delivers false;
+  // universal delivers true (Section 4, Example Query 4).
+  return Value::Bool(!exists);
+}
+
+Result<Value> Evaluator::EvalAggregate(const Expr& e, Environment& env) {
+  N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+  if (!in.is_set()) return Status::RuntimeError("aggregate over non-set");
+  const std::vector<Value>& es = in.elements();
+  switch (e.agg_kind()) {
+    case AggKind::kCount:
+      return Value::Int(static_cast<int64_t>(es.size()));
+    case AggKind::kSum: {
+      bool any_double = false;
+      int64_t isum = 0;
+      double dsum = 0;
+      for (const Value& v : es) {
+        if (!v.is_numeric()) {
+          return Status::RuntimeError("sum over non-numeric set");
+        }
+        if (v.is_double()) any_double = true;
+        dsum += v.as_double();
+        if (v.is_int()) isum += v.int_value();
+      }
+      return any_double ? Value::Double(dsum) : Value::Int(isum);
+    }
+    case AggKind::kAvg: {
+      if (es.empty()) return Value::Null();
+      double dsum = 0;
+      for (const Value& v : es) {
+        if (!v.is_numeric()) {
+          return Status::RuntimeError("avg over non-numeric set");
+        }
+        dsum += v.as_double();
+      }
+      return Value::Double(dsum / static_cast<double>(es.size()));
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      if (es.empty()) return Value::Null();
+      // Canonical sets are sorted, so min/max are the endpoints.
+      return e.agg_kind() == AggKind::kMin ? es.front() : es.back();
+    }
+  }
+  return Status::Internal("bad aggregate kind");
+}
+
+Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
+  N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+  if (!in.is_set()) return Status::RuntimeError("nest over non-set");
+  // ν_{A→a}: group on B = SCH − A; collect A-projections into `a`.
+  const std::vector<std::string>& grouped = e.names();
+  std::unordered_map<Value, std::vector<Value>, ValueHash> groups;
+  std::vector<Value> group_order;  // deterministic output
+  for (const Value& x : in.elements()) {
+    ++stats_.tuples_scanned;
+    if (!x.is_tuple()) return Status::RuntimeError("nest element not tuple");
+    std::vector<std::string> rest;
+    for (const Field& f : x.fields()) {
+      bool is_grouped = false;
+      for (const std::string& g : grouped) {
+        if (f.name == g) {
+          is_grouped = true;
+          break;
+        }
+      }
+      if (!is_grouped) rest.push_back(f.name);
+    }
+    for (const std::string& g : grouped) {
+      if (x.FindField(g) == nullptr) {
+        return Status::RuntimeError("nest: no attribute '" + g + "'");
+      }
+    }
+    Value key = x.ProjectTuple(rest);
+    Value proj = x.ProjectTuple(grouped);
+    ++stats_.hash_inserts;
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) group_order.push_back(key);
+    it->second.push_back(std::move(proj));
+  }
+  std::vector<Value> out;
+  out.reserve(group_order.size());
+  for (const Value& key : group_order) {
+    std::vector<Field> fields = key.fields();
+    fields.emplace_back(e.name(), Value::Set(groups[key]));
+    out.push_back(Value::Tuple(std::move(fields)));
+  }
+  return Value::Set(std::move(out));
+}
+
+Result<Value> Evaluator::EvalUnnest(const Expr& e, Environment& env) {
+  N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
+  if (!in.is_set()) return Status::RuntimeError("unnest over non-set");
+  std::vector<Value> out;
+  for (const Value& x : in.elements()) {
+    ++stats_.tuples_scanned;
+    if (!x.is_tuple()) {
+      return Status::RuntimeError("unnest element not tuple");
+    }
+    const Value* attr = x.FindField(e.name());
+    if (attr == nullptr) {
+      return Status::RuntimeError("unnest: no attribute '" + e.name() + "'");
+    }
+    if (!attr->is_set()) {
+      return Status::RuntimeError("unnest: attribute '" + e.name() +
+                                  "' not a set");
+    }
+    std::vector<std::string> rest;
+    for (const Field& f : x.fields()) {
+      if (f.name != e.name()) rest.push_back(f.name);
+    }
+    Value rest_tuple = x.ProjectTuple(rest);
+    for (const Value& elem : attr->elements()) {
+      if (!elem.is_tuple()) {
+        return Status::RuntimeError(
+            "unnest: set elements must be tuples (NF2)");
+      }
+      // µ_a(e) = { x' o x[b1..bm] | x ∈ e ∧ x' ∈ x.a }
+      out.push_back(elem.ConcatTuple(rest_tuple));
+    }
+  }
+  return Value::Set(std::move(out));
+}
+
+Result<Value> Evaluator::EvalDivide(const Expr& e, Environment& env) {
+  N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
+  N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
+  if (!l.is_set() || !r.is_set()) {
+    return Status::RuntimeError("division over non-sets");
+  }
+  if (l.set_size() == 0) return Value::EmptySet();
+  if (r.set_size() == 0) {
+    // The divisor schema is unknowable from an empty set at runtime;
+    // classical division by the empty relation yields π_A(l) with A all
+    // attributes of l (every tuple trivially satisfies ∀).
+    return l;
+  }
+  const Value& first_r = r.elements()[0];
+  if (!first_r.is_tuple() || !l.elements()[0].is_tuple()) {
+    return Status::RuntimeError("division elements must be tuples");
+  }
+  std::vector<std::string> b_attrs = first_r.FieldNames();
+  std::vector<std::string> a_attrs;
+  for (const Field& f : l.elements()[0].fields()) {
+    bool in_b = false;
+    for (const std::string& b : b_attrs) {
+      if (f.name == b) {
+        in_b = true;
+        break;
+      }
+    }
+    if (!in_b) a_attrs.push_back(f.name);
+  }
+  // Index l by its A-projection.
+  std::unordered_map<Value, std::vector<Value>, ValueHash> by_a;
+  for (const Value& x : l.elements()) {
+    ++stats_.tuples_scanned;
+    ++stats_.hash_inserts;
+    by_a[x.ProjectTuple(a_attrs)].push_back(x.ProjectTuple(b_attrs));
+  }
+  std::vector<Value> out;
+  for (auto& [a, bs] : by_a) {
+    Value b_set = Value::Set(bs);
+    ++stats_.hash_probes;
+    if (r.IsSubsetOf(b_set, false)) out.push_back(a);
+  }
+  return Value::Set(std::move(out));
+}
+
+Result<Value> Evaluator::EvalJoinLike(const Expr& e, Environment& env) {
+  N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
+  N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
+  if (!l.is_set() || !r.is_set()) {
+    return Status::RuntimeError("join over non-sets");
+  }
+  if (opts_.use_hash_joins &&
+      opts_.join_algorithm != JoinAlgorithm::kNestedLoop) {
+    Result<Value> result = Status::Unsupported("");
+    switch (opts_.join_algorithm) {
+      case JoinAlgorithm::kAuto:
+        // Prefer a prebuilt index; otherwise hash.
+        result = IndexJoin(e, l, env);
+        if (!result.ok() &&
+            result.status().code() == StatusCode::kUnsupported) {
+          result = HashJoin(e, l, r, env);
+        }
+        break;
+      case JoinAlgorithm::kSortMerge:
+        result = SortMergeJoin(e, l, r, env);
+        break;
+      case JoinAlgorithm::kIndex:
+        result = IndexJoin(e, l, env);
+        // No usable index: a hash join is the next-best set-oriented
+        // plan before giving up to nested loops.
+        if (!result.ok() &&
+            result.status().code() == StatusCode::kUnsupported) {
+          result = HashJoin(e, l, r, env);
+        }
+        break;
+      case JoinAlgorithm::kHash:
+        result = HashJoin(e, l, r, env);
+        break;
+      case JoinAlgorithm::kNestedLoop:
+        break;
+    }
+    if (!result.ok() &&
+        result.status().code() == StatusCode::kUnsupported) {
+      // No equi keys — a membership predicate f(y) ∈ x.c is still
+      // hashable (build on f(y), probe with the set elements).
+      result = MembershipJoin(e, l, r, env);
+    }
+    if (result.ok()) return result;
+    if (result.status().code() != StatusCode::kUnsupported) {
+      return result.status();
+    }
+    // Nothing hashable: fall through to nested loop.
+  }
+  return NestedLoopJoin(e, l, r, env);
+}
+
+Result<Value> Evaluator::NestedLoopJoin(const Expr& e, const Value& l,
+                                        const Value& r, Environment& env) {
+  std::vector<Value> out;
+  for (const Value& x : l.elements()) {
+    ++stats_.tuples_scanned;
+    bool matched = false;
+    std::vector<Value> group;  // nestjoin inner results
+    for (const Value& y : r.elements()) {
+      ++stats_.predicate_evals;
+      env.Push(e.var(), x);
+      env.Push(e.var2(), y);
+      Result<Value> p = EvalNode(*e.pred(), env);
+      if (p.ok() && p->is_bool() && p->bool_value()) {
+        switch (e.kind()) {
+          case ExprKind::kJoin: {
+            Result<Value> combined = ConcatTuples(x, y);
+            if (!combined.ok()) {
+              env.Pop();
+              env.Pop();
+              return combined.status();
+            }
+            out.push_back(std::move(*combined));
+            break;
+          }
+          case ExprKind::kNestJoin: {
+            Result<Value> iv = EvalNode(*e.inner(), env);
+            if (!iv.ok()) {
+              env.Pop();
+              env.Pop();
+              return iv.status();
+            }
+            group.push_back(std::move(iv).value());
+            break;
+          }
+          default:
+            matched = true;
+            break;
+        }
+      }
+      env.Pop();
+      env.Pop();
+      if (!p.ok()) return p.status();
+      if (p.ok() && !p->is_bool()) {
+        return Status::RuntimeError("join predicate not boolean");
+      }
+      if (matched && e.kind() == ExprKind::kSemiJoin) break;
+    }
+    switch (e.kind()) {
+      case ExprKind::kSemiJoin:
+        if (matched) out.push_back(x);
+        break;
+      case ExprKind::kAntiJoin:
+        if (!matched) out.push_back(x);
+        break;
+      case ExprKind::kNestJoin: {
+        if (!x.is_tuple()) {
+          return Status::RuntimeError("nestjoin element not a tuple");
+        }
+        if (x.FindField(e.name()) != nullptr) {
+          return Status::RuntimeError("nestjoin result attribute '" +
+                                      e.name() + "' collides");
+        }
+        std::vector<Field> fields = x.fields();
+        fields.emplace_back(e.name(), Value::Set(std::move(group)));
+        out.push_back(Value::Tuple(std::move(fields)));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Value::Set(std::move(out));
+}
+
+Value EvalOrDie(const Database& db, const ExprPtr& e) {
+  Evaluator ev(db);
+  Result<Value> r = ev.Eval(e);
+  if (!r.ok()) {
+    std::fprintf(stderr, "EvalOrDie failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+}  // namespace n2j

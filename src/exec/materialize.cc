@@ -1,0 +1,85 @@
+#include "exec/materialize.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/status.h"
+
+namespace n2j {
+
+namespace {
+
+Result<Value> GetRef(const Value& x, const std::string& ref_attr) {
+  if (!x.is_tuple()) {
+    return Status::InvalidArgument("materialize input element not a tuple");
+  }
+  const Value* ref = x.FindField(ref_attr);
+  if (ref == nullptr || !ref->is_oid()) {
+    return Status::InvalidArgument("attribute '" + ref_attr +
+                                   "' is not an oid");
+  }
+  return *ref;
+}
+
+}  // namespace
+
+Result<Value> Materialize(const Database& db, const Value& input,
+                          const std::string& ref_attr,
+                          const std::string& result_attr,
+                          MaterializeStrategy strategy, bool drop_dangling) {
+  if (!input.is_set()) {
+    return Status::InvalidArgument("materialize input must be a set");
+  }
+
+  if (strategy == MaterializeStrategy::kNaive) {
+    std::vector<Value> out;
+    out.reserve(input.set_size());
+    for (const Value& x : input.elements()) {
+      N2J_ASSIGN_OR_RETURN(Value ref, GetRef(x, ref_attr));
+      Result<Value> obj = db.Deref(ref.oid_value());
+      if (!obj.ok()) {
+        if (drop_dangling && obj.status().code() == StatusCode::kNotFound) {
+          continue;
+        }
+        return obj.status();
+      }
+      out.push_back(x.ExceptUpdate({Field(result_attr, *obj)}));
+    }
+    return Value::Set(std::move(out));
+  }
+
+  // Assembly: gather the needed oids, dereference them in oid order
+  // (each page faulted once), then assemble the output tuples.
+  std::vector<Oid> oids;
+  oids.reserve(input.set_size());
+  for (const Value& x : input.elements()) {
+    N2J_ASSIGN_OR_RETURN(Value ref, GetRef(x, ref_attr));
+    oids.push_back(ref.oid_value());
+  }
+  std::sort(oids.begin(), oids.end());
+  oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
+
+  std::map<Oid, Value> objects;
+  for (Oid oid : oids) {
+    Result<Value> obj = db.Deref(oid);
+    if (!obj.ok()) {
+      if (drop_dangling && obj.status().code() == StatusCode::kNotFound) {
+        continue;
+      }
+      return obj.status();
+    }
+    objects.emplace(oid, std::move(*obj));
+  }
+
+  std::vector<Value> out;
+  out.reserve(input.set_size());
+  for (const Value& x : input.elements()) {
+    Oid oid = x.FindField(ref_attr)->oid_value();
+    auto it = objects.find(oid);
+    if (it == objects.end()) continue;  // dropped dangling reference
+    out.push_back(x.ExceptUpdate({Field(result_attr, it->second)}));
+  }
+  return Value::Set(std::move(out));
+}
+
+}  // namespace n2j

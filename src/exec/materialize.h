@@ -1,0 +1,38 @@
+#ifndef N2J_EXEC_MATERIALIZE_H_
+#define N2J_EXEC_MATERIALIZE_H_
+
+#include <string>
+
+#include "adl/value.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace n2j {
+
+/// The materialize operator of [BlMG93] (Section 6.2): explicitly
+/// replaces an oid-valued path attribute by the referenced object, i.e.
+/// follows inter-object references. Two access algorithms:
+///
+///  - kNaive: dereference in input order (pointer chasing). Each deref
+///    touches the page holding the object; with poor locality this
+///    thrashes the buffer pool.
+///  - kAssembly: collect all needed oids first, sort them, fault each
+///    page once, then assemble results — the generalization of a
+///    pointer-based join that [BlMG93] implements ("assembly").
+///
+/// Page traffic is observable through Database::store().stats().
+enum class MaterializeStrategy { kNaive, kAssembly };
+
+/// For each tuple x of `input` (a set of tuples), replaces the oid in
+/// attribute `ref_attr` by the dereferenced object, producing
+/// x except (result_attr = object). Dangling references drop the tuple
+/// when `drop_dangling`, else fail.
+Result<Value> Materialize(const Database& db, const Value& input,
+                          const std::string& ref_attr,
+                          const std::string& result_attr,
+                          MaterializeStrategy strategy,
+                          bool drop_dangling = false);
+
+}  // namespace n2j
+
+#endif  // N2J_EXEC_MATERIALIZE_H_

@@ -1,0 +1,229 @@
+// Hash-based and index-based physical implementations of the join
+// family, including the nestjoin (Section 6.1: "To implement the
+// nestjoin, common join implementation methods like the sort-merge
+// join, or the hash join can be adapted"). The evaluator dispatches here
+// when the join predicate contains extractable equi keys; otherwise
+// joins run as nested loops. The sort-merge variant lives in
+// physical_sortmerge.cc.
+
+#include <unordered_map>
+
+#include "adl/analysis.h"
+#include "exec/equi_join.h"
+#include "exec/eval.h"
+#include "storage/index.h"
+
+namespace n2j {
+
+namespace {
+
+/// Composite hash key from evaluated key expressions.
+Value MakeKey(std::vector<Value> parts) {
+  std::vector<Field> fields;
+  fields.reserve(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    fields.emplace_back("k" + std::to_string(i), std::move(parts[i]));
+  }
+  return Value::Tuple(std::move(fields));
+}
+
+}  // namespace
+
+Status Evaluator::EmitJoinResult(const Expr& e, const Value& x,
+                                 const std::vector<const Value*>& matches,
+                                 Environment& env, std::vector<Value>* out) {
+  switch (e.kind()) {
+    case ExprKind::kJoin:
+      for (const Value* y : matches) {
+        N2J_ASSIGN_OR_RETURN(Value combined, ConcatTuples(x, *y));
+        out->push_back(std::move(combined));
+      }
+      return Status::OK();
+    case ExprKind::kSemiJoin:
+      if (!matches.empty()) out->push_back(x);
+      return Status::OK();
+    case ExprKind::kAntiJoin:
+      if (matches.empty()) out->push_back(x);
+      return Status::OK();
+    case ExprKind::kNestJoin: {
+      if (!x.is_tuple()) {
+        return Status::RuntimeError("nestjoin element not a tuple");
+      }
+      if (x.FindField(e.name()) != nullptr) {
+        return Status::RuntimeError("nestjoin result attribute '" +
+                                    e.name() + "' collides");
+      }
+      std::vector<Value> group;
+      group.reserve(matches.size());
+      env.Push(e.var(), x);
+      for (const Value* y : matches) {
+        env.Push(e.var2(), *y);
+        Result<Value> iv = EvalNode(*e.inner(), env);
+        env.Pop();
+        if (!iv.ok()) {
+          env.Pop();
+          return iv.status();
+        }
+        group.push_back(std::move(iv).value());
+      }
+      env.Pop();
+      std::vector<Field> fields = x.fields();
+      fields.emplace_back(e.name(), Value::Set(std::move(group)));
+      out->push_back(Value::Tuple(std::move(fields)));
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("EmitJoinResult on non-join node");
+  }
+}
+
+namespace {
+
+/// Evaluates the key expressions under a binding of `var` to `row`.
+Result<Value> EvalKeyTuple(Evaluator* ev, const std::vector<ExprPtr>& keys,
+                           const std::string& var, const Value& row,
+                           Environment& env) {
+  env.Push(var, row);
+  std::vector<Value> parts;
+  parts.reserve(keys.size());
+  for (const ExprPtr& k : keys) {
+    Result<Value> kv = ev->Eval(k, env);
+    if (!kv.ok()) {
+      env.Pop();
+      return kv.status();
+    }
+    parts.push_back(std::move(kv).value());
+  }
+  env.Pop();
+  return MakeKey(std::move(parts));
+}
+
+}  // namespace
+
+Result<Value> Evaluator::HashJoin(const Expr& e, const Value& l,
+                                  const Value& r, Environment& env) {
+  EquiJoinKeys keys = ExtractEquiKeys(e.pred(), e.var(), e.var2());
+  if (!keys.usable()) {
+    return Status::Unsupported("no equi keys in join predicate");
+  }
+
+  // Build phase over the right operand.
+  std::unordered_map<Value, std::vector<const Value*>, ValueHash> table;
+  table.reserve(r.set_size());
+  for (const Value& y : r.elements()) {
+    ++stats_.tuples_scanned;
+    N2J_ASSIGN_OR_RETURN(
+        Value key, EvalKeyTuple(this, keys.right_keys, e.var2(), y, env));
+    ++stats_.hash_inserts;
+    table[std::move(key)].push_back(&y);
+  }
+
+  // Probe phase over the left operand.
+  std::vector<Value> out;
+  ExprPtr residual = Expr::AndAll(keys.residual);
+  bool trivial_residual = keys.residual.empty();
+  for (const Value& x : l.elements()) {
+    ++stats_.tuples_scanned;
+    N2J_ASSIGN_OR_RETURN(
+        Value key, EvalKeyTuple(this, keys.left_keys, e.var(), x, env));
+    ++stats_.hash_probes;
+    auto it = table.find(key);
+
+    std::vector<const Value*> matches;
+    if (it != table.end()) {
+      if (trivial_residual) {
+        matches = it->second;
+      } else {
+        env.Push(e.var(), x);
+        for (const Value* y : it->second) {
+          ++stats_.predicate_evals;
+          env.Push(e.var2(), *y);
+          Result<Value> p = EvalNode(*residual, env);
+          env.Pop();
+          if (!p.ok()) {
+            env.Pop();
+            return p.status();
+          }
+          if (!p->is_bool()) {
+            env.Pop();
+            return Status::RuntimeError("join residual not boolean");
+          }
+          if (p->bool_value()) matches.push_back(y);
+        }
+        env.Pop();
+      }
+    }
+    N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out));
+  }
+  return Value::Set(std::move(out));
+}
+
+Result<Value> Evaluator::IndexJoin(const Expr& e, const Value& l,
+                                   Environment& env) {
+  // Preconditions: the right operand is a base table with a prebuilt
+  // index on the single right key attribute, i.e. the key expression is
+  // exactly y.<field>.
+  const ExprPtr& right = e.child(1);
+  if (right->kind() != ExprKind::kGetTable) {
+    return Status::Unsupported("index join needs a base-table right side");
+  }
+  EquiJoinKeys keys = ExtractEquiKeys(e.pred(), e.var(), e.var2());
+  if (keys.left_keys.size() != 1) {
+    return Status::Unsupported("index join needs exactly one equi key");
+  }
+  const ExprPtr& rk = keys.right_keys[0];
+  if (!(rk->kind() == ExprKind::kFieldAccess &&
+        rk->child(0)->kind() == ExprKind::kVar &&
+        rk->child(0)->name() == e.var2())) {
+    return Status::Unsupported("right key is not a plain attribute");
+  }
+  const HashIndex* index = db_.FindIndex(right->name(), rk->name());
+  if (index == nullptr) {
+    return Status::Unsupported("no index on " + right->name() + "." +
+                               rk->name());
+  }
+  const Table* table = db_.FindTable(right->name());
+  N2J_CHECK(table != nullptr);
+
+  std::vector<Value> out;
+  ExprPtr residual = Expr::AndAll(keys.residual);
+  bool trivial_residual = keys.residual.empty();
+  for (const Value& x : l.elements()) {
+    ++stats_.tuples_scanned;
+    env.Push(e.var(), x);
+    Result<Value> key = EvalNode(*keys.left_keys[0], env);
+    if (!key.ok()) {
+      env.Pop();
+      return key.status();
+    }
+    ++stats_.index_probes;
+    const std::vector<size_t>* rows = index->Lookup(*key);
+    std::vector<const Value*> matches;
+    if (rows != nullptr) {
+      for (size_t row : *rows) {
+        const Value& y = table->rows()[row];
+        if (!trivial_residual) {
+          ++stats_.predicate_evals;
+          env.Push(e.var2(), y);
+          Result<Value> p = EvalNode(*residual, env);
+          env.Pop();
+          if (!p.ok()) {
+            env.Pop();
+            return p.status();
+          }
+          if (!p->is_bool()) {
+            env.Pop();
+            return Status::RuntimeError("join residual not boolean");
+          }
+          if (!p->bool_value()) continue;
+        }
+        matches.push_back(&y);
+      }
+    }
+    env.Pop();
+    N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out));
+  }
+  return Value::Set(std::move(out));
+}
+
+}  // namespace n2j

@@ -1,0 +1,177 @@
+// Hash implementation for membership join predicates:
+//
+//   X ⊗_{x,y : f(y) ∈ x.c ∧ residual} Y            (⊗ any of ⋈, ⋉, ▷, ⊣)
+//   X ⊗_{x,y : (∃v ∈ x.c · k(v) = f(y)) ∧ residual} Y
+//
+// Builds a hash table on f(y) over the right operand, then probes it
+// once per *element* of each left tuple's set attribute — |X|·fanout
+// probes instead of |X|·|Y| predicate evaluations. This is the access
+// pattern of the paper's Example Query 6 (σ[p : p[pid] ∈ s.parts](PART)
+// under the nestjoin) and of Example Query 5's semijoin
+// (∃x ∈ s.parts · x.pid = p.pid).
+
+#include <unordered_map>
+
+#include "adl/analysis.h"
+#include "exec/eval.h"
+
+namespace n2j {
+
+namespace {
+
+/// The matched membership conjunct: either `f(y) ∈ x.attr` (elem_key
+/// null — probe with the element itself) or `∃v ∈ x.attr · k(v) = f(y)`
+/// (probe with k(element)).
+struct MembershipKey {
+  ExprPtr right_key;   // f(y)
+  std::string attr;    // the left set-valued attribute c
+  std::string elem_var;  // v (empty for the plain ∈ form)
+  ExprPtr elem_key;    // k(v) (null for the plain ∈ form)
+  bool found = false;
+};
+
+bool IsLeftAttr(const ExprPtr& e, const std::string& lvar) {
+  return e->kind() == ExprKind::kFieldAccess &&
+         e->child(0)->kind() == ExprKind::kVar &&
+         e->child(0)->name() == lvar;
+}
+
+MembershipKey FindMembershipConjunct(const std::vector<ExprPtr>& conjuncts,
+                                     const std::string& lvar,
+                                     const std::string& rvar,
+                                     std::vector<ExprPtr>* residual) {
+  MembershipKey out;
+  for (const ExprPtr& c : conjuncts) {
+    if (!out.found && c->kind() == ExprKind::kBinary &&
+        c->bin_op() == BinOp::kIn) {
+      const ExprPtr& lhs = c->child(0);
+      const ExprPtr& rhs = c->child(1);
+      if (IsLeftAttr(rhs, lvar) && !IsFreeIn(lvar, lhs) &&
+          IsFreeIn(rvar, lhs)) {
+        out.right_key = lhs;
+        out.attr = rhs->name();
+        out.found = true;
+        continue;
+      }
+    }
+    // ∃v ∈ x.attr · k(v) = f(y)  (either orientation of the equality).
+    if (!out.found && c->kind() == ExprKind::kQuantifier &&
+        c->quant_kind() == QuantKind::kExists &&
+        IsLeftAttr(c->child(0), lvar) &&
+        c->child(1)->kind() == ExprKind::kBinary &&
+        c->child(1)->bin_op() == BinOp::kEq) {
+      const std::string& v = c->var();
+      ExprPtr a = c->child(1)->child(0);
+      ExprPtr b = c->child(1)->child(1);
+      bool a_elem = IsFreeIn(v, a) && !IsFreeIn(rvar, a) &&
+                    !IsFreeIn(lvar, a);
+      bool b_right = IsFreeIn(rvar, b) && !IsFreeIn(v, b) &&
+                     !IsFreeIn(lvar, b);
+      if (!(a_elem && b_right)) {
+        std::swap(a, b);
+        a_elem = IsFreeIn(v, a) && !IsFreeIn(rvar, a) && !IsFreeIn(lvar, a);
+        b_right = IsFreeIn(rvar, b) && !IsFreeIn(v, b) &&
+                  !IsFreeIn(lvar, b);
+      }
+      if (a_elem && b_right) {
+        out.elem_var = v;
+        out.elem_key = a;
+        out.right_key = b;
+        out.attr = c->child(0)->name();
+        out.found = true;
+        continue;
+      }
+    }
+    residual->push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
+                                        const Value& r, Environment& env) {
+  std::vector<ExprPtr> residual_conjuncts;
+  MembershipKey key = FindMembershipConjunct(
+      SplitConjuncts(e.pred()), e.var(), e.var2(), &residual_conjuncts);
+  if (!key.found) {
+    return Status::Unsupported("no membership conjunct");
+  }
+
+  // Build: f(y) → matching right tuples.
+  std::unordered_map<Value, std::vector<const Value*>, ValueHash> table;
+  table.reserve(r.set_size());
+  for (const Value& y : r.elements()) {
+    ++stats_.tuples_scanned;
+    env.Push(e.var2(), y);
+    Result<Value> kv = EvalNode(*key.right_key, env);
+    env.Pop();
+    if (!kv.ok()) return kv.status();
+    ++stats_.hash_inserts;
+    table[std::move(*kv)].push_back(&y);
+  }
+
+  ExprPtr residual = Expr::AndAll(residual_conjuncts);
+  bool trivial_residual = residual_conjuncts.empty();
+
+  std::vector<Value> out;
+  for (const Value& x : l.elements()) {
+    ++stats_.tuples_scanned;
+    if (!x.is_tuple()) {
+      return Status::RuntimeError("join element not a tuple");
+    }
+    const Value* attr = x.FindField(key.attr);
+    if (attr == nullptr || !attr->is_set()) {
+      return Status::RuntimeError("membership attribute '" + key.attr +
+                                  "' is not a set");
+    }
+    // Probe once per set element. With an element key k(v), two distinct
+    // elements can share a key, so right tuples are deduplicated.
+    std::vector<const Value*> matches;
+    std::unordered_map<const Value*, bool> seen;
+    env.Push(e.var(), x);
+    for (const Value& elem : attr->elements()) {
+      ++stats_.hash_probes;
+      Value probe = elem;
+      if (key.elem_key != nullptr) {
+        env.Push(key.elem_var, elem);
+        Result<Value> kv = EvalNode(*key.elem_key, env);
+        env.Pop();
+        if (!kv.ok()) {
+          env.Pop();
+          return kv.status();
+        }
+        probe = std::move(*kv);
+      }
+      auto it = table.find(probe);
+      if (it == table.end()) continue;
+      for (const Value* y : it->second) {
+        if (key.elem_key != nullptr) {
+          auto [_, inserted] = seen.try_emplace(y, true);
+          if (!inserted) continue;
+        }
+        if (!trivial_residual) {
+          ++stats_.predicate_evals;
+          env.Push(e.var2(), *y);
+          Result<Value> p = EvalNode(*residual, env);
+          env.Pop();
+          if (!p.ok()) {
+            env.Pop();
+            return p.status();
+          }
+          if (!p->is_bool()) {
+            env.Pop();
+            return Status::RuntimeError("join residual not boolean");
+          }
+          if (!p->bool_value()) continue;
+        }
+        matches.push_back(y);
+      }
+    }
+    env.Pop();
+    N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out));
+  }
+  return Value::Set(std::move(out));
+}
+
+}  // namespace n2j

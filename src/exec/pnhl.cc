@@ -1,0 +1,236 @@
+#include "exec/pnhl.h"
+
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace n2j {
+
+namespace {
+
+/// Drops the (duplicated) join key field of an inner tuple before
+/// concatenating it to a set element — natural-join convention, as in the
+/// paper's `x.parts * PART` example where pid appears once. When the key
+/// names differ (params.drop_inner_key == false) the tuple is kept whole.
+Value InnerPayload(const Value& t, const PnhlParams& params) {
+  if (!params.drop_inner_key) return t;
+  std::vector<std::string> keep;
+  for (const Field& f : t.fields()) {
+    if (f.name != params.inner_key) keep.push_back(f.name);
+  }
+  return t.ProjectTuple(keep);
+}
+
+Status CheckOperands(const Value& outer, const Value& inner,
+                     const PnhlParams& params) {
+  if (!outer.is_set() || !inner.is_set()) {
+    return Status::InvalidArgument("PNHL operands must be sets");
+  }
+  for (const Value& x : outer.elements()) {
+    if (!x.is_tuple()) {
+      return Status::InvalidArgument("outer element is not a tuple");
+    }
+    const Value* attr = x.FindField(params.set_attr);
+    if (attr == nullptr || !attr->is_set()) {
+      return Status::InvalidArgument("outer tuples need set attribute '" +
+                                     params.set_attr + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Value> PnhlJoin(const Value& outer, const Value& inner,
+                       const PnhlParams& params, PnhlStats* stats) {
+  N2J_RETURN_IF_ERROR(CheckOperands(outer, inner, params));
+  PnhlStats local;
+  PnhlStats& st = stats != nullptr ? *stats : local;
+  st = PnhlStats();
+
+  // Phase 0: split the inner (build) table into segments that fit the
+  // memory budget. In PNHL only the flat table can be the build table.
+  const std::vector<Value>& build = inner.elements();
+  std::vector<std::pair<size_t, size_t>> segments;  // [begin, end)
+  size_t begin = 0;
+  size_t bytes = 0;
+  for (size_t i = 0; i < build.size(); ++i) {
+    size_t sz = build[i].ApproxBytes();
+    if (bytes > 0 && bytes + sz > params.memory_budget) {
+      segments.emplace_back(begin, i);
+      begin = i;
+      bytes = 0;
+    }
+    bytes += sz;
+  }
+  segments.emplace_back(begin, build.size());
+  st.partitions = static_cast<uint32_t>(segments.size());
+
+  // Partial results: per outer tuple, the accumulating joined set.
+  const std::vector<Value>& xs = outer.elements();
+  std::vector<std::vector<Value>> partial(xs.size());
+
+  for (const auto& [seg_begin, seg_end] : segments) {
+    // Build a hash table over this segment of the flat table.
+    std::unordered_map<Value, std::vector<size_t>, ValueHash> table;
+    for (size_t i = seg_begin; i < seg_end; ++i) {
+      const Value* key = build[i].FindField(params.inner_key);
+      if (key == nullptr) {
+        return Status::InvalidArgument("inner tuples need key field '" +
+                                       params.inner_key + "'");
+      }
+      ++st.build_inserts;
+      table[*key].push_back(i);
+    }
+    // Probe the outer operand (its clustered set elements) against the
+    // segment, producing partial results that are merged positionally.
+    for (size_t xi = 0; xi < xs.size(); ++xi) {
+      ++st.probe_tuples;
+      const Value& attr = *xs[xi].FindField(params.set_attr);
+      for (const Value& e : attr.elements()) {
+        ++st.probe_elements;
+        if (!e.is_tuple()) {
+          return Status::InvalidArgument("set element is not a tuple");
+        }
+        const Value* key = e.FindField(params.elem_key);
+        if (key == nullptr) {
+          return Status::InvalidArgument("set elements need key field '" +
+                                         params.elem_key + "'");
+        }
+        auto it = table.find(*key);
+        if (it == table.end()) continue;
+        for (size_t bi : it->second) {
+          ++st.matches;
+          partial[xi].push_back(
+              e.ConcatTuple(InnerPayload(build[bi], params)));
+        }
+      }
+    }
+  }
+
+  // Phase 2: merge partial results into the final nested relation.
+  std::vector<Value> out;
+  out.reserve(xs.size());
+  for (size_t xi = 0; xi < xs.size(); ++xi) {
+    out.push_back(xs[xi].ExceptUpdate(
+        {Field(params.set_attr, Value::Set(std::move(partial[xi])))}));
+  }
+  return Value::Set(std::move(out));
+}
+
+Result<Value> UnnestJoinNest(const Value& outer, const Value& inner,
+                             const PnhlParams& params, bool keep_dangling,
+                             PnhlStats* stats) {
+  N2J_RETURN_IF_ERROR(CheckOperands(outer, inner, params));
+  PnhlStats local;
+  PnhlStats& st = stats != nullptr ? *stats : local;
+  st = PnhlStats();
+
+  // Build a hash table over the whole inner table.
+  std::unordered_map<Value, std::vector<const Value*>, ValueHash> table;
+  for (const Value& t : inner.elements()) {
+    const Value* key = t.FindField(params.inner_key);
+    if (key == nullptr) {
+      return Status::InvalidArgument("inner tuples need key field '" +
+                                     params.inner_key + "'");
+    }
+    ++st.build_inserts;
+    table[*key].push_back(&t);
+  }
+
+  // Unnest + probe: every (x, element) pair carries a full copy of x's
+  // flat attributes — this duplication is the cost the paper's
+  // "unnest-join-nest processing method" pays and PNHL avoids.
+  const std::vector<Value>& xs = outer.elements();
+  std::unordered_map<Value, std::vector<Value>, ValueHash> groups;
+  std::vector<const Value*> order;
+  order.reserve(xs.size());
+  std::unordered_map<Value, const Value*, ValueHash> originals;
+  for (const Value& x : xs) {
+    std::vector<std::string> rest;
+    for (const Field& f : x.fields()) {
+      if (f.name != params.set_attr) rest.push_back(f.name);
+    }
+    Value key = x.ProjectTuple(rest);
+    auto [it, inserted] = originals.try_emplace(key, &x);
+    (void)it;
+    if (inserted && keep_dangling) order.push_back(&x);
+    const Value& attr = *x.FindField(params.set_attr);
+    for (const Value& e : attr.elements()) {
+      ++st.probe_elements;
+      const Value* ekey = e.FindField(params.elem_key);
+      if (ekey == nullptr) {
+        return Status::InvalidArgument("set elements need key field '" +
+                                       params.elem_key + "'");
+      }
+      auto hit = table.find(*ekey);
+      if (hit == table.end()) continue;
+      for (const Value* t : hit->second) {
+        ++st.matches;
+        groups[key].push_back(
+            e.ConcatTuple(InnerPayload(*t, params)));
+        if (!keep_dangling && groups[key].size() == 1) {
+          order.push_back(&x);
+        }
+      }
+    }
+    ++st.probe_tuples;
+  }
+
+  // Nest phase: regroup per outer tuple.
+  std::vector<Value> out;
+  out.reserve(order.size());
+  for (const Value* x : order) {
+    std::vector<std::string> rest;
+    for (const Field& f : x->fields()) {
+      if (f.name != params.set_attr) rest.push_back(f.name);
+    }
+    Value key = x->ProjectTuple(rest);
+    auto it = groups.find(key);
+    std::vector<Value> members =
+        it == groups.end() ? std::vector<Value>() : it->second;
+    out.push_back(x->ExceptUpdate(
+        {Field(params.set_attr, Value::Set(std::move(members)))}));
+  }
+  return Value::Set(std::move(out));
+}
+
+Result<Value> NestedLoopSetJoin(const Value& outer, const Value& inner,
+                                const PnhlParams& params, PnhlStats* stats) {
+  N2J_RETURN_IF_ERROR(CheckOperands(outer, inner, params));
+  PnhlStats local;
+  PnhlStats& st = stats != nullptr ? *stats : local;
+  st = PnhlStats();
+
+  std::vector<Value> out;
+  out.reserve(outer.set_size());
+  for (const Value& x : outer.elements()) {
+    ++st.probe_tuples;
+    const Value& attr = *x.FindField(params.set_attr);
+    std::vector<Value> joined;
+    for (const Value& e : attr.elements()) {
+      ++st.probe_elements;
+      const Value* ekey = e.FindField(params.elem_key);
+      if (ekey == nullptr) {
+        return Status::InvalidArgument("set elements need key field '" +
+                                       params.elem_key + "'");
+      }
+      for (const Value& t : inner.elements()) {
+        const Value* tkey = t.FindField(params.inner_key);
+        if (tkey == nullptr) {
+          return Status::InvalidArgument("inner tuples need key field '" +
+                                         params.inner_key + "'");
+        }
+        if (*ekey == *tkey) {
+          ++st.matches;
+          joined.push_back(e.ConcatTuple(InnerPayload(t, params)));
+        }
+      }
+    }
+    out.push_back(x.ExceptUpdate(
+        {Field(params.set_attr, Value::Set(std::move(joined)))}));
+  }
+  return Value::Set(std::move(out));
+}
+
+}  // namespace n2j

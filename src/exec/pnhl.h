@@ -1,0 +1,69 @@
+#ifndef N2J_EXEC_PNHL_H_
+#define N2J_EXEC_PNHL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "adl/value.h"
+#include "common/result.h"
+
+namespace n2j {
+
+/// Statistics of one PNHL execution.
+struct PnhlStats {
+  uint32_t partitions = 1;       // number of build-table segments
+  uint64_t build_inserts = 0;    // hash inserts over all segments
+  uint64_t probe_tuples = 0;     // outer tuples probed (per segment pass)
+  uint64_t probe_elements = 0;   // set-attribute elements probed
+  uint64_t matches = 0;
+};
+
+/// Parameters of the Partitioned Nested-Hashed-Loops algorithm
+/// ([DeLa92], Section 6.2): joins the set-valued attribute `set_attr` of
+/// each outer tuple with the flat inner table, replacing the attribute by
+/// the set of matching inner tuples (a nested natural-join):
+///
+///   α[x : x except (set_attr = α[e : e ∘ match(e)](x.set_attr ⋈ inner))]
+///
+/// Concretely, for every element e of x.`set_attr` and every inner tuple
+/// t with e.`elem_key` = t.`inner_key`, the result attribute contains
+/// e ∘ t (minus the duplicated key attribute of t).
+struct PnhlParams {
+  std::string set_attr;   // the outer set-valued attribute
+  std::string elem_key;   // key field inside the set elements
+  std::string inner_key;  // key field of the inner (build) table
+  /// Natural-join convention: drop the (duplicated) key field of the
+  /// inner tuple before concatenation. Set false when the key fields
+  /// have different names and both should be kept.
+  bool drop_inner_key = true;
+  /// Memory budget in bytes for one hash-table segment. The inner table
+  /// is split into ceil(bytes(inner)/budget) segments; the outer operand
+  /// is probed once per segment and partial results are merged — exactly
+  /// the structure of [DeLa92] (only the flat table can be the build
+  /// table).
+  size_t memory_budget = SIZE_MAX;
+};
+
+/// Runs PNHL over materialized operands. `outer` and `inner` are sets of
+/// tuples. Returns the outer set with `set_attr` replaced by the joined
+/// sets.
+Result<Value> PnhlJoin(const Value& outer, const Value& inner,
+                       const PnhlParams& params, PnhlStats* stats);
+
+/// The baseline the paper compares PNHL against: unnest–join–nest.
+/// Computes the same result by flattening the set attribute, hash-joining
+/// the flat relations, and re-nesting. Loses outer tuples with empty
+/// set-valued attributes unless `keep_dangling` re-adds them (the unnest
+/// bug of Section 4 — exposed as a flag so benchmarks can show it).
+Result<Value> UnnestJoinNest(const Value& outer, const Value& inner,
+                             const PnhlParams& params, bool keep_dangling,
+                             PnhlStats* stats);
+
+/// Naive nested-loop version of the same operation (no hashing), the
+/// tuple-oriented baseline.
+Result<Value> NestedLoopSetJoin(const Value& outer, const Value& inner,
+                                const PnhlParams& params, PnhlStats* stats);
+
+}  // namespace n2j
+
+#endif  // N2J_EXEC_PNHL_H_

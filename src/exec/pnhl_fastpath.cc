@@ -1,0 +1,107 @@
+// Recognition of the paper's Section 6.2 pattern as a physical fast
+// path — its open question made concrete: "the question is whether it is
+// useful to define new logical operators for algorithms such as that of
+// [DeLa92]". We keep the *logical* plan in plain ADL,
+//
+//   α[z : z except (a = z.a ⋈_{v,w : v.k = w.k'} T)](e)
+//
+// and let the evaluator recognize it and run the PNHL algorithm, so the
+// algebra stays small while the access method is available.
+//
+// When the two key attributes share a name (the paper's natural-join
+// formulation `z.parts * PART`), the plain ADL join would fail on the
+// attribute-name conflict; the fast path gives the expression the
+// natural-join semantics (key kept once), exactly as in the paper.
+
+#include "adl/analysis.h"
+#include "exec/eval.h"
+#include "exec/pnhl.h"
+
+namespace n2j {
+
+Result<Value> Evaluator::TryPnhlMap(const Expr& e, Environment& env) {
+  N2J_CHECK(e.kind() == ExprKind::kMap);
+  const std::string& z = e.var();
+  const ExprPtr& body = e.child(1);
+
+  // body = z except (attr = join)
+  if (body->kind() != ExprKind::kExcept || body->names().size() != 1) {
+    return Status::Unsupported("not an except-update body");
+  }
+  if (!(body->child(0)->kind() == ExprKind::kVar &&
+        body->child(0)->name() == z)) {
+    return Status::Unsupported("except base is not the map variable");
+  }
+  const std::string& attr = body->names()[0];
+  const ExprPtr& update = body->child(1);
+  if (update->kind() != ExprKind::kJoin) {
+    return Status::Unsupported("update is not a join");
+  }
+  // join = z.attr ⋈ TABLE
+  const ExprPtr& jl = update->child(0);
+  const ExprPtr& jr = update->child(1);
+  if (!(jl->kind() == ExprKind::kFieldAccess && jl->name() == attr &&
+        jl->child(0)->kind() == ExprKind::kVar &&
+        jl->child(0)->name() == z)) {
+    return Status::Unsupported("join left is not the updated attribute");
+  }
+  if (jr->kind() != ExprKind::kGetTable) {
+    return Status::Unsupported("join right is not a base table");
+  }
+  // pred = v.k = w.k' (single equality on plain attributes).
+  const ExprPtr& pred = update->pred();
+  if (pred->kind() != ExprKind::kBinary || pred->bin_op() != BinOp::kEq) {
+    return Status::Unsupported("join predicate is not a single equality");
+  }
+  auto plain_attr = [](const ExprPtr& side, const std::string& var)
+      -> const std::string* {
+    if (side->kind() == ExprKind::kFieldAccess &&
+        side->child(0)->kind() == ExprKind::kVar &&
+        side->child(0)->name() == var) {
+      return &side->name();
+    }
+    return nullptr;
+  };
+  const std::string* elem_key = plain_attr(pred->child(0), update->var());
+  const std::string* inner_key = plain_attr(pred->child(1), update->var2());
+  if (elem_key == nullptr || inner_key == nullptr) {
+    elem_key = plain_attr(pred->child(1), update->var());
+    inner_key = plain_attr(pred->child(0), update->var2());
+  }
+  if (elem_key == nullptr || inner_key == nullptr) {
+    return Status::Unsupported("join keys are not plain attributes");
+  }
+  if (IsFreeIn(z, pred)) {
+    return Status::Unsupported("join predicate uses the map variable");
+  }
+
+  N2J_ASSIGN_OR_RETURN(Value outer, EvalNode(*e.child(0), env));
+  if (!outer.is_set()) {
+    return Status::RuntimeError("map over non-set");
+  }
+  N2J_ASSIGN_OR_RETURN(Value inner, TableValue(jr->name()));
+
+  PnhlParams params;
+  params.set_attr = attr;
+  params.elem_key = *elem_key;
+  params.inner_key = *inner_key;
+  // Same-named keys: the paper's natural join (key appears once);
+  // different names: keep both, matching what the plain join would do.
+  params.drop_inner_key = *elem_key == *inner_key;
+  params.memory_budget = opts_.pnhl_memory_budget;
+
+  PnhlStats pnhl_stats;
+  Result<Value> out = PnhlJoin(outer, inner, params, &pnhl_stats);
+  if (!out.ok()) {
+    // Shape mismatches at runtime (e.g. the attribute is not a set of
+    // tuples) fall back to the generic evaluation path.
+    return Status::Unsupported(out.status().message());
+  }
+  stats_.pnhl_partitions += pnhl_stats.partitions;
+  stats_.hash_inserts += pnhl_stats.build_inserts;
+  stats_.hash_probes += pnhl_stats.probe_elements;
+  stats_.tuples_scanned += pnhl_stats.probe_tuples;
+  return out;
+}
+
+}  // namespace n2j

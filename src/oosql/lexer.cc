@@ -1,0 +1,292 @@
+#include "oosql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace n2j {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer literal";
+    case TokenKind::kDouble: return "double literal";
+    case TokenKind::kString: return "string literal";
+    case TokenKind::kSelect: return "'select'";
+    case TokenKind::kFrom: return "'from'";
+    case TokenKind::kWhere: return "'where'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kAnd: return "'and'";
+    case TokenKind::kOr: return "'or'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kExists: return "'exists'";
+    case TokenKind::kForall: return "'forall'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kUnion: return "'union'";
+    case TokenKind::kIntersect: return "'intersect'";
+    case TokenKind::kMinus: return "'minus'";
+    case TokenKind::kContains: return "'contains'";
+    case TokenKind::kSubset: return "'subset'";
+    case TokenKind::kSubsetEq: return "'subseteq'";
+    case TokenKind::kSupset: return "'supset'";
+    case TokenKind::kSupsetEq: return "'supseteq'";
+    case TokenKind::kCount: return "'count'";
+    case TokenKind::kSum: return "'sum'";
+    case TokenKind::kAvg: return "'avg'";
+    case TokenKind::kMin: return "'min'";
+    case TokenKind::kMax: return "'max'";
+    case TokenKind::kClass: return "'class'";
+    case TokenKind::kWith: return "'with'";
+    case TokenKind::kExtension: return "'extension'";
+    case TokenKind::kAttributes: return "'attributes'";
+    case TokenKind::kEnd: return "'end'";
+    case TokenKind::kOid: return "'oid'";
+    case TokenKind::kIsEmpty: return "'isempty'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kDash: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (kind == TokenKind::kIdent) return "identifier '" + text + "'";
+  if (kind == TokenKind::kString) return "string \"" + text + "\"";
+  if (kind == TokenKind::kInt || kind == TokenKind::kDouble) {
+    return "number '" + text + "'";
+  }
+  return TokenKindName(kind);
+}
+
+namespace {
+
+TokenKind KeywordKind(const std::string& lower) {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"select", TokenKind::kSelect},
+      {"from", TokenKind::kFrom},
+      {"where", TokenKind::kWhere},
+      {"in", TokenKind::kIn},
+      {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},
+      {"exists", TokenKind::kExists},
+      {"forall", TokenKind::kForall},
+      {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},
+      {"union", TokenKind::kUnion},
+      {"intersect", TokenKind::kIntersect},
+      {"minus", TokenKind::kMinus},
+      {"contains", TokenKind::kContains},
+      {"subset", TokenKind::kSubset},
+      {"subseteq", TokenKind::kSubsetEq},
+      {"supset", TokenKind::kSupset},
+      {"supseteq", TokenKind::kSupsetEq},
+      {"count", TokenKind::kCount},
+      {"sum", TokenKind::kSum},
+      {"avg", TokenKind::kAvg},
+      {"min", TokenKind::kMin},
+      {"max", TokenKind::kMax},
+      {"class", TokenKind::kClass},
+      {"with", TokenKind::kWith},
+      {"extension", TokenKind::kExtension},
+      {"attributes", TokenKind::kAttributes},
+      {"end", TokenKind::kEnd},
+      {"oid", TokenKind::kOid},
+      {"isempty", TokenKind::kIsEmpty},
+  };
+  auto it = kKeywords.find(lower);
+  return it == kKeywords.end() ? TokenKind::kIdent : it->second;
+}
+
+}  // namespace
+
+char Lexer::Peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  return p < source_.size() ? source_[p] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Status Lexer::ErrorAt(int line, int col, const std::string& msg) const {
+  return Status::ParseError(
+      StrFormat("%d:%d: %s", line, col, msg.c_str()));
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  if (AtEnd()) {
+    tok.kind = TokenKind::kEof;
+    return tok;
+  }
+  char c = Advance();
+
+  // Identifiers and keywords.
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string text(1, c);
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      text.push_back(Advance());
+    }
+    std::string lower = text;
+    for (char& ch : lower) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    tok.kind = KeywordKind(lower);
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  // Numbers.
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string text(1, c);
+    bool is_double = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text.push_back(Advance());
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      text.push_back(Advance());
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+    }
+    tok.text = text;
+    if (is_double) {
+      tok.kind = TokenKind::kDouble;
+      tok.double_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      tok.kind = TokenKind::kInt;
+      tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return tok;
+  }
+
+  // Strings.
+  if (c == '"') {
+    std::string text;
+    while (!AtEnd() && Peek() != '"') {
+      char ch = Advance();
+      if (ch == '\\' && !AtEnd()) {
+        char esc = Advance();
+        switch (esc) {
+          case 'n': text.push_back('\n'); break;
+          case 't': text.push_back('\t'); break;
+          case '"': text.push_back('"'); break;
+          case '\\': text.push_back('\\'); break;
+          default:
+            return ErrorAt(tok.line, tok.column,
+                           StrFormat("bad escape '\\%c'", esc));
+        }
+      } else {
+        text.push_back(ch);
+      }
+    }
+    if (AtEnd()) {
+      return ErrorAt(tok.line, tok.column, "unterminated string literal");
+    }
+    Advance();  // closing quote
+    tok.kind = TokenKind::kString;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  switch (c) {
+    case '(': tok.kind = TokenKind::kLParen; return tok;
+    case ')': tok.kind = TokenKind::kRParen; return tok;
+    case '{': tok.kind = TokenKind::kLBrace; return tok;
+    case '}': tok.kind = TokenKind::kRBrace; return tok;
+    case '[': tok.kind = TokenKind::kLBracket; return tok;
+    case ']': tok.kind = TokenKind::kRBracket; return tok;
+    case ',': tok.kind = TokenKind::kComma; return tok;
+    case '.': tok.kind = TokenKind::kDot; return tok;
+    case ':': tok.kind = TokenKind::kColon; return tok;
+    case ';': tok.kind = TokenKind::kSemicolon; return tok;
+    case '=': tok.kind = TokenKind::kEq; return tok;
+    case '+': tok.kind = TokenKind::kPlus; return tok;
+    case '-': tok.kind = TokenKind::kDash; return tok;
+    case '*': tok.kind = TokenKind::kStar; return tok;
+    case '/': tok.kind = TokenKind::kSlash; return tok;
+    case '%': tok.kind = TokenKind::kPercent; return tok;
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kLe;
+      } else if (Peek() == '>') {
+        Advance();
+        tok.kind = TokenKind::kNe;
+      } else {
+        tok.kind = TokenKind::kLt;
+      }
+      return tok;
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kGe;
+      } else {
+        tok.kind = TokenKind::kGt;
+      }
+      return tok;
+    default:
+      return ErrorAt(tok.line, tok.column,
+                     StrFormat("unexpected character '%c'", c));
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    N2J_ASSIGN_OR_RETURN(Token tok, Next());
+    bool eof = tok.kind == TokenKind::kEof;
+    out.push_back(std::move(tok));
+    if (eof) return out;
+  }
+}
+
+}  // namespace n2j

@@ -1,0 +1,80 @@
+#ifndef N2J_OOSQL_PARSER_H_
+#define N2J_OOSQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "adl/schema.h"
+#include "common/result.h"
+#include "oosql/ast.h"
+#include "oosql/token.h"
+
+namespace n2j {
+
+/// Recursive-descent parser for OOSQL queries and the paper's class
+/// definition language:
+///
+///   select <expr> from <v> in <expr> (, <v> in <expr>)*
+///     [where <expr>] [with <name> = <expr> (, <name> = <expr>)*]
+///
+/// The `with` construct (the paper's local-definition notation) is
+/// macro-expanded into the block at parse time.
+///
+///   class Part with extension PART [oid pid]
+///     attributes pname : string, price : int, color : string
+///   end [Part]
+///
+/// The expression grammar (loosest to tightest): or, and, not,
+/// comparison (=, <>, <, <=, >, >=, in, contains, subset[eq],
+/// supset[eq]), additive (+, -, union, minus), multiplicative
+/// (*, /, %, intersect), unary minus, postfix (.field, [a, b]
+/// tuple projection), primary (literals, tuple/set constructors,
+/// quantifiers, aggregates, select blocks, parenthesized expressions).
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// Parses a single query expression; fails if trailing tokens remain
+  /// (a trailing ';' is allowed).
+  Result<QExprPtr> ParseQuery();
+
+  /// Parses a sequence of class definitions into a Schema. The optional
+  /// `oid <name>` clause names the implicit oid field (default "oid").
+  /// Class-typed attributes become Ref types; `{ ClassName }` becomes a
+  /// set of unary (ref) tuples only when written as a tuple type — a bare
+  /// class name inside braces is a set of references.
+  Result<Schema> ParseSchema();
+
+  /// Convenience one-shot helpers (tokenize + parse).
+  static Result<QExprPtr> ParseQueryString(const std::string& text);
+  static Result<Schema> ParseSchemaString(const std::string& text);
+
+ private:
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind);
+  Result<Token> Expect(TokenKind kind, const char* context);
+  Status ErrorHere(const std::string& msg) const;
+
+  Result<QExprPtr> ParseExpr();        // or-level
+  Result<QExprPtr> ParseAnd();
+  Result<QExprPtr> ParseNot();
+  Result<QExprPtr> ParseComparison();
+  Result<QExprPtr> ParseAdditive();
+  Result<QExprPtr> ParseMultiplicative();
+  Result<QExprPtr> ParseUnary();
+  Result<QExprPtr> ParsePostfix();
+  Result<QExprPtr> ParsePrimary();
+  Result<QExprPtr> ParseSelect();
+  Result<QExprPtr> ParseQuantifier();
+
+  Result<TypePtr> ParseType();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace n2j
+
+#endif  // N2J_OOSQL_PARSER_H_

@@ -1,0 +1,360 @@
+#include "oosql/translate.h"
+
+#include "common/str_util.h"
+#include "oosql/parser.h"
+
+namespace n2j {
+
+Status Translator::ErrorAt(const QExpr& q, const std::string& msg) const {
+  return Status::TypeError(
+      StrFormat("%d:%d: %s", q.line, q.column, msg.c_str()));
+}
+
+Result<TypedExpr> Translator::Translate(const QExprPtr& query) {
+  Scope scope;
+  return Tr(query, scope);
+}
+
+Result<TypedExpr> Translator::TranslateString(const std::string& text) {
+  N2J_ASSIGN_OR_RETURN(QExprPtr q, Parser::ParseQueryString(text));
+  return Translate(q);
+}
+
+Result<TypedExpr> Translator::Tr(const QExprPtr& qp, Scope& scope) {
+  const QExpr& q = *qp;
+  switch (q.kind) {
+    case QExpr::Kind::kIntLit:
+      return TypedExpr{Expr::Const(Value::Int(q.int_value)), Type::Int()};
+    case QExpr::Kind::kDoubleLit:
+      return TypedExpr{Expr::Const(Value::Double(q.double_value)),
+                       Type::Double()};
+    case QExpr::Kind::kStringLit:
+      return TypedExpr{Expr::Const(Value::String(q.str)), Type::String()};
+    case QExpr::Kind::kBoolLit:
+      return TypedExpr{Expr::Const(Value::Bool(q.bool_value)), Type::Bool()};
+
+    case QExpr::Kind::kIdent: {
+      // Variables shadow tables.
+      for (auto it = scope.rbegin(); it != scope.rend(); ++it) {
+        if (it->name == q.str) {
+          return TypedExpr{Expr::Var(q.str), it->type};
+        }
+      }
+      if (const ClassDef* cls = schema_.FindClassByExtent(q.str)) {
+        return TypedExpr{Expr::Table(q.str), cls->ExtentType()};
+      }
+      if (db_ != nullptr) {
+        if (const Table* t = db_->FindTable(q.str)) {
+          return TypedExpr{Expr::Table(q.str), Type::Set(t->row_type())};
+        }
+      }
+      return ErrorAt(q, "unknown identifier '" + q.str +
+                            "' (not a variable, extent, or table)");
+    }
+
+    case QExpr::Kind::kField:
+      return TrField(q, scope);
+
+    case QExpr::Kind::kTupleProject: {
+      N2J_ASSIGN_OR_RETURN(TypedExpr base, Tr(q.kids[0], scope));
+      if (!base.type->is_tuple()) {
+        return ErrorAt(q, "tuple projection on non-tuple of type " +
+                              base.type->ToString());
+      }
+      std::vector<TypeField> fields;
+      for (const std::string& n : q.names) {
+        TypePtr ft = base.type->FindField(n);
+        if (ft == nullptr) {
+          return ErrorAt(q, "no attribute '" + n + "' in " +
+                                base.type->ToString());
+        }
+        fields.push_back({n, ft});
+      }
+      return TypedExpr{Expr::TupleProject(base.expr, q.names),
+                       Type::Tuple(std::move(fields))};
+    }
+
+    case QExpr::Kind::kTupleLit: {
+      std::vector<ExprPtr> values;
+      std::vector<TypeField> fields;
+      for (size_t i = 0; i < q.names.size(); ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          if (q.names[i] == q.names[j]) {
+            return ErrorAt(q, "duplicate tuple field '" + q.names[i] + "'");
+          }
+        }
+        N2J_ASSIGN_OR_RETURN(TypedExpr v, Tr(q.kids[i], scope));
+        values.push_back(v.expr);
+        fields.push_back({q.names[i], v.type});
+      }
+      return TypedExpr{Expr::TupleConstruct(q.names, std::move(values)),
+                       Type::Tuple(std::move(fields))};
+    }
+
+    case QExpr::Kind::kSetLit: {
+      std::vector<ExprPtr> elems;
+      TypePtr elem_type = Type::Any();
+      for (const QExprPtr& k : q.kids) {
+        N2J_ASSIGN_OR_RETURN(TypedExpr v, Tr(k, scope));
+        if (elem_type->is_any()) {
+          elem_type = v.type;
+        } else if (!elem_type->Equals(*v.type)) {
+          return ErrorAt(q, "mixed element types in set literal: " +
+                                elem_type->ToString() + " vs " +
+                                v.type->ToString());
+        }
+        elems.push_back(v.expr);
+      }
+      return TypedExpr{Expr::SetConstruct(std::move(elems)),
+                       Type::Set(elem_type)};
+    }
+
+    case QExpr::Kind::kUnary: {
+      N2J_ASSIGN_OR_RETURN(TypedExpr v, Tr(q.kids[0], scope));
+      if (q.uop == UnOp::kNot) {
+        if (!v.type->is_bool() && !v.type->is_any()) {
+          return ErrorAt(q, "'not' on " + v.type->ToString());
+        }
+        return TypedExpr{Expr::Not(v.expr), Type::Bool()};
+      }
+      if (!v.type->is_numeric() && !v.type->is_any()) {
+        return ErrorAt(q, "negation of " + v.type->ToString());
+      }
+      return TypedExpr{Expr::Un(UnOp::kNeg, v.expr), v.type};
+    }
+
+    case QExpr::Kind::kIsEmptyCall: {
+      N2J_ASSIGN_OR_RETURN(TypedExpr v, Tr(q.kids[0], scope));
+      if (!v.type->is_set() && !v.type->is_any()) {
+        return ErrorAt(q, "isempty on " + v.type->ToString());
+      }
+      return TypedExpr{Expr::Un(UnOp::kIsEmpty, v.expr), Type::Bool()};
+    }
+
+    case QExpr::Kind::kBinary:
+      return TrBinary(q, scope);
+
+    case QExpr::Kind::kQuant: {
+      N2J_ASSIGN_OR_RETURN(TypedExpr range, Tr(q.kids[0], scope));
+      if (!range.type->is_set()) {
+        return ErrorAt(q, "quantifier range must be a set, got " +
+                              range.type->ToString());
+      }
+      scope.push_back({q.names[0], range.type->element()});
+      Result<TypedExpr> pred_result =
+          q.kids.size() > 1
+              ? Tr(q.kids[1], scope)
+              : Result<TypedExpr>(TypedExpr{Expr::True(), Type::Bool()});
+      scope.pop_back();
+      if (!pred_result.ok()) return pred_result.status();
+      if (!pred_result->type->is_bool() && !pred_result->type->is_any()) {
+        return ErrorAt(q, "quantifier predicate must be boolean, got " +
+                              pred_result->type->ToString());
+      }
+      return TypedExpr{Expr::Quant(q.quant, q.names[0], range.expr,
+                                   pred_result->expr),
+                       Type::Bool()};
+    }
+
+    case QExpr::Kind::kAgg: {
+      N2J_ASSIGN_OR_RETURN(TypedExpr v, Tr(q.kids[0], scope));
+      if (!v.type->is_set() && !v.type->is_any()) {
+        return ErrorAt(q, std::string(AggKindName(q.agg)) + " over " +
+                              v.type->ToString());
+      }
+      TypePtr elem =
+          v.type->is_set() ? v.type->element() : Type::Any();
+      switch (q.agg) {
+        case AggKind::kCount:
+          return TypedExpr{Expr::Agg(q.agg, v.expr), Type::Int()};
+        case AggKind::kAvg:
+          if (!elem->is_numeric() && !elem->is_any()) {
+            return ErrorAt(q, "avg over non-numeric set");
+          }
+          return TypedExpr{Expr::Agg(q.agg, v.expr), Type::Double()};
+        case AggKind::kSum:
+        case AggKind::kMin:
+        case AggKind::kMax:
+          if (q.agg == AggKind::kSum && !elem->is_numeric() &&
+              !elem->is_any()) {
+            return ErrorAt(q, "sum over non-numeric set");
+          }
+          return TypedExpr{Expr::Agg(q.agg, v.expr), elem};
+      }
+      return Status::Internal("bad aggregate");
+    }
+
+    case QExpr::Kind::kSelect:
+      return TrSelect(q, scope);
+  }
+  return Status::Internal("unhandled OOSQL AST kind");
+}
+
+Result<TypedExpr> Translator::TrField(const QExpr& q, Scope& scope) {
+  N2J_ASSIGN_OR_RETURN(TypedExpr base, Tr(q.kids[0], scope));
+  TypePtr t = base.type;
+  ExprPtr e = base.expr;
+  // Implicit dereference through object references: e.supplier.sname
+  // lowers to deref<Supplier>(e.supplier).sname.
+  if (t->is_ref()) {
+    const ClassDef* cls = schema_.FindClass(t->class_name());
+    if (cls == nullptr) {
+      return ErrorAt(q, "reference to unknown class " + t->class_name());
+    }
+    e = Expr::Deref(e, cls->name);
+    t = cls->ObjectType();
+  }
+  if (!t->is_tuple()) {
+    return ErrorAt(q, "field access '." + q.str + "' on " + t->ToString());
+  }
+  TypePtr ft = t->FindField(q.str);
+  if (ft == nullptr) {
+    return ErrorAt(q, "no attribute '" + q.str + "' in " + t->ToString());
+  }
+  return TypedExpr{Expr::Access(e, q.str), ft};
+}
+
+Result<TypedExpr> Translator::TrBinary(const QExpr& q, Scope& scope) {
+  N2J_ASSIGN_OR_RETURN(TypedExpr l, Tr(q.kids[0], scope));
+  N2J_ASSIGN_OR_RETURN(TypedExpr r, Tr(q.kids[1], scope));
+  BinOp op = q.bop;
+  ExprPtr e = Expr::Bin(op, l.expr, r.expr);
+
+  auto type_err = [&](const char* what) {
+    return ErrorAt(q, StrFormat("%s not applicable to %s and %s", what,
+                                l.type->ToString().c_str(),
+                                r.type->ToString().c_str()));
+  };
+
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod: {
+      bool ok = (l.type->is_numeric() || l.type->is_any()) &&
+                (r.type->is_numeric() || r.type->is_any());
+      if (!ok) return type_err("arithmetic");
+      TypePtr t = (l.type->is_double() || r.type->is_double())
+                      ? Type::Double()
+                      : (l.type->is_any() ? r.type : l.type);
+      return TypedExpr{e, t};
+    }
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      if (!l.type->ComparableWith(*r.type)) return type_err("comparison");
+      return TypedExpr{e, Type::Bool()};
+    case BinOp::kIn: {
+      if (!r.type->is_set() && !r.type->is_any()) return type_err("'in'");
+      if (r.type->is_set() &&
+          !l.type->ComparableWith(*r.type->element())) {
+        return type_err("'in'");
+      }
+      return TypedExpr{e, Type::Bool()};
+    }
+    case BinOp::kContains: {
+      if (!l.type->is_set() && !l.type->is_any()) {
+        return type_err("'contains'");
+      }
+      if (l.type->is_set() &&
+          !r.type->ComparableWith(*l.type->element())) {
+        return type_err("'contains'");
+      }
+      return TypedExpr{e, Type::Bool()};
+    }
+    case BinOp::kSubset:
+    case BinOp::kSubsetEq:
+    case BinOp::kSupset:
+    case BinOp::kSupsetEq: {
+      bool sets = (l.type->is_set() || l.type->is_any()) &&
+                  (r.type->is_set() || r.type->is_any());
+      if (!sets) return type_err("set comparison");
+      if (l.type->is_set() && r.type->is_set() &&
+          !l.type->element()->ComparableWith(*r.type->element())) {
+        return type_err("set comparison");
+      }
+      return TypedExpr{e, Type::Bool()};
+    }
+    case BinOp::kAnd:
+    case BinOp::kOr: {
+      bool ok = (l.type->is_bool() || l.type->is_any()) &&
+                (r.type->is_bool() || r.type->is_any());
+      if (!ok) return type_err("boolean connective");
+      return TypedExpr{e, Type::Bool()};
+    }
+    case BinOp::kUnionOp:
+    case BinOp::kIntersectOp:
+    case BinOp::kDifferenceOp: {
+      bool sets = (l.type->is_set() || l.type->is_any()) &&
+                  (r.type->is_set() || r.type->is_any());
+      if (!sets) return type_err("set operator");
+      TypePtr t = l.type->is_set() ? l.type : r.type;
+      return TypedExpr{e, t};
+    }
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+Result<TypedExpr> Translator::TrSelect(const QExpr& q, Scope& scope) {
+  size_t n = q.NumRanges();
+  N2J_CHECK(n >= 1);
+
+  // Translate ranges left to right, accumulating scope: later ranges may
+  // use earlier variables (dependent iteration over set-valued
+  // attributes, e.g. `from s in SUPPLIER, x in s.parts`).
+  std::vector<TypedExpr> ranges;
+  size_t scope_base = scope.size();
+  for (size_t i = 0; i < n; ++i) {
+    Result<TypedExpr> range = Tr(q.Range(i), scope);
+    if (!range.ok()) {
+      scope.resize(scope_base);
+      return range.status();
+    }
+    if (!range->type->is_set()) {
+      Status st = ErrorAt(q, "from-clause operand of '" + q.names[i] +
+                                 "' is not a set: " +
+                                 range->type->ToString());
+      scope.resize(scope_base);
+      return st;
+    }
+    ranges.push_back(*range);
+    scope.push_back({q.names[i], range->type->element()});
+  }
+
+  Result<TypedExpr> where =
+      q.has_where ? Tr(q.Where(), scope)
+                  : Result<TypedExpr>(TypedExpr{nullptr, Type::Bool()});
+  if (!where.ok()) {
+    scope.resize(scope_base);
+    return where.status();
+  }
+  if (q.has_where && !where->type->is_bool() && !where->type->is_any()) {
+    Status st = ErrorAt(q, "where-clause must be boolean, got " +
+                               where->type->ToString());
+    scope.resize(scope_base);
+    return st;
+  }
+
+  Result<TypedExpr> body = Tr(q.SelectBody(), scope);
+  scope.resize(scope_base);
+  if (!body.ok()) return body.status();
+
+  // Innermost: α[vn : body](σ[vn : where](Rn)); the σ is emitted only
+  // when a where-clause is present (the paper's α∘σ translation).
+  ExprPtr core = ranges[n - 1].expr;
+  if (q.has_where) {
+    core = Expr::Select(q.names[n - 1], where->expr, core);
+  }
+  core = Expr::Map(q.names[n - 1], body->expr, core);
+  // Enclosing ranges: each adds a map producing a set of sets, flattened.
+  for (size_t i = n - 1; i-- > 0;) {
+    core = Expr::Flatten(Expr::Map(q.names[i], core, ranges[i].expr));
+  }
+  return TypedExpr{core, Type::Set(body->type)};
+}
+
+}  // namespace n2j

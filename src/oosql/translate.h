@@ -1,0 +1,69 @@
+#ifndef N2J_OOSQL_TRANSLATE_H_
+#define N2J_OOSQL_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "adl/expr.h"
+#include "adl/schema.h"
+#include "adl/type.h"
+#include "common/result.h"
+#include "oosql/ast.h"
+#include "storage/database.h"
+
+namespace n2j {
+
+/// An ADL expression together with its inferred type.
+struct TypedExpr {
+  ExprPtr expr;
+  TypePtr type;
+};
+
+/// Type-checks an OOSQL AST against a schema and lowers it to ADL.
+///
+/// The lowering follows Section 3 of the paper and is deliberately naive
+/// ("translation of OOSQL queries into the algebra is done in a simple,
+/// almost one-to-one way"):
+///
+///   select e1 from x in e2 where e3  ≡  α[x : e1](σ[x : e3](e2))
+///
+/// Multiple range variables lower to nested map/select with a flatten per
+/// extra variable. Optimization happens afterwards, in the rewriter.
+///
+/// Path expressions through Ref-typed attributes get explicit Deref
+/// (materialize) nodes, so pointer traversals are visible to the
+/// optimizer (Section 6.2, [BlMG93]).
+class Translator {
+ public:
+  /// `db` is optional; when given, plain (class-less) tables are also
+  /// resolvable as range expressions.
+  explicit Translator(const Schema& schema, const Database* db = nullptr)
+      : schema_(schema), db_(db) {}
+
+  /// Translates a closed query.
+  Result<TypedExpr> Translate(const QExprPtr& query);
+
+  /// Parses and translates in one step.
+  Result<TypedExpr> TranslateString(const std::string& query_text);
+
+ private:
+  struct Binding {
+    std::string name;
+    TypePtr type;
+  };
+  using Scope = std::vector<Binding>;
+
+  Result<TypedExpr> Tr(const QExprPtr& q, Scope& scope);
+  Result<TypedExpr> TrSelect(const QExpr& q, Scope& scope);
+  Result<TypedExpr> TrBinary(const QExpr& q, Scope& scope);
+  Result<TypedExpr> TrField(const QExpr& q, Scope& scope);
+
+  Status ErrorAt(const QExpr& q, const std::string& msg) const;
+
+  const Schema& schema_;
+  const Database* db_;
+};
+
+}  // namespace n2j
+
+#endif  // N2J_OOSQL_TRANSLATE_H_

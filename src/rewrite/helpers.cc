@@ -1,0 +1,102 @@
+#include "rewrite/rules_internal.h"
+
+namespace n2j {
+namespace rewrite_internal {
+
+namespace {
+
+bool BindsAnyOf(const Expr& e, const std::set<std::string>& vars) {
+  return (!e.var().empty() && vars.count(e.var()) > 0) ||
+         (!e.var2().empty() && vars.count(e.var2()) > 0);
+}
+
+ExprPtr ReplaceRec(const ExprPtr& e, const ExprPtr& target,
+                   const ExprPtr& replacement,
+                   const std::set<std::string>& target_free) {
+  if (e->Equals(*target)) return replacement;
+  if (e->num_children() == 0) return e;
+  // If this node rebinds a free variable of the target, occurrences in
+  // the bound children refer to a different binding — do not replace
+  // there. (Non-bound children are still fair game, but distinguishing
+  // them per kind is not worth it here: skip the whole subtree.)
+  if (BindsAnyOf(*e, target_free)) return e;
+  std::vector<ExprPtr> kids;
+  kids.reserve(e->num_children());
+  bool changed = false;
+  for (const ExprPtr& c : e->children()) {
+    ExprPtr nc = ReplaceRec(c, target, replacement, target_free);
+    if (nc != c) changed = true;
+    kids.push_back(std::move(nc));
+  }
+  return changed ? e->WithChildren(std::move(kids)) : e;
+}
+
+}  // namespace
+
+ExprPtr ReplaceSubexpr(const ExprPtr& e, const ExprPtr& target,
+                       const ExprPtr& replacement) {
+  return ReplaceRec(e, target, replacement, FreeVars(target));
+}
+
+bool OnlyFieldAccesses(const ExprPtr& e, const std::string& var) {
+  if (e->kind() == ExprKind::kVar) {
+    return e->name() != var;  // a bare use found by the caller's parent
+  }
+  for (size_t i = 0; i < e->num_children(); ++i) {
+    const ExprPtr& c = e->children()[i];
+    // A Var(var) child is fine only when this node is a field access on it.
+    if (c->kind() == ExprKind::kVar && c->name() == var) {
+      if (!(e->kind() == ExprKind::kFieldAccess && i == 0)) return false;
+      continue;
+    }
+    // Shadowing binder: occurrences below refer to another variable.
+    if ((e->var() == var &&
+         (e->kind() == ExprKind::kMap || e->kind() == ExprKind::kSelect ||
+          e->kind() == ExprKind::kQuantifier ||
+          e->kind() == ExprKind::kLet) &&
+         i == 1)) {
+      continue;
+    }
+    if (!OnlyFieldAccesses(c, var)) return false;
+  }
+  return true;
+}
+
+SubqueryShape DecomposeSubquery(const ExprPtr& e) {
+  SubqueryShape shape;
+  ExprPtr cur = e;
+  if (cur->kind() == ExprKind::kMap) {
+    shape.map_var = cur->var();
+    shape.map_body = cur->child(1);
+    cur = cur->child(0);
+  }
+  if (cur->kind() == ExprKind::kSelect) {
+    shape.sel_var = cur->var();
+    shape.sel_pred = cur->child(1);
+    cur = cur->child(0);
+  }
+  // The remaining expression is the (base-table) operand.
+  if (cur->kind() == ExprKind::kMap || cur->kind() == ExprKind::kSelect) {
+    // Deeper stacks are handled after the simplify pass fuses them.
+    return shape;
+  }
+  shape.table = cur;
+  shape.valid = shape.map_body != nullptr || shape.sel_pred != nullptr;
+  return shape;
+}
+
+}  // namespace rewrite_internal
+
+const char* TriBoolName(TriBool t) {
+  switch (t) {
+    case TriBool::kFalse:
+      return "false";
+    case TriBool::kTrue:
+      return "true";
+    case TriBool::kUnknown:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace n2j

@@ -1,0 +1,65 @@
+#include "rewrite/rewriter.h"
+
+#include "rewrite/rules_internal.h"
+
+namespace n2j {
+
+using rewrite_internal::PassGrouping;
+using rewrite_internal::PassHoist;
+using rewrite_internal::PassPushdown;
+using rewrite_internal::PassQuantifierNormalize;
+using rewrite_internal::PassRule1;
+using rewrite_internal::PassRule2;
+using rewrite_internal::PassSetCmp;
+using rewrite_internal::PassSimplify;
+using rewrite_internal::PassUnnestAttr;
+using rewrite_internal::RewriteContext;
+
+bool RewriteResult::Fired(const std::string& rule) const {
+  for (const RuleApplication& a : trace) {
+    if (a.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string RewriteResult::TraceToString() const {
+  std::string out;
+  for (const RuleApplication& a : trace) {
+    out += "  [" + a.rule + "] " + a.detail + "\n";
+  }
+  return out;
+}
+
+Result<RewriteResult> Rewriter::Rewrite(const ExprPtr& e) const {
+  RewriteResult result;
+  RewriteContext ctx{schema_, db_, options_, &result.trace};
+
+  // The paper's priority strategy (Section 4), iterated to a fixpoint:
+  // each round first tries the relational rewrites (options "rewriting
+  // into relational join queries"), then attribute unnesting, then the
+  // new operators (nestjoin); what remains nested after the last round
+  // executes as nested loops.
+  ExprPtr cur = e;
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    ExprPtr prev = cur;
+    if (options_.enable_simplify) cur = PassSimplify(cur, ctx);
+    // Uncorrelated subqueries are constants; hoisting them first keeps
+    // the quantifier machinery focused on genuinely correlated nesting.
+    if (options_.enable_hoist) cur = PassHoist(cur, ctx);
+    if (options_.enable_setcmp) cur = PassSetCmp(cur, ctx);
+    if (options_.enable_quantifier) {
+      cur = PassQuantifierNormalize(cur, ctx);
+      cur = PassRule1(cur, ctx);
+    }
+    if (options_.enable_map_join) cur = PassRule2(cur, ctx);
+    if (options_.enable_unnest_attr) cur = PassUnnestAttr(cur, ctx);
+    cur = PassGrouping(cur, ctx);
+    if (options_.enable_pushdown) cur = PassPushdown(cur, ctx);
+    if (cur->Equals(*prev)) break;
+  }
+  if (options_.enable_simplify) cur = PassSimplify(cur, ctx);
+  result.expr = cur;
+  return result;
+}
+
+}  // namespace n2j

@@ -1,0 +1,63 @@
+// Rule 2 of the paper (nesting in the map operator):
+//
+//   ⋃(α[x : α[y : x∘y](σ[y : p](Y))](X))  =  X ⋈_{x,y:p} Y
+//
+// The nested map creates a set of sets that is flattened immediately
+// afterwards; the join produces the same result set-at-a-time. This is
+// also the shape the translator emits for multi-variable from-clauses,
+// so `select ... from x in X, y in Y where p` becomes a join here when
+// the select-clause is the pair x∘y.
+
+#include "rewrite/rules_internal.h"
+
+namespace n2j {
+namespace rewrite_internal {
+
+namespace {
+
+ExprPtr ApplyRule2(const ExprPtr& e, RewriteContext& ctx) {
+  if (e->kind() != ExprKind::kFlatten) return nullptr;
+  const ExprPtr& outer = e->child(0);
+  if (outer->kind() != ExprKind::kMap) return nullptr;
+  const std::string& x = outer->var();
+  const ExprPtr& X = outer->child(0);
+  const ExprPtr& inner = outer->child(1);
+  if (inner->kind() != ExprKind::kMap) return nullptr;
+  std::string y = inner->var();
+  if (y == x) return nullptr;  // shadowed; not the Rule 2 shape
+
+  // Body must be exactly x ∘ y.
+  const ExprPtr& body = inner->child(1);
+  if (!(body->kind() == ExprKind::kTupleConcat &&
+        body->child(0)->kind() == ExprKind::kVar &&
+        body->child(0)->name() == x &&
+        body->child(1)->kind() == ExprKind::kVar &&
+        body->child(1)->name() == y)) {
+    return nullptr;
+  }
+
+  // Inner operand: σ[w : p](Y) or bare Y.
+  ExprPtr Y = inner->child(0);
+  ExprPtr p = Expr::True();
+  if (Y->kind() == ExprKind::kSelect) {
+    p = Substitute(Y->child(1), Y->var(), Expr::Var(y));
+    Y = Y->child(0);
+  }
+  // Y must be uncorrelated (x not free) — otherwise this is iteration
+  // over a set-valued attribute and stays nested — and must involve a
+  // base table to be worth lifting to a top-level join.
+  if (IsFreeIn(x, Y) || !ContainsBaseTable(Y)) return nullptr;
+
+  ctx.Note("Rule2-MapNestingToJoin", AlgebraStr(e));
+  return Expr::Join(X, Y, x, y, p);
+}
+
+}  // namespace
+
+ExprPtr PassRule2(const ExprPtr& e, RewriteContext& ctx) {
+  return TransformBottomUp(
+      e, [&ctx](const ExprPtr& n) { return ApplyRule2(n, ctx); });
+}
+
+}  // namespace rewrite_internal
+}  // namespace n2j

@@ -1,0 +1,42 @@
+#ifndef N2J_STORAGE_CSV_LOADER_H_
+#define N2J_STORAGE_CSV_LOADER_H_
+
+#include <string>
+
+#include "adl/type.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace n2j {
+
+/// Options for CSV ingestion.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line is a header naming the columns; the header order must
+  /// match the row type's attribute order (names are cross-checked).
+  bool has_header = true;
+  /// Empty fields load as null when true; error otherwise.
+  bool empty_as_null = false;
+};
+
+/// Bulk-loads CSV text into a plain table whose row type has atomic
+/// attributes (bool/int/double/string). Returns the number of rows
+/// loaded. The table must already exist (CreateTable) so the loader can
+/// coerce each column to the declared attribute type; set-valued or
+/// tuple-valued attributes are not loadable from flat CSV.
+///
+/// Supports RFC-4180-style quoting: fields containing the delimiter,
+/// quotes or newlines are wrapped in double quotes, with "" as the
+/// escaped quote.
+Result<size_t> LoadCsv(Database* db, const std::string& table,
+                       const std::string& csv_text,
+                       const CsvOptions& options = CsvOptions());
+
+/// Convenience: reads the file at `path` and loads it.
+Result<size_t> LoadCsvFile(Database* db, const std::string& table,
+                           const std::string& path,
+                           const CsvOptions& options = CsvOptions());
+
+}  // namespace n2j
+
+#endif  // N2J_STORAGE_CSV_LOADER_H_

@@ -1,0 +1,184 @@
+#include "storage/datagen.h"
+
+#include "common/str_util.h"
+
+namespace n2j {
+
+namespace {
+
+Value UnaryIntTuple(const char* field, int64_t v) {
+  return Value::Tuple({Field(field, Value::Int(v))});
+}
+
+}  // namespace
+
+std::unique_ptr<Database> MakeSupplierPartDatabase(
+    const SupplierPartConfig& config) {
+  auto db = std::make_unique<Database>(MakeSupplierPartSchema());
+  Rng rng(config.seed);
+
+  const ClassDef* part_cls = db->schema().FindClass("Part");
+  N2J_CHECK(part_cls != nullptr);
+
+  // Parts.
+  std::vector<Oid> part_oids;
+  part_oids.reserve(static_cast<size_t>(config.num_parts));
+  static const char* kColors[] = {"blue",  "green", "yellow",
+                                  "black", "white", "orange"};
+  for (int i = 0; i < config.num_parts; ++i) {
+    std::string color =
+        rng.Bernoulli(config.red_fraction)
+            ? "red"
+            : kColors[rng.Uniform(0, 5)];
+    Value attrs = Value::Tuple({
+        Field("pname", Value::String(StrFormat("part-%d", i))),
+        Field("price", Value::Int(rng.Uniform(1, config.price_max))),
+        Field("color", Value::String(std::move(color))),
+    });
+    Result<Oid> oid = db->NewObject("Part", std::move(attrs));
+    N2J_CHECK(oid.ok());
+    part_oids.push_back(*oid);
+  }
+
+  // Suppliers. Each references parts_per_supplier parts; a reference is
+  // dangling (violates referential integrity) with probability
+  // 1 - match_fraction.
+  for (int i = 0; i < config.num_suppliers; ++i) {
+    std::vector<Value> refs;
+    refs.reserve(static_cast<size_t>(config.parts_per_supplier));
+    for (int j = 0; j < config.parts_per_supplier; ++j) {
+      Oid ref;
+      if (config.num_parts > 0 && rng.Bernoulli(config.match_fraction)) {
+        int64_t idx = config.skew > 0.0
+                          ? rng.Zipf(config.num_parts, config.skew)
+                          : rng.Uniform(0, config.num_parts - 1);
+        ref = part_oids[static_cast<size_t>(idx)];
+      } else {
+        // A dangling pointer: valid class id, out-of-range sequence.
+        ref = MakeOid(part_cls->class_id,
+                      static_cast<uint64_t>(config.num_parts) + 1 +
+                          static_cast<uint64_t>(rng.Uniform(0, 1 << 20)));
+      }
+      refs.push_back(Value::Tuple({Field("pid", Value::MakeOidValue(ref))}));
+    }
+    Value attrs = Value::Tuple({
+        Field("sname", Value::String(StrFormat("s%d", i))),
+        Field("parts", Value::Set(std::move(refs))),
+    });
+    N2J_CHECK(db->NewObject("Supplier", std::move(attrs)).ok());
+  }
+
+  // Deliveries (optional).
+  const ClassDef* sup_cls = db->schema().FindClass("Supplier");
+  N2J_CHECK(sup_cls != nullptr);
+  for (int i = 0; i < config.num_deliveries; ++i) {
+    Oid sup = MakeOid(sup_cls->class_id,
+                      static_cast<uint64_t>(
+                          rng.Uniform(0, config.num_suppliers - 1)));
+    std::vector<Value> supply;
+    supply.reserve(static_cast<size_t>(config.supplies_per_delivery));
+    for (int j = 0; j < config.supplies_per_delivery; ++j) {
+      Oid part = part_oids[static_cast<size_t>(
+          rng.Uniform(0, config.num_parts - 1))];
+      supply.push_back(Value::Tuple({
+          Field("part", Value::MakeOidValue(part)),
+          Field("quantity", Value::Int(rng.Uniform(1, 100))),
+      }));
+    }
+    // Dates in the paper's yymmdd convention (940101 = Jan 1, 1994).
+    int64_t date = 940000 + rng.Uniform(1, 12) * 100 + rng.Uniform(1, 28);
+    Value attrs = Value::Tuple({
+        Field("supplier", Value::MakeOidValue(sup)),
+        Field("supply", Value::Set(std::move(supply))),
+        Field("date", Value::Int(date)),
+    });
+    N2J_CHECK(db->NewObject("Delivery", std::move(attrs)).ok());
+  }
+
+  return db;
+}
+
+Status AddRandomXY(Database* db, const XYConfig& config,
+                   const std::string& x_name, const std::string& y_name) {
+  Rng rng(config.seed);
+  TypePtr x_type = Type::Tuple(
+      {{"a", Type::Int()},
+       {"c", Type::Set(Type::Tuple({{"d", Type::Int()}}))}});
+  TypePtr y_type = Type::Tuple({{"a", Type::Int()}, {"e", Type::Int()}});
+  N2J_RETURN_IF_ERROR(db->CreateTable(x_name, x_type));
+  N2J_RETURN_IF_ERROR(db->CreateTable(y_name, y_type));
+
+  for (int i = 0; i < config.x_rows; ++i) {
+    std::vector<Value> c;
+    if (!rng.Bernoulli(config.empty_set_prob)) {
+      int n = static_cast<int>(rng.Uniform(0, config.max_set_size));
+      for (int j = 0; j < n; ++j) {
+        c.push_back(
+            UnaryIntTuple("d", rng.Uniform(0, config.value_domain - 1)));
+      }
+    }
+    Value row = Value::Tuple({
+        Field("a", Value::Int(rng.Uniform(0, config.key_domain - 1))),
+        Field("c", Value::Set(std::move(c))),
+    });
+    N2J_RETURN_IF_ERROR(db->Insert(x_name, std::move(row)));
+  }
+  for (int i = 0; i < config.y_rows; ++i) {
+    Value row = Value::Tuple({
+        Field("a", Value::Int(rng.Uniform(0, config.key_domain - 1))),
+        Field("e", Value::Int(rng.Uniform(0, config.value_domain - 1))),
+    });
+    N2J_RETURN_IF_ERROR(db->Insert(y_name, std::move(row)));
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Database> MakeFigure2Database() {
+  auto db = std::make_unique<Database>();
+  TypePtr x_type = Type::Tuple(
+      {{"a", Type::Int()},
+       {"c", Type::Set(Type::Tuple({{"d", Type::Int()}}))}});
+  TypePtr y_type = Type::Tuple({{"a", Type::Int()}, {"e", Type::Int()}});
+  N2J_CHECK(db->CreateTable("X", x_type).ok());
+  N2J_CHECK(db->CreateTable("Y", y_type).ok());
+
+  auto x_row = [](int64_t a, std::vector<int64_t> ds) {
+    std::vector<Value> c;
+    c.reserve(ds.size());
+    for (int64_t d : ds) c.push_back(UnaryIntTuple("d", d));
+    return Value::Tuple(
+        {Field("a", Value::Int(a)), Field("c", Value::Set(std::move(c)))});
+  };
+  N2J_CHECK(db->Insert("X", x_row(1, {1, 2})).ok());
+  N2J_CHECK(db->Insert("X", x_row(2, {})).ok());
+  N2J_CHECK(db->Insert("X", x_row(3, {2, 3})).ok());
+
+  auto y_row = [](int64_t a, int64_t e) {
+    return Value::Tuple({Field("a", Value::Int(a)), Field("e", Value::Int(e))});
+  };
+  N2J_CHECK(db->Insert("Y", y_row(1, 1)).ok());
+  N2J_CHECK(db->Insert("Y", y_row(1, 2)).ok());
+  N2J_CHECK(db->Insert("Y", y_row(1, 3)).ok());
+  N2J_CHECK(db->Insert("Y", y_row(3, 3)).ok());
+  return db;
+}
+
+std::unique_ptr<Database> MakeFigure3Database() {
+  auto db = std::make_unique<Database>();
+  TypePtr x_type = Type::Tuple({{"a", Type::Int()}, {"b", Type::Int()}});
+  TypePtr y_type = Type::Tuple({{"c", Type::Int()}, {"d", Type::Int()}});
+  N2J_CHECK(db->CreateTable("X", x_type).ok());
+  N2J_CHECK(db->CreateTable("Y", y_type).ok());
+  auto row2 = [](const char* f1, int64_t v1, const char* f2, int64_t v2) {
+    return Value::Tuple({Field(f1, Value::Int(v1)), Field(f2, Value::Int(v2))});
+  };
+  N2J_CHECK(db->Insert("X", row2("a", 1, "b", 1)).ok());
+  N2J_CHECK(db->Insert("X", row2("a", 2, "b", 1)).ok());
+  N2J_CHECK(db->Insert("X", row2("a", 3, "b", 3)).ok());
+  N2J_CHECK(db->Insert("Y", row2("c", 1, "d", 1)).ok());
+  N2J_CHECK(db->Insert("Y", row2("c", 2, "d", 1)).ok());
+  N2J_CHECK(db->Insert("Y", row2("c", 3, "d", 2)).ok());
+  return db;
+}
+
+}  // namespace n2j

@@ -1,0 +1,76 @@
+#ifndef N2J_STORAGE_DATAGEN_H_
+#define N2J_STORAGE_DATAGEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "storage/database.h"
+
+namespace n2j {
+
+/// Parameters of the synthetic supplier–part–delivery workload (the
+/// paper's running example schema, Section 2). The knobs sweep the
+/// regimes the paper's arguments depend on:
+///  - num_parts / num_suppliers: base-table cardinalities (nested-loop
+///    cost is their product; join cost their sum),
+///  - parts_per_supplier: set-valued attribute fan-out,
+///  - red_fraction: selectivity of the classic `color = "red"` predicate,
+///  - match_fraction: fraction of supplier part-references that resolve
+///    to existing parts (1.0 = referential integrity holds; lower values
+///    create the dangling references of Example Query 4),
+///  - skew: Zipf theta for part popularity in supplier sets,
+///  - num_deliveries / supplies_per_delivery: Delivery class scale.
+struct SupplierPartConfig {
+  uint64_t seed = 42;
+  int num_parts = 1000;
+  int num_suppliers = 100;
+  int parts_per_supplier = 10;
+  double red_fraction = 0.1;
+  double match_fraction = 1.0;
+  double skew = 0.0;
+  int num_deliveries = 0;
+  int supplies_per_delivery = 5;
+  int price_max = 1000;
+};
+
+/// Builds a populated supplier–part(–delivery) database.
+std::unique_ptr<Database> MakeSupplierPartDatabase(
+    const SupplierPartConfig& config);
+
+/// Parameters for the small random "X/Y" relations used by property tests
+/// and the Figure 1/2 style experiments:
+///   X : { (a : int, c : { (d : int) }) }
+///   Y : { (a : int, e : int) }   — with field names configurable.
+struct XYConfig {
+  uint64_t seed = 7;
+  int x_rows = 20;
+  int y_rows = 20;
+  int key_domain = 8;       // a-values drawn from [0, key_domain)
+  int value_domain = 8;     // d/e-values drawn from [0, value_domain)
+  int max_set_size = 4;     // |x.c| uniform in [0, max_set_size]
+  double empty_set_prob = 0.2;  // force x.c = ∅ with this probability
+};
+
+/// Adds plain tables `x_name` and `y_name` to `db` with random contents:
+/// X(a int, c {(d int)}), Y(a int, e int). Empty c-sets are generated on
+/// purpose — they are what triggers the Complex Object bug.
+Status AddRandomXY(Database* db, const XYConfig& config,
+                   const std::string& x_name = "X",
+                   const std::string& y_name = "Y");
+
+/// Builds the exact X and Y tables of Figure 2 of the paper:
+///   X = { (a=1, c={1,2}), (a=2, c=∅), (a=3, c={2,3}) }
+///   Y = { (a=1, e=1), (a=1, e=2), (a=1, e=3), (a=3, e=3) }
+/// Sets are represented as sets of unary tuples (d : int) per the NF2
+/// convention used by unnest.
+std::unique_ptr<Database> MakeFigure2Database();
+
+/// Builds the X and Y tables of Figure 3 (the nestjoin example):
+///   X = { (a=1,b=1), (a=2,b=1), (a=3,b=3) }
+///   Y = { (c=1,d=1), (c=2,d=1), (c=3,d=2) }
+std::unique_ptr<Database> MakeFigure3Database();
+
+}  // namespace n2j
+
+#endif  // N2J_STORAGE_DATAGEN_H_

@@ -1,0 +1,42 @@
+#ifndef N2J_STORAGE_INDEX_H_
+#define N2J_STORAGE_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adl/value.h"
+
+namespace n2j {
+
+/// A hash index over one top-level attribute of a table: attribute value
+/// → row positions. Supports the index nested-loop join the paper lists
+/// among the physical join alternatives (Section 6).
+class HashIndex {
+ public:
+  HashIndex() = default;
+  HashIndex(std::string table, std::string field)
+      : table_(std::move(table)), field_(std::move(field)) {}
+
+  const std::string& table() const { return table_; }
+  const std::string& field() const { return field_; }
+
+  void Add(const Value& key, size_t row) { map_[key].push_back(row); }
+
+  /// Row positions with the given key (nullptr if none).
+  const std::vector<size_t>* Lookup(const Value& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t distinct_keys() const { return map_.size(); }
+
+ private:
+  std::string table_;
+  std::string field_;
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> map_;
+};
+
+}  // namespace n2j
+
+#endif  // N2J_STORAGE_INDEX_H_

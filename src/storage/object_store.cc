@@ -1,0 +1,58 @@
+#include "storage/object_store.h"
+
+#include "common/str_util.h"
+
+namespace n2j {
+
+Status ObjectStore::Put(Oid oid, Value object) {
+  uint16_t cls = OidClassId(oid);
+  uint64_t seq = OidSeq(oid);
+  std::vector<Value>& vec = by_class_[cls];
+  if (seq != vec.size()) {
+    return Status::InvalidArgument(
+        StrFormat("oids must be allocated densely: class %u expects seq "
+                  "%llu, got %llu",
+                  cls, static_cast<unsigned long long>(vec.size()),
+                  static_cast<unsigned long long>(seq)));
+  }
+  vec.push_back(std::move(object));
+  ++count_;
+  return Status::OK();
+}
+
+Result<Value> ObjectStore::Get(Oid oid) const {
+  uint16_t cls = OidClassId(oid);
+  uint64_t seq = OidSeq(oid);
+  auto it = by_class_.find(cls);
+  if (it == by_class_.end() || seq >= it->second.size()) {
+    return Status::NotFound(StrFormat(
+        "dangling oid @%u.%llu", cls, static_cast<unsigned long long>(seq)));
+  }
+  ++stats_.gets;
+  PageId page = (static_cast<uint64_t>(cls) << 32) | (seq / page_size_);
+  TouchPage(page);
+  return it->second[seq];
+}
+
+bool ObjectStore::Contains(Oid oid) const {
+  auto it = by_class_.find(OidClassId(oid));
+  return it != by_class_.end() && OidSeq(oid) < it->second.size();
+}
+
+void ObjectStore::TouchPage(PageId page) const {
+  auto it = cached_.find(page);
+  if (it != cached_.end()) {
+    ++stats_.page_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++stats_.page_misses;
+  lru_.push_front(page);
+  cached_[page] = lru_.begin();
+  while (cached_.size() > cache_pages_) {
+    cached_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace n2j

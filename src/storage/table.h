@@ -1,0 +1,43 @@
+#ifndef N2J_STORAGE_TABLE_H_
+#define N2J_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "adl/type.h"
+#include "adl/value.h"
+#include "common/status.h"
+
+namespace n2j {
+
+/// An in-memory base table (class extension or plain relation). Rows are
+/// tuple Values; set-valued attributes are stored clustered with their
+/// parent tuple, as the paper assumes ("Assuming set-valued attributes are
+/// stored clustered, ...").
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, TypePtr row_type)
+      : name_(std::move(name)), row_type_(std::move(row_type)) {}
+
+  const std::string& name() const { return name_; }
+  const TypePtr& row_type() const { return row_type_; }
+  const std::vector<Value>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Appends a row. The caller is responsible for type conformance
+  /// (Database::Insert checks it).
+  void Append(Value row) { rows_.push_back(std::move(row)); }
+
+  /// All rows as a canonical set Value (sorted, deduplicated).
+  Value AsSetValue() const { return Value::Set(rows_); }
+
+ private:
+  std::string name_;
+  TypePtr row_type_;
+  std::vector<Value> rows_;
+};
+
+}  // namespace n2j
+
+#endif  // N2J_STORAGE_TABLE_H_

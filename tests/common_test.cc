@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "adl/analysis.h"
+#include "adl/printer.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "exec/equi_join.h"
+
+namespace n2j {
+namespace {
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status st = Status::TypeError("bad type");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_EQ(st.message(), "bad type");
+  EXPECT_EQ(st.ToString(), "TypeError: bad type");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  N2J_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = ParsePositive(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 3);
+  Result<int> err = ParsePositive(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(*Doubled(5), 10);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(StrUtilTest, JoinSplitFormat) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_TRUE(StartsWith("select x", "select"));
+  EXPECT_FALSE(StartsWith("sel", "select"));
+  EXPECT_TRUE(EndsWith("a.cc", ".cc"));
+  EXPECT_EQ(Repeat("ab", 3), "ababab");
+  EXPECT_EQ(Repeat("ab", 0), "");
+}
+
+TEST(StrUtilTest, HashingIsStable) {
+  EXPECT_EQ(Fnv1a("abc", 3), Fnv1a("abc", 3));
+  EXPECT_NE(Fnv1a("abc", 3), Fnv1a("abd", 3));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(EquiJoinTest, ExtractsOrientedKeyPairs) {
+  // x.a = y.b ∧ y.c = x.d ∧ x.e > 1 ∧ y.f < 2 ∧ x.g < y.h
+  ExprPtr pred = Expr::AndAll({
+      Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+               Expr::Access(Expr::Var("y"), "b")),
+      Expr::Eq(Expr::Access(Expr::Var("y"), "c"),
+               Expr::Access(Expr::Var("x"), "d")),
+      Expr::Bin(BinOp::kGt, Expr::Access(Expr::Var("x"), "e"),
+                Expr::Const(Value::Int(1))),
+      Expr::Bin(BinOp::kLt, Expr::Access(Expr::Var("y"), "f"),
+                Expr::Const(Value::Int(2))),
+      Expr::Bin(BinOp::kLt, Expr::Access(Expr::Var("x"), "g"),
+                Expr::Access(Expr::Var("y"), "h")),
+  });
+  EquiJoinKeys keys = ExtractEquiKeys(pred, "x", "y");
+  ASSERT_TRUE(keys.usable());
+  ASSERT_EQ(keys.left_keys.size(), 2u);
+  // Both orientations land left-side-first.
+  EXPECT_EQ(AlgebraStr(keys.left_keys[0]), "x.a");
+  EXPECT_EQ(AlgebraStr(keys.right_keys[0]), "y.b");
+  EXPECT_EQ(AlgebraStr(keys.left_keys[1]), "x.d");
+  EXPECT_EQ(AlgebraStr(keys.right_keys[1]), "y.c");
+  EXPECT_EQ(keys.residual.size(), 3u);
+}
+
+TEST(EquiJoinTest, NoKeysWhenBothSidesMixVariables) {
+  ExprPtr pred = Expr::Eq(
+      Expr::Bin(BinOp::kAdd, Expr::Access(Expr::Var("x"), "a"),
+                Expr::Access(Expr::Var("y"), "b")),
+      Expr::Const(Value::Int(3)));
+  EquiJoinKeys keys = ExtractEquiKeys(pred, "x", "y");
+  EXPECT_FALSE(keys.usable());
+  EXPECT_EQ(keys.residual.size(), 1u);
+}
+
+TEST(EquiJoinTest, OuterVariablesMayAppearInKeys) {
+  // x.a + o = y.b with an outer variable o: still a usable key pair.
+  ExprPtr pred = Expr::Eq(
+      Expr::Bin(BinOp::kAdd, Expr::Access(Expr::Var("x"), "a"),
+                Expr::Var("o")),
+      Expr::Access(Expr::Var("y"), "b"));
+  EquiJoinKeys keys = ExtractEquiKeys(pred, "x", "y");
+  ASSERT_TRUE(keys.usable());
+  EXPECT_EQ(keys.left_keys.size(), 1u);
+}
+
+TEST(EquiJoinTest, ConstantConjunctStaysResidual) {
+  ExprPtr pred = Expr::And(
+      Expr::Eq(Expr::Const(Value::Int(1)), Expr::Const(Value::Int(1))),
+      Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+               Expr::Access(Expr::Var("y"), "a")));
+  EquiJoinKeys keys = ExtractEquiKeys(pred, "x", "y");
+  ASSERT_TRUE(keys.usable());
+  EXPECT_EQ(keys.left_keys.size(), 1u);
+  EXPECT_EQ(keys.residual.size(), 1u);
+}
+
+TEST(ExprTest, WithChildrenPreservesScalars) {
+  ExprPtr nj = Expr::NestJoin(Expr::Table("X"), Expr::Table("Y"), "x", "y",
+                              Expr::True(), "ys");
+  std::vector<ExprPtr> kids = nj->children();
+  kids[0] = Expr::Table("Z");
+  ExprPtr rebuilt = nj->WithChildren(std::move(kids));
+  EXPECT_EQ(rebuilt->kind(), ExprKind::kNestJoin);
+  EXPECT_EQ(rebuilt->var(), "x");
+  EXPECT_EQ(rebuilt->var2(), "y");
+  EXPECT_EQ(rebuilt->name(), "ys");
+  EXPECT_EQ(rebuilt->child(0)->name(), "Z");
+}
+
+TEST(ExprTest, AndAllOfNothingIsTrue) {
+  ExprPtr t = Expr::AndAll({});
+  EXPECT_EQ(t->kind(), ExprKind::kConst);
+  EXPECT_TRUE(t->const_value().bool_value());
+  ExprPtr single = Expr::AndAll({Expr::Var("p")});
+  EXPECT_EQ(single->kind(), ExprKind::kVar);
+}
+
+TEST(ExprTest, PathBuildsChainedAccess) {
+  ExprPtr p = Expr::Path(Expr::Var("d"), {"supplier", "sname"});
+  EXPECT_EQ(AlgebraStr(p), "d.supplier.sname");
+}
+
+}  // namespace
+}  // namespace n2j

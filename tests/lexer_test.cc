@@ -1,0 +1,97 @@
+#include "oosql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace n2j {
+namespace {
+
+std::vector<Token> Lex(const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> r = lexer.Tokenize();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  std::vector<Token> ts = Lex("SELECT from WhErE");
+  ASSERT_EQ(ts.size(), 4u);  // + eof
+  EXPECT_EQ(ts[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(ts[1].kind, TokenKind::kFrom);
+  EXPECT_EQ(ts[2].kind, TokenKind::kWhere);
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  std::vector<Token> ts = Lex("SUPPLIER sname s1");
+  EXPECT_EQ(ts[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(ts[0].text, "SUPPLIER");
+  EXPECT_EQ(ts[2].text, "s1");
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  std::vector<Token> ts = Lex("940101 3.25 \"red\"");
+  EXPECT_EQ(ts[0].kind, TokenKind::kInt);
+  EXPECT_EQ(ts[0].int_value, 940101);
+  EXPECT_EQ(ts[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(ts[1].double_value, 3.25);
+  EXPECT_EQ(ts[2].kind, TokenKind::kString);
+  EXPECT_EQ(ts[2].text, "red");
+}
+
+TEST(LexerTest, StringEscapes) {
+  std::vector<Token> ts = Lex(R"("a\"b\n")");
+  EXPECT_EQ(ts[0].text, "a\"b\n");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  std::vector<Token> ts = Lex("( ) { } [ ] , . : ; = <> < <= > >= + - * / %");
+  std::vector<TokenKind> expect = {
+      TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBrace,
+      TokenKind::kRBrace, TokenKind::kLBracket, TokenKind::kRBracket,
+      TokenKind::kComma,  TokenKind::kDot,     TokenKind::kColon,
+      TokenKind::kSemicolon, TokenKind::kEq,   TokenKind::kNe,
+      TokenKind::kLt,     TokenKind::kLe,      TokenKind::kGt,
+      TokenKind::kGe,     TokenKind::kPlus,    TokenKind::kDash,
+      TokenKind::kStar,   TokenKind::kSlash,   TokenKind::kPercent,
+      TokenKind::kEof};
+  ASSERT_EQ(ts.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(ts[i].kind, expect[i]) << i;
+  }
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  std::vector<Token> ts = Lex("select -- comment to end of line\n 1");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[1].kind, TokenKind::kInt);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  std::vector<Token> ts = Lex("select\n  x");
+  EXPECT_EQ(ts[0].line, 1);
+  EXPECT_EQ(ts[1].line, 2);
+  EXPECT_EQ(ts[1].column, 3);
+}
+
+TEST(LexerTest, Errors) {
+  Lexer bad("select @");
+  EXPECT_FALSE(bad.Tokenize().ok());
+  Lexer unterminated("\"abc");
+  EXPECT_FALSE(unterminated.Tokenize().ok());
+}
+
+TEST(LexerTest, SetComparisonKeywords) {
+  std::vector<Token> ts =
+      Lex("in contains subset subseteq supset supseteq union intersect minus");
+  EXPECT_EQ(ts[0].kind, TokenKind::kIn);
+  EXPECT_EQ(ts[1].kind, TokenKind::kContains);
+  EXPECT_EQ(ts[2].kind, TokenKind::kSubset);
+  EXPECT_EQ(ts[3].kind, TokenKind::kSubsetEq);
+  EXPECT_EQ(ts[4].kind, TokenKind::kSupset);
+  EXPECT_EQ(ts[5].kind, TokenKind::kSupsetEq);
+  EXPECT_EQ(ts[6].kind, TokenKind::kUnion);
+  EXPECT_EQ(ts[7].kind, TokenKind::kIntersect);
+  EXPECT_EQ(ts[8].kind, TokenKind::kMinus);
+}
+
+}  // namespace
+}  // namespace n2j

@@ -1,0 +1,212 @@
+// End-to-end reproduction of the paper's worked queries (Sections 2-6):
+// Example Queries 1-6 run through the full pipeline (parse → translate →
+// rewrite → execute) and are checked against nested-loop evaluation.
+
+#include <gtest/gtest.h>
+
+#include "adl/analysis.h"
+#include "core/engine.h"
+#include "tests/test_util.h"
+
+namespace n2j {
+namespace {
+
+using testutil::EvalExpr;
+using testutil::HasNestedBaseTable;
+
+bool ContainsKind(const ExprPtr& e, ExprKind kind) {
+  bool found = false;
+  VisitPreOrder(e, [&](const ExprPtr& n) {
+    if (n->kind() == kind) found = true;
+  });
+  return found;
+}
+
+class PaperQueriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SupplierPartConfig config;
+    config.seed = 21;
+    config.num_parts = 50;
+    config.num_suppliers = 20;
+    config.parts_per_supplier = 6;
+    config.red_fraction = 0.25;
+    config.match_fraction = 0.85;
+    config.num_deliveries = 30;
+    db_ = MakeSupplierPartDatabase(config);
+    engine_ = std::make_unique<QueryEngine>(db_.get());
+    // A referentially-intact variant for queries that dereference part
+    // pointers (dangling oids would otherwise fail the deref).
+    config.match_fraction = 1.0;
+    clean_db_ = MakeSupplierPartDatabase(config);
+    clean_engine_ = std::make_unique<QueryEngine>(clean_db_.get());
+  }
+
+  /// Runs the query; checks the optimized plan against the naive
+  /// translation under nested-loop evaluation; returns the report.
+  QueryReport RunChecked(const std::string& oosql) {
+    Result<QueryReport> report = engine_->Run(oosql);
+    EXPECT_TRUE(report.ok()) << oosql << "\n"
+                             << report.status().ToString();
+    if (!report.ok()) std::abort();
+    EvalOptions nl;
+    nl.use_hash_joins = false;
+    Value expected = EvalExpr(*db_, report->translated, nl);
+    EXPECT_EQ(expected, report->result)
+        << oosql << "\nplan: " << AlgebraStr(report->optimized);
+    return *report;
+  }
+
+  QueryReport RunCheckedClean(const std::string& oosql) {
+    Result<QueryReport> report = clean_engine_->Run(oosql);
+    EXPECT_TRUE(report.ok()) << oosql << "\n"
+                             << report.status().ToString();
+    if (!report.ok()) std::abort();
+    EvalOptions nl;
+    nl.use_hash_joins = false;
+    Value expected = EvalExpr(*clean_db_, report->translated, nl);
+    EXPECT_EQ(expected, report->result)
+        << oosql << "\nplan: " << AlgebraStr(report->optimized);
+    return *report;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<Database> clean_db_;
+  std::unique_ptr<QueryEngine> clean_engine_;
+};
+
+TEST_F(PaperQueriesTest, ExampleQuery1_NestingInSelectClause) {
+  // "Select the names of the suppliers together with the names of the
+  // red parts supplied."
+  QueryReport r = RunCheckedClean(
+      "select (sname = s.sname, "
+      "        pnames = select p.pid.pname from p in s.parts "
+      "                 where p.pid.color = \"red\") "
+      "from s in SUPPLIER");
+  ASSERT_GT(r.result.set_size(), 0u);
+  for (const Value& t : r.result.elements()) {
+    EXPECT_NE(t.FindField("sname"), nullptr);
+    EXPECT_TRUE(t.FindField("pnames")->is_set());
+  }
+}
+
+TEST_F(PaperQueriesTest, ExampleQuery2_NestingInFromClause) {
+  // "Select all deliveries that concern supplier s1 with date ..." —
+  // from-clause composition must be merged away (no nested sfw-block).
+  QueryReport r = RunChecked(
+      "select d from d in (select e from e in DELIVERY "
+      "where e.supplier.sname = \"s1\") where d.date > 940000");
+  // After merging, a single selection sits directly on DELIVERY.
+  bool merged = true;
+  VisitPreOrder(r.optimized, [&](const ExprPtr& n) {
+    if (n->kind() == ExprKind::kSelect &&
+        n->child(0)->kind() == ExprKind::kSelect) {
+      merged = false;
+    }
+  });
+  EXPECT_TRUE(merged) << AlgebraStr(r.optimized);
+}
+
+TEST_F(PaperQueriesTest, ExampleQuery3_1_SetComparisonBetweenBlocks) {
+  // "Suppliers supplying all parts supplied by supplier s1."
+  QueryReport r = RunChecked(
+      "select s.sname from s in SUPPLIER where "
+      "s.parts supseteq "
+      "(select x from t in SUPPLIER, x in t.parts "
+      " where t.sname = \"s1\")");
+  // s1 itself trivially qualifies.
+  EXPECT_TRUE(r.result.SetContains(Value::String("s1")))
+      << r.result.ToString();
+  // The subquery is uncorrelated: per Section 3 it is a constant, so the
+  // engine hoists it into a let binding instead of joining.
+  bool has_let = false;
+  VisitPreOrder(r.optimized, [&](const ExprPtr& n) {
+    if (n->kind() == ExprKind::kLet) has_let = true;
+  });
+  EXPECT_TRUE(has_let) << AlgebraStr(r.optimized);
+  EXPECT_FALSE(HasNestedBaseTable(r.optimized));
+}
+
+TEST_F(PaperQueriesTest, ExampleQuery3_2_QuantifierOverSetAttribute) {
+  // "Deliveries that include red parts" — iteration over the clustered
+  // supply attribute stays nested (paper's explicit non-goal), but the
+  // query must run and agree with nested loops.
+  QueryReport r = RunChecked(
+      "select d from d in DELIVERY where "
+      "exists x in d.supply : x.part.color = \"red\"");
+  for (const Value& d : r.result.elements()) {
+    bool has_red = false;
+    for (const Value& s : d.FindField("supply")->elements()) {
+      Result<Value> part = db_->Deref(s.FindField("part")->oid_value());
+      ASSERT_TRUE(part.ok());
+      if (part->FindField("color")->string_value() == "red") has_red = true;
+    }
+    EXPECT_TRUE(has_red);
+  }
+}
+
+TEST_F(PaperQueriesTest, ExampleQuery4_ReferentialIntegrity) {
+  // "Suppliers supplying non-existing parts" ⇒ µ + antijoin.
+  QueryReport r = RunChecked(
+      "select s.eid from s in SUPPLIER where "
+      "exists z in s.parts : not exists p in PART : z.pid = p.pid");
+  EXPECT_TRUE(ContainsKind(r.optimized, ExprKind::kUnnest))
+      << AlgebraStr(r.optimized);
+  EXPECT_TRUE(ContainsKind(r.optimized, ExprKind::kAntiJoin));
+  EXPECT_FALSE(HasNestedBaseTable(r.optimized));
+  // match_fraction < 1 guarantees violations exist.
+  EXPECT_GT(r.result.set_size(), 0u);
+}
+
+TEST_F(PaperQueriesTest, ExampleQuery5_SuppliersSupplyingRedParts) {
+  // σ[s : ∃x∈s.parts·∃p∈PART·x=p[pid] ∧ p.color="red"](SUPPLIER)
+  //   ⇒ SUPPLIER ⋉ σ[p.color="red"](PART)   (after µ on parts).
+  QueryReport r = RunChecked(
+      "select s from s in SUPPLIER where "
+      "exists x in s.parts : exists p in PART : "
+      "x.pid = p.pid and p.color = \"red\"");
+  EXPECT_TRUE(ContainsKind(r.optimized, ExprKind::kSemiJoin))
+      << AlgebraStr(r.optimized);
+  EXPECT_FALSE(HasNestedBaseTable(r.optimized));
+  EXPECT_GT(r.result.set_size(), 0u);
+}
+
+TEST_F(PaperQueriesTest, ExampleQuery6_NestjoinForSelectClauseNesting) {
+  // "Supplier names together with the parts supplied" — not expressible
+  // as a flat relational join (dangling suppliers must keep ∅);
+  // the engine must use the nestjoin.
+  QueryReport r = RunChecked(
+      "select (sname = s.sname, "
+      "        partssuppl = select p from p in PART "
+      "                     where p[pid] in s.parts) "
+      "from s in SUPPLIER");
+  EXPECT_TRUE(ContainsKind(r.optimized, ExprKind::kNestJoin))
+      << AlgebraStr(r.optimized);
+  EXPECT_FALSE(HasNestedBaseTable(r.optimized));
+  // All suppliers present, including any with zero matching parts.
+  EXPECT_EQ(r.result.set_size(),
+            EvalExpr(*db_, Expr::Table("SUPPLIER")).set_size());
+}
+
+TEST_F(PaperQueriesTest, DeliveriesViaPathExpressions) {
+  // Path expressions with double dereference exercise materialize.
+  QueryReport r = RunChecked(
+      "select (who = d.supplier.sname, when = d.date) "
+      "from d in DELIVERY where d.supplier.sname <> \"nobody\"");
+  EXPECT_EQ(r.result.set_size(), 30u);
+}
+
+TEST_F(PaperQueriesTest, ExplainOutputMentionsRulesAndPlans) {
+  Result<QueryReport> r = engine_->Run(
+      "select s.eid from s in SUPPLIER where "
+      "exists z in s.parts : not exists p in PART : z.pid = p.pid");
+  ASSERT_TRUE(r.ok());
+  std::string explain = r->Explain();
+  EXPECT_NE(explain.find("translated:"), std::string::npos);
+  EXPECT_NE(explain.find("optimized:"), std::string::npos);
+  EXPECT_NE(explain.find("UnnestAttribute"), std::string::npos) << explain;
+}
+
+}  // namespace
+}  // namespace n2j

@@ -1,0 +1,178 @@
+#include "oosql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace n2j {
+namespace {
+
+QExprPtr Parse(const std::string& text) {
+  Result<QExprPtr> r = Parser::ParseQueryString(text);
+  EXPECT_TRUE(r.ok()) << text << "\n" << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(ParserTest, SimpleSelect) {
+  QExprPtr q = Parse("select s.sname from s in SUPPLIER");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->kind, QExpr::Kind::kSelect);
+  EXPECT_EQ(q->NumRanges(), 1u);
+  EXPECT_EQ(q->names[0], "s");
+  EXPECT_FALSE(q->has_where);
+  EXPECT_EQ(q->SelectBody()->kind, QExpr::Kind::kField);
+}
+
+TEST(ParserTest, WhereClause) {
+  QExprPtr q = Parse(
+      "select p from p in PART where p.color = \"red\" and p.price > 10");
+  ASSERT_TRUE(q->has_where);
+  EXPECT_EQ(q->Where()->kind, QExpr::Kind::kBinary);
+  EXPECT_EQ(q->Where()->bop, BinOp::kAnd);
+}
+
+TEST(ParserTest, MultipleRangeVariables) {
+  QExprPtr q = Parse(
+      "select (a = x.a, b = y.b) from x in X, y in Y where x.a = y.a");
+  EXPECT_EQ(q->NumRanges(), 2u);
+  EXPECT_EQ(q->names[1], "y");
+}
+
+TEST(ParserTest, NestedSelectInWhere) {
+  QExprPtr q = Parse(
+      "select s.sname from s in SUPPLIER "
+      "where s.parts supseteq (select t.parts from t in SUPPLIER "
+      "where t.sname = \"s1\")");
+  ASSERT_TRUE(q->has_where);
+  EXPECT_EQ(q->Where()->bop, BinOp::kSupsetEq);
+  EXPECT_EQ(q->Where()->kids[1]->kind, QExpr::Kind::kSelect);
+}
+
+TEST(ParserTest, NestedSelectInFrom) {
+  QExprPtr q = Parse(
+      "select d from d in (select e from e in DELIVERY "
+      "where e.date = 940101) where d.date = 940101");
+  EXPECT_EQ(q->Range(0)->kind, QExpr::Kind::kSelect);
+}
+
+TEST(ParserTest, QuantifierForms) {
+  QExprPtr q = Parse(
+      "select d from d in DELIVERY where exists x in d.supply");
+  EXPECT_EQ(q->Where()->kind, QExpr::Kind::kQuant);
+  EXPECT_EQ(q->Where()->kids.size(), 1u);  // bare: no predicate
+
+  QExprPtr q2 = Parse(
+      "select s from s in SUPPLIER where forall x in s.parts : "
+      "exists p in PART : x.pid = p.pid");
+  EXPECT_EQ(q2->Where()->quant, QuantKind::kForall);
+  ASSERT_EQ(q2->Where()->kids.size(), 2u);
+  EXPECT_EQ(q2->Where()->kids[1]->kind, QExpr::Kind::kQuant);
+}
+
+TEST(ParserTest, QuantifierRangeBindsTightly) {
+  // The range is a path; the colon-predicate extends to the 'and'.
+  QExprPtr q = Parse(
+      "select s from s in SUPPLIER where (exists x in s.parts) "
+      "and s.sname = \"s1\"");
+  EXPECT_EQ(q->Where()->bop, BinOp::kAnd);
+}
+
+TEST(ParserTest, TupleConstructorVsGrouping) {
+  QExprPtr tup = Parse("select (sname = s.sname, n = 1) from s in SUPPLIER");
+  EXPECT_EQ(tup->SelectBody()->kind, QExpr::Kind::kTupleLit);
+  EXPECT_EQ(tup->SelectBody()->names,
+            (std::vector<std::string>{"sname", "n"}));
+  QExprPtr grouped = Parse("select (1 + 2) * 3 from s in SUPPLIER");
+  EXPECT_EQ(grouped->SelectBody()->kind, QExpr::Kind::kBinary);
+}
+
+TEST(ParserTest, SetLiteralsAndOperators) {
+  QExprPtr q = Parse("select x from x in X where x.a in {1, 2, 3}");
+  EXPECT_EQ(q->Where()->bop, BinOp::kIn);
+  EXPECT_EQ(q->Where()->kids[1]->kind, QExpr::Kind::kSetLit);
+  EXPECT_EQ(q->Where()->kids[1]->kids.size(), 3u);
+  QExprPtr empty = Parse("select x from x in X where x.c = {}");
+  EXPECT_EQ(empty->Where()->kids[1]->kids.size(), 0u);
+}
+
+TEST(ParserTest, TupleProjection) {
+  QExprPtr q = Parse("select p[pid, pname] from p in PART");
+  EXPECT_EQ(q->SelectBody()->kind, QExpr::Kind::kTupleProject);
+  EXPECT_EQ(q->SelectBody()->names,
+            (std::vector<std::string>{"pid", "pname"}));
+}
+
+TEST(ParserTest, AggregatesAndIsEmpty) {
+  QExprPtr q = Parse("select s from s in SUPPLIER where count(s.parts) = 0");
+  EXPECT_EQ(q->Where()->kids[0]->kind, QExpr::Kind::kAgg);
+  EXPECT_EQ(q->Where()->kids[0]->agg, AggKind::kCount);
+  QExprPtr q2 = Parse("select s from s in SUPPLIER where isempty(s.parts)");
+  EXPECT_EQ(q2->Where()->kind, QExpr::Kind::kIsEmptyCall);
+}
+
+TEST(ParserTest, PrecedenceArithmeticVsComparison) {
+  QExprPtr q = Parse("select x from x in X where x.a + 1 * 2 = 3");
+  const QExprPtr& w = q->Where();
+  EXPECT_EQ(w->bop, BinOp::kEq);
+  EXPECT_EQ(w->kids[0]->bop, BinOp::kAdd);
+  EXPECT_EQ(w->kids[0]->kids[1]->bop, BinOp::kMul);
+}
+
+TEST(ParserTest, DeepPathExpressions) {
+  QExprPtr q = Parse(
+      "select d from d in DELIVERY where d.supplier.sname = \"s1\"");
+  const QExprPtr& lhs = q->Where()->kids[0];
+  EXPECT_EQ(lhs->kind, QExpr::Kind::kField);
+  EXPECT_EQ(lhs->str, "sname");
+  EXPECT_EQ(lhs->kids[0]->str, "supplier");
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  Result<QExprPtr> r = Parser::ParseQueryString("select from x in X");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("1:8"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_FALSE(Parser::ParseQueryString("select x from x in X extra").ok());
+  EXPECT_FALSE(Parser::ParseQueryString("select x from in X").ok());
+}
+
+TEST(ParserTest, SchemaDefinitions) {
+  Result<Schema> s = Parser::ParseSchemaString(R"(
+    class Part with extension PART oid pid
+      attributes pname : string, price : int, color : string
+    end Part
+    class Supplier with extension SUPPLIER oid eid
+      attributes sname : string,
+                 parts : { (pid : Part) }
+    end Supplier
+  )");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  const ClassDef* part = s->FindClass("Part");
+  ASSERT_NE(part, nullptr);
+  EXPECT_EQ(part->oid_field, "pid");
+  EXPECT_TRUE(part->attributes[1].type->is_int());
+  const ClassDef* sup = s->FindClass("Supplier");
+  ASSERT_NE(sup, nullptr);
+  TypePtr parts = sup->ObjectType()->FindField("parts");
+  ASSERT_TRUE(parts->is_set());
+  EXPECT_TRUE(parts->element()->FindField("pid")->is_ref());
+  EXPECT_EQ(parts->element()->FindField("pid")->class_name(), "Part");
+}
+
+TEST(ParserTest, SchemaErrors) {
+  EXPECT_FALSE(Parser::ParseSchemaString("class").ok());
+  EXPECT_FALSE(
+      Parser::ParseSchemaString("class A attributes a : int end").ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  QExprPtr q = Parse(
+      "select s.sname from s in SUPPLIER where s.sname = \"s1\"");
+  std::string text = QExprToString(q);
+  EXPECT_NE(text.find("select s.sname from s in SUPPLIER"),
+            std::string::npos);
+  // The printed form parses again.
+  EXPECT_TRUE(Parser::ParseQueryString(text).ok());
+}
+
+}  // namespace
+}  // namespace n2j

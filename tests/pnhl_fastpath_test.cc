@@ -1,0 +1,164 @@
+// The PNHL fast path: the evaluator recognizes the Section 6.2 map
+// pattern and runs [DeLa92]'s algorithm instead of per-tuple joins.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace n2j {
+namespace {
+
+using testutil::EvalExpr;
+
+class PnhlFastPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    // S(id, items : {(k, q)}) and T(k2, w): key names differ so the
+    // pattern is also expressible as a plain ADL join (reference
+    // semantics for the fast path).
+    ASSERT_TRUE(
+        db_->CreateTable(
+               "S",
+               Type::Tuple(
+                   {{"id", Type::Int()},
+                    {"items", Type::Set(Type::Tuple({{"k", Type::Int()},
+                                                     {"q", Type::Int()}}))}}))
+            .ok());
+    ASSERT_TRUE(db_->CreateTable("T", Type::Tuple({{"k2", Type::Int()},
+                                                   {"w", Type::Int()}}))
+                    .ok());
+    Rng rng(71);
+    for (int i = 0; i < 30; ++i) {
+      std::vector<Value> items;
+      for (int j = 0, n = static_cast<int>(rng.Uniform(0, 5)); j < n; ++j) {
+        items.push_back(
+            Value::Tuple({Field("k", Value::Int(rng.Uniform(0, 19))),
+                          Field("q", Value::Int(rng.Uniform(1, 9)))}));
+      }
+      ASSERT_TRUE(
+          db_->Insert("S", Value::Tuple({Field("id", Value::Int(i)),
+                                         Field("items",
+                                               Value::Set(items))}))
+              .ok());
+    }
+    for (int i = 0; i < 15; ++i) {
+      ASSERT_TRUE(
+          db_->Insert("T", Value::Tuple({Field("k2", Value::Int(i)),
+                                         Field("w", Value::Int(i * 10))}))
+              .ok());
+    }
+  }
+
+  /// α[z : z except (items = z.items ⋈_{v,w : v.k = w.k2} T)](S)
+  ExprPtr Pattern() {
+    ExprPtr join = Expr::Join(
+        Expr::Access(Expr::Var("z"), "items"), Expr::Table("T"), "v", "w",
+        Expr::Eq(Expr::Access(Expr::Var("v"), "k"),
+                 Expr::Access(Expr::Var("w"), "k2")));
+    return Expr::Map(
+        "z", Expr::ExceptOp(Expr::Var("z"), {"items"}, {join}),
+        Expr::Table("S"));
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PnhlFastPathTest, FastPathMatchesGenericEvaluation) {
+  EvalOptions generic;
+  generic.enable_pnhl = false;
+  Value expected = EvalExpr(*db_, Pattern(), generic);
+
+  EvalOptions fast;  // enable_pnhl defaults to true
+  Evaluator ev(*db_, fast);
+  Result<Value> actual = ev.Eval(Pattern());
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_EQ(expected, *actual);
+  EXPECT_GT(ev.stats().pnhl_partitions, 0u) << "fast path did not engage";
+}
+
+TEST_F(PnhlFastPathTest, MemoryBudgetPartitionsAndStaysCorrect) {
+  EvalOptions generic;
+  generic.enable_pnhl = false;
+  Value expected = EvalExpr(*db_, Pattern(), generic);
+  EvalOptions tiny;
+  tiny.pnhl_memory_budget = 256;
+  Evaluator ev(*db_, tiny);
+  Result<Value> actual = ev.Eval(Pattern());
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(expected, *actual);
+  EXPECT_GT(ev.stats().pnhl_partitions, 1u);
+}
+
+TEST_F(PnhlFastPathTest, SameNamedKeysGetNaturalJoinSemantics) {
+  // S2.items elements use key name k2 — identical to T's key. The plain
+  // ADL join would fail on the name conflict; the fast path implements
+  // the paper's natural join (key kept once).
+  ASSERT_TRUE(
+      db_->CreateTable(
+             "S2",
+             Type::Tuple(
+                 {{"id", Type::Int()},
+                  {"items", Type::Set(Type::Tuple({{"k2", Type::Int()}}))}}))
+          .ok());
+  ASSERT_TRUE(
+      db_->Insert("S2",
+                  Value::Tuple(
+                      {Field("id", Value::Int(0)),
+                       Field("items",
+                             Value::Set({Value::Tuple(
+                                 {Field("k2", Value::Int(3))})}))}))
+          .ok());
+  ExprPtr join = Expr::Join(
+      Expr::Access(Expr::Var("z"), "items"), Expr::Table("T"), "v", "w",
+      Expr::Eq(Expr::Access(Expr::Var("v"), "k2"),
+               Expr::Access(Expr::Var("w"), "k2")));
+  ExprPtr pattern = Expr::Map(
+      "z", Expr::ExceptOp(Expr::Var("z"), {"items"}, {join}),
+      Expr::Table("S2"));
+
+  Value v = EvalExpr(*db_, pattern);
+  ASSERT_EQ(v.set_size(), 1u);
+  const Value& items = *v.elements()[0].FindField("items");
+  ASSERT_EQ(items.set_size(), 1u);
+  // (k2 = 3) ∘ (w = 30) with k2 once.
+  EXPECT_EQ(items.elements()[0].fields().size(), 2u);
+  EXPECT_EQ(items.elements()[0].FindField("w")->int_value(), 30);
+}
+
+TEST_F(PnhlFastPathTest, NonMatchingShapesUseTheGenericPath) {
+  // A map whose body is not the except-join pattern must not engage the
+  // fast path (and must still work).
+  ExprPtr other = Expr::Map("z", Expr::Access(Expr::Var("z"), "id"),
+                            Expr::Table("S"));
+  Evaluator ev(*db_);
+  Result<Value> r = ev.Eval(other);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ev.stats().pnhl_partitions, 0u);
+
+  // A correlated join predicate (uses z) must also fall back.
+  ExprPtr corr_join = Expr::Join(
+      Expr::Access(Expr::Var("z"), "items"), Expr::Table("T"), "v", "w",
+      Expr::And(Expr::Eq(Expr::Access(Expr::Var("v"), "k"),
+                         Expr::Access(Expr::Var("w"), "k2")),
+                Expr::Bin(BinOp::kGt, Expr::Access(Expr::Var("z"), "id"),
+                          Expr::Const(Value::Int(-1)))));
+  ExprPtr pattern = Expr::Map(
+      "z", Expr::ExceptOp(Expr::Var("z"), {"items"}, {corr_join}),
+      Expr::Table("S"));
+  Evaluator ev2(*db_);
+  Result<Value> r2 = ev2.Eval(pattern);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(ev2.stats().pnhl_partitions, 0u);
+}
+
+TEST_F(PnhlFastPathTest, EmptySetAttributesSurvive) {
+  EvalOptions fast;
+  Value v = EvalExpr(*db_, Pattern(), fast);
+  // Every S tuple is present, including those whose items set is empty.
+  EXPECT_EQ(v.set_size(),
+            EvalExpr(*db_, Expr::Table("S")).set_size());
+}
+
+}  // namespace
+}  // namespace n2j

@@ -1,0 +1,154 @@
+#include "adl/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "adl/expr.h"
+
+namespace n2j {
+namespace {
+
+TEST(PrinterTest, AtomsAndOperators) {
+  EXPECT_EQ(AlgebraStr(Expr::Const(Value::Int(5))), "5");
+  EXPECT_EQ(AlgebraStr(Expr::Var("x")), "x");
+  EXPECT_EQ(AlgebraStr(Expr::Table("PART")), "PART");
+  EXPECT_EQ(AlgebraStr(Expr::Eq(Expr::Var("a"), Expr::Var("b"))), "a = b");
+  EXPECT_EQ(AlgebraStr(Expr::Bin(BinOp::kIn, Expr::Var("a"),
+                                 Expr::Var("s"))),
+            "a ∈ s");
+  EXPECT_EQ(AlgebraStr(Expr::Not(Expr::Var("p"))), "¬p");
+}
+
+TEST(PrinterTest, IteratorsUsePaperNotation) {
+  ExprPtr sel = Expr::Select(
+      "x", Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                    Expr::Const(Value::Int(1))),
+      Expr::Table("X"));
+  EXPECT_EQ(AlgebraStr(sel), "σ[x : x.a = 1](X)");
+  ExprPtr map = Expr::Map("x", Expr::Access(Expr::Var("x"), "a"), sel);
+  EXPECT_EQ(AlgebraStr(map), "α[x : x.a](σ[x : x.a = 1](X))");
+  EXPECT_EQ(AlgebraStr(Expr::Project(Expr::Table("X"), {"a", "b"})),
+            "π_{a, b}(X)");
+  EXPECT_EQ(AlgebraStr(Expr::Unnest(Expr::Table("X"), "c")), "μ_c(X)");
+  EXPECT_EQ(AlgebraStr(Expr::Nest(Expr::Table("Y"), {"e"}, "es")),
+            "ν_{e → es}(Y)");
+  EXPECT_EQ(AlgebraStr(Expr::Flatten(Expr::Var("s"))), "⋃(s)");
+}
+
+TEST(PrinterTest, JoinFamily) {
+  ExprPtr pred = Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                          Expr::Access(Expr::Var("y"), "b"));
+  EXPECT_EQ(AlgebraStr(Expr::Join(Expr::Table("X"), Expr::Table("Y"), "x",
+                                  "y", pred)),
+            "X ⋈_{x,y : x.a = y.b} Y");
+  EXPECT_EQ(AlgebraStr(Expr::SemiJoin(Expr::Table("X"), Expr::Table("Y"),
+                                      "x", "y", pred)),
+            "X ⋉_{x,y : x.a = y.b} Y");
+  EXPECT_EQ(AlgebraStr(Expr::AntiJoin(Expr::Table("X"), Expr::Table("Y"),
+                                      "x", "y", pred)),
+            "X ▷_{x,y : x.a = y.b} Y");
+  // Simple nestjoin omits the identity inner function.
+  EXPECT_EQ(AlgebraStr(Expr::NestJoin(Expr::Table("X"), Expr::Table("Y"),
+                                      "x", "y", pred, "ys")),
+            "X ⊣_{x,y : x.a = y.b ; ys} Y");
+  // The extended form shows it.
+  EXPECT_EQ(AlgebraStr(Expr::NestJoin(Expr::Table("X"), Expr::Table("Y"),
+                                      "x", "y", pred, "es",
+                                      Expr::Access(Expr::Var("y"), "e"))),
+            "X ⊣_{x,y : x.a = y.b ; y.e ; es} Y");
+}
+
+TEST(PrinterTest, QuantifiersAndAggregates) {
+  ExprPtr q = Expr::Quant(QuantKind::kExists, "y", Expr::Table("Y"),
+                          Expr::Eq(Expr::Var("y"), Expr::Var("x")));
+  EXPECT_EQ(AlgebraStr(q), "∃y ∈ Y · y = x");
+  ExprPtr fa = Expr::Quant(QuantKind::kForall, "z",
+                           Expr::Access(Expr::Var("x"), "c"), Expr::True());
+  EXPECT_EQ(AlgebraStr(fa), "∀z ∈ x.c · true");
+  EXPECT_EQ(AlgebraStr(Expr::Agg(AggKind::kCount, Expr::Table("Y"))),
+            "count(Y)");
+}
+
+TEST(PrinterTest, PrecedenceParenthesization) {
+  // a ∧ (b ∨ c) keeps its parentheses; (a ∧ b) ∨ c prints without extra.
+  ExprPtr a = Expr::Var("a");
+  ExprPtr b = Expr::Var("b");
+  ExprPtr c = Expr::Var("c");
+  EXPECT_EQ(AlgebraStr(Expr::And(a, Expr::Or(b, c))), "a ∧ (b ∨ c)");
+  EXPECT_EQ(AlgebraStr(Expr::Or(Expr::And(a, b), c)), "a ∧ b ∨ c");
+  // Arithmetic under comparison.
+  ExprPtr sum = Expr::Bin(BinOp::kAdd, a, b);
+  EXPECT_EQ(AlgebraStr(Expr::Bin(BinOp::kLt, sum, c)), "a + b < c");
+  EXPECT_EQ(AlgebraStr(Expr::Bin(BinOp::kMul, sum, c)), "(a + b) * c");
+}
+
+TEST(PrinterTest, TupleAndSetForms) {
+  ExprPtr t = Expr::TupleConstruct(
+      {"sname", "n"},
+      {Expr::Access(Expr::Var("s"), "sname"), Expr::Const(Value::Int(1))});
+  EXPECT_EQ(AlgebraStr(t), "(sname = s.sname, n = 1)");
+  EXPECT_EQ(AlgebraStr(Expr::TupleProject(Expr::Var("p"), {"pid"})),
+            "p[pid]");
+  EXPECT_EQ(AlgebraStr(Expr::SetConstruct(
+                {Expr::Const(Value::Int(1)), Expr::Const(Value::Int(2))})),
+            "{1, 2}");
+  EXPECT_EQ(
+      AlgebraStr(Expr::ExceptOp(Expr::Var("x"), {"a"},
+                                {Expr::Const(Value::Int(9))})),
+      "x except (a = 9)");
+}
+
+TEST(PrinterTest, AsciiMode) {
+  PrintOptions ascii;
+  ascii.unicode = false;
+  ExprPtr sel = Expr::Select("x", Expr::True(), Expr::Table("X"));
+  EXPECT_EQ(ToAlgebraString(sel, ascii), "select[x : true](X)");
+  ExprPtr semi = Expr::SemiJoin(Expr::Table("X"), Expr::Table("Y"), "x",
+                                "y", Expr::True());
+  EXPECT_EQ(ToAlgebraString(semi, ascii), "X SEMIJOIN_{x,y : true} Y");
+}
+
+TEST(PrinterTest, PrettyModeIndentsPlanOperators) {
+  PrintOptions pretty;
+  pretty.pretty = true;
+  ExprPtr plan = Expr::Project(
+      Expr::Select(
+          "z", Expr::Bin(BinOp::kGt, Expr::Access(Expr::Var("z"), "a"),
+                         Expr::Const(Value::Int(0))),
+          Expr::SemiJoin(Expr::Table("X"), Expr::Table("Y"), "x", "y",
+                         Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                                  Expr::Access(Expr::Var("y"), "a")))),
+      {"a"});
+  std::string out = ToAlgebraString(plan, pretty);
+  EXPECT_EQ(out,
+            "π_{a}\n"
+            "  σ[z : z.a > 0]\n"
+            "    ⋉_{x,y : x.a = y.a}\n"
+            "      X\n"
+            "      Y");
+  // Scalar expressions stay single-line even in pretty mode.
+  EXPECT_EQ(ToAlgebraString(Expr::Eq(Expr::Var("a"), Expr::Var("b")),
+                            pretty),
+            "a = b");
+}
+
+TEST(PrinterTest, PrettyModeLetAndNestJoin) {
+  PrintOptions pretty;
+  pretty.pretty = true;
+  ExprPtr nj = Expr::NestJoin(Expr::Table("X"), Expr::Table("Y"), "x", "y",
+                              Expr::True(), "ys");
+  ExprPtr let = Expr::Let("v", Expr::Table("Y"), nj);
+  std::string out = ToAlgebraString(let, pretty);
+  EXPECT_NE(out.find("let v =\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("⊣_{x,y : true ; ys}\n"), std::string::npos) << out;
+}
+
+TEST(PrinterTest, DerefAndLet) {
+  EXPECT_EQ(AlgebraStr(Expr::Deref(Expr::Var("r"), "Part")),
+            "deref<Part>(r)");
+  EXPECT_EQ(AlgebraStr(Expr::Let("v", Expr::Table("Y"),
+                                 Expr::Agg(AggKind::kCount, Expr::Var("v")))),
+            "let v = Y in count(v)");
+}
+
+}  // namespace
+}  // namespace n2j

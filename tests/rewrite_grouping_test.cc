@@ -1,0 +1,249 @@
+// Section 5.2.2 (unnesting by grouping, the Complex Object bug, Table 3)
+// and Section 6.1 (the nestjoin rewrite).
+
+#include <gtest/gtest.h>
+
+#include "adl/analysis.h"
+#include "tests/test_util.h"
+
+namespace n2j {
+namespace {
+
+using testutil::CheckEquivalence;
+using testutil::EvalExpr;
+using testutil::HasNestedBaseTable;
+using testutil::RewriteExpr;
+
+bool ContainsKind(const ExprPtr& e, ExprKind kind) {
+  bool found = false;
+  VisitPreOrder(e, [&](const ExprPtr& n) {
+    if (n->kind() == kind) found = true;
+  });
+  return found;
+}
+
+class GroupingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeFigure2Database(); }
+
+  /// The Figure 1 / Figure 2 query: σ[x : x.c θ σ[y : x.a = y.a](Y)](X),
+  /// with Y'-elements projected to (d = y.e) so they are comparable with
+  /// the elements of x.c.
+  ExprPtr PaperQuery(BinOp op) {
+    ExprPtr subq = Expr::Map(
+        "y",
+        Expr::TupleConstruct({"d"}, {Expr::Access(Expr::Var("y"), "e")}),
+        Expr::Select("y",
+                     Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                              Expr::Access(Expr::Var("y"), "a")),
+                     Expr::Table("Y")));
+    return Expr::Select(
+        "x", Expr::Bin(op, Expr::Access(Expr::Var("x"), "c"), subq),
+        Expr::Table("X"));
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(GroupingTest, NestJoinRewriteIsEquivalentForSubsetEq) {
+  // Figure 1's x.c ⊆ Y': requires grouping; the nestjoin plan must agree
+  // with nested-loop evaluation, including the dangling tuple (a=2,c=∅)
+  // for which ∅ ⊆ ∅ holds.
+  RewriteOptions opts;  // default: nestjoin
+  RewriteResult r = CheckEquivalence(*db_, PaperQuery(BinOp::kSubsetEq), opts);
+  EXPECT_TRUE(r.Fired("NestJoinRewrite")) << r.TraceToString();
+  EXPECT_TRUE(ContainsKind(r.expr, ExprKind::kNestJoin));
+  EXPECT_FALSE(HasNestedBaseTable(r.expr));
+  // The result includes the dangling tuple: a=2 (∅ ⊆ ∅) and a=1
+  // ({1,2} ⊆ {1,2,3}).
+  Value v = EvalExpr(*db_, r.expr);
+  std::set<int64_t> as;
+  for (const Value& t : v.elements()) {
+    as.insert(t.FindField("a")->int_value());
+  }
+  EXPECT_EQ(as, (std::set<int64_t>{1, 2}));
+}
+
+TEST_F(GroupingTest, ForcedGroupingReproducesComplexObjectBug) {
+  // Figure 2: the [GaWo87] grouping plan loses (a=2, c=∅).
+  RewriteOptions unsafe;
+  unsafe.grouping = GroupingMode::kForceGroupingUnsafe;
+  ExprPtr q = PaperQuery(BinOp::kSubsetEq);
+  Value correct = EvalExpr(*db_, q);
+  RewriteResult r = RewriteExpr(*db_, q, unsafe);
+  EXPECT_TRUE(r.Fired("GroupingUnnest(UNSAFE-forced)")) << r.TraceToString();
+  Value buggy = EvalExpr(*db_, r.expr);
+  EXPECT_NE(correct, buggy) << "the Complex Object bug must reproduce";
+  // Exactly the dangling tuple is missing.
+  std::set<int64_t> as;
+  for (const Value& t : buggy.elements()) {
+    as.insert(t.FindField("a")->int_value());
+  }
+  EXPECT_EQ(as, (std::set<int64_t>{1}));
+}
+
+TEST_F(GroupingTest, SafeGroupingAppliesWhenPEmptyIsFalse) {
+  // x.c ⊂ Y' has P(x,∅) = false (Table 3): the grouping plan is safe and
+  // produces the same answer as the nestjoin.
+  RewriteOptions safe;
+  safe.grouping = GroupingMode::kGroupingWhenSafe;
+  RewriteResult r = CheckEquivalence(*db_, PaperQuery(BinOp::kSubset), safe);
+  EXPECT_TRUE(r.Fired("GroupingUnnest(safe)")) << r.TraceToString();
+  EXPECT_TRUE(ContainsKind(r.expr, ExprKind::kNest));
+  EXPECT_TRUE(ContainsKind(r.expr, ExprKind::kJoin));
+  EXPECT_FALSE(ContainsKind(r.expr, ExprKind::kNestJoin));
+}
+
+TEST_F(GroupingTest, UnsafeOperatorsFallBackToNestJoin) {
+  // For ⊆ / = / ⊇ the static analysis cannot prove P(x,∅) = false, so
+  // kGroupingWhenSafe must reject grouping and use the nestjoin.
+  RewriteOptions safe;
+  safe.grouping = GroupingMode::kGroupingWhenSafe;
+  for (BinOp op : {BinOp::kSubsetEq, BinOp::kEq}) {
+    RewriteResult r = CheckEquivalence(*db_, PaperQuery(op), safe);
+    EXPECT_TRUE(r.Fired("GroupingRejected"))
+        << BinOpName(op) << "\n"
+        << r.TraceToString();
+    EXPECT_TRUE(ContainsKind(r.expr, ExprKind::kNestJoin));
+  }
+}
+
+TEST_F(GroupingTest, Table3StaticAnalysis) {
+  // Reproduces Table 3: the value of P(x, ∅) per operator.
+  ExprPtr subq = Expr::Select(
+      "y", Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                    Expr::Access(Expr::Var("y"), "a")),
+      Expr::Table("Y"));
+  struct Row {
+    BinOp op;
+    TriBool expected;
+  };
+  const Row rows[] = {
+      {BinOp::kSubset, TriBool::kFalse},     // x.c ⊂ ∅  : false
+      {BinOp::kSubsetEq, TriBool::kUnknown}, // x.c ⊆ ∅  : ?
+      {BinOp::kEq, TriBool::kUnknown},       // x.c = ∅  : ?
+      {BinOp::kSupsetEq, TriBool::kTrue},    // x.c ⊇ ∅  : true
+      {BinOp::kSupset, TriBool::kUnknown},   // x.c ⊃ ∅  : ?
+      {BinOp::kContains, TriBool::kUnknown}, // x.c ∋ ∅  : ?
+      {BinOp::kIn, TriBool::kFalse},         // x.c ∈ ∅  : false
+  };
+  for (const Row& row : rows) {
+    ExprPtr pred =
+        Expr::Bin(row.op, Expr::Access(Expr::Var("x"), "c"), subq);
+    EXPECT_EQ(StaticValueWithEmptySubquery(pred, subq), row.expected)
+        << BinOpName(row.op);
+  }
+}
+
+TEST_F(GroupingTest, Table3CountPredicates) {
+  ExprPtr subq = Expr::Select(
+      "y", Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                    Expr::Access(Expr::Var("y"), "a")),
+      Expr::Table("Y"));
+  // count(Y') = 0 is true for the empty subquery (dangling tuples DO
+  // belong in the answer: the grouping plan would be buggy).
+  ExprPtr count_eq0 = Expr::Eq(Expr::Agg(AggKind::kCount, subq),
+                               Expr::Const(Value::Int(0)));
+  EXPECT_EQ(StaticValueWithEmptySubquery(count_eq0, subq), TriBool::kTrue);
+  // count(Y') > 0 is false for the empty subquery: grouping is safe.
+  ExprPtr count_gt0 = Expr::Bin(BinOp::kGt, Expr::Agg(AggKind::kCount, subq),
+                                Expr::Const(Value::Int(0)));
+  EXPECT_EQ(StaticValueWithEmptySubquery(count_gt0, subq), TriBool::kFalse);
+  // x.a = count(Y') is run-time dependent.
+  ExprPtr runtime = Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                             Expr::Agg(AggKind::kCount, subq));
+  EXPECT_EQ(StaticValueWithEmptySubquery(runtime, subq), TriBool::kUnknown);
+}
+
+TEST_F(GroupingTest, NestingInSelectClauseUsesNestJoin) {
+  // Example Query 6's shape: α[x : (a = x.a, ms = σ[y : x.a = y.a](Y))](X)
+  // ⇒ map over nestjoin; dangling x tuples keep ms = ∅.
+  ExprPtr subq = Expr::Select(
+      "y", Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                    Expr::Access(Expr::Var("y"), "a")),
+      Expr::Table("Y"));
+  ExprPtr body = Expr::TupleConstruct(
+      {"a", "ms"}, {Expr::Access(Expr::Var("x"), "a"), subq});
+  ExprPtr e = Expr::Map("x", body, Expr::Table("X"));
+  RewriteResult r = CheckEquivalence(*db_, e);
+  EXPECT_TRUE(r.Fired("NestJoinRewrite")) << r.TraceToString();
+  EXPECT_TRUE(ContainsKind(r.expr, ExprKind::kNestJoin));
+  Value v = EvalExpr(*db_, r.expr);
+  ASSERT_EQ(v.set_size(), 3u);
+  for (const Value& t : v.elements()) {
+    if (t.FindField("a")->int_value() == 2) {
+      EXPECT_EQ(t.FindField("ms")->set_size(), 0u);
+    }
+  }
+}
+
+TEST_F(GroupingTest, AggregateBetweenBlocksUsesNestJoin) {
+  // σ[x : x.a <= count(Y')](X) — the Kim82 class of queries with an
+  // aggregate between blocks.
+  ExprPtr subq = Expr::Select(
+      "y", Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                    Expr::Access(Expr::Var("y"), "a")),
+      Expr::Table("Y"));
+  ExprPtr e = Expr::Select(
+      "x",
+      Expr::Bin(BinOp::kLe, Expr::Access(Expr::Var("x"), "a"),
+                Expr::Agg(AggKind::kCount, subq)),
+      Expr::Table("X"));
+  RewriteResult r = CheckEquivalence(*db_, e);
+  EXPECT_TRUE(r.Fired("NestJoinRewrite")) << r.TraceToString();
+  EXPECT_FALSE(HasNestedBaseTable(r.expr));
+}
+
+TEST_F(GroupingTest, CountBugReproductionWithForcedGrouping) {
+  // The classical COUNT bug: σ[x : 0 = count(Y')](X) — dangling tuples
+  // must be in the answer; forced grouping drops them.
+  ExprPtr subq = Expr::Select(
+      "y", Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                    Expr::Access(Expr::Var("y"), "a")),
+      Expr::Table("Y"));
+  ExprPtr e = Expr::Select(
+      "x",
+      Expr::Eq(Expr::Const(Value::Int(0)), Expr::Agg(AggKind::kCount, subq)),
+      Expr::Table("X"));
+  Value correct = EvalExpr(*db_, e);
+  EXPECT_EQ(correct.set_size(), 1u);  // only a=2 has an empty subquery
+
+  RewriteOptions unsafe;
+  unsafe.grouping = GroupingMode::kForceGroupingUnsafe;
+  // Disable the Table 2 rewriting, which would (correctly!) turn this
+  // into an antijoin before grouping ever sees it.
+  unsafe.enable_setcmp = false;
+  unsafe.enable_quantifier = false;
+  RewriteResult r = RewriteExpr(*db_, e, unsafe);
+  ASSERT_TRUE(r.Fired("GroupingUnnest(UNSAFE-forced)")) << r.TraceToString();
+  Value buggy = EvalExpr(*db_, r.expr);
+  EXPECT_EQ(buggy.set_size(), 0u) << "the COUNT bug must reproduce";
+}
+
+TEST_F(GroupingTest, CountPredicateViaTable2IsCorrect) {
+  // With the full pipeline the same query becomes an antijoin and stays
+  // correct — the paper's point that ∈/∅-style predicates never need
+  // grouping.
+  ExprPtr subq = Expr::Select(
+      "y", Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                    Expr::Access(Expr::Var("y"), "a")),
+      Expr::Table("Y"));
+  ExprPtr e = Expr::Select(
+      "x",
+      Expr::Eq(Expr::Const(Value::Int(0)), Expr::Agg(AggKind::kCount, subq)),
+      Expr::Table("X"));
+  RewriteResult r = CheckEquivalence(*db_, e);
+  EXPECT_TRUE(r.Fired("Table2-CountZero")) << r.TraceToString();
+  EXPECT_TRUE(r.Fired("Rule1-AntiJoin")) << r.TraceToString();
+}
+
+TEST_F(GroupingTest, GroupingModeNoneLeavesNestedLoops) {
+  RewriteOptions none;
+  none.grouping = GroupingMode::kNone;
+  RewriteResult r = CheckEquivalence(*db_, PaperQuery(BinOp::kSubsetEq), none);
+  EXPECT_FALSE(ContainsKind(r.expr, ExprKind::kNestJoin));
+  EXPECT_TRUE(HasNestedBaseTable(r.expr));
+}
+
+}  // namespace
+}  // namespace n2j

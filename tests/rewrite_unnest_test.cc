@@ -1,0 +1,138 @@
+// Optimization option 1 (Section 4): unnesting of set-valued attributes
+// with µ, driven by Example Query 4 (referential integrity).
+
+#include <gtest/gtest.h>
+
+#include "adl/analysis.h"
+#include "tests/test_util.h"
+
+namespace n2j {
+namespace {
+
+using testutil::CheckEquivalence;
+using testutil::HasNestedBaseTable;
+using testutil::TranslateOrDie;
+
+bool ContainsKind(const ExprPtr& e, ExprKind kind) {
+  bool found = false;
+  VisitPreOrder(e, [&](const ExprPtr& n) {
+    if (n->kind() == kind) found = true;
+  });
+  return found;
+}
+
+class UnnestAttrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SupplierPartConfig config;
+    config.seed = 11;
+    config.num_parts = 30;
+    config.num_suppliers = 15;
+    config.parts_per_supplier = 4;
+    config.match_fraction = 0.7;  // ensure RI violations exist
+    db_ = MakeSupplierPartDatabase(config);
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(UnnestAttrTest, ExampleQuery4BecomesUnnestAntijoin) {
+  // π_eid(σ[s : ∃z ∈ s.parts · ¬∃p ∈ PART · z = p[pid]](SUPPLIER))
+  //   ⇒ π_eid(µ_parts(SUPPLIER) ▷ PART)
+  ExprPtr e = TranslateOrDie(
+      *db_,
+      "select s.eid from s in SUPPLIER where "
+      "exists z in s.parts : not exists p in PART : z.pid = p.pid");
+  RewriteResult r = CheckEquivalence(*db_, e);
+  EXPECT_TRUE(r.Fired("UnnestAttribute")) << r.TraceToString();
+  EXPECT_TRUE(r.Fired("Rule1-AntiJoin")) << r.TraceToString();
+  EXPECT_TRUE(ContainsKind(r.expr, ExprKind::kUnnest));
+  EXPECT_TRUE(ContainsKind(r.expr, ExprKind::kAntiJoin));
+  EXPECT_FALSE(HasNestedBaseTable(r.expr));
+}
+
+TEST_F(UnnestAttrTest, PositiveExistentialPrefersExchangeOverUnnest) {
+  // Example Query 5's shape: suppliers supplying red parts. The ∃∃
+  // exchange heuristic moves the base-table quantifier leftmost and a
+  // semijoin results — the paper's own plan, with no µ required
+  // (relational rewriting has priority over attribute unnesting).
+  ExprPtr e = TranslateOrDie(
+      *db_,
+      "select s.sname from s in SUPPLIER where "
+      "exists z in s.parts : exists p in PART : "
+      "z.pid = p.pid and p.color = \"red\"");
+  RewriteResult r = CheckEquivalence(*db_, e);
+  EXPECT_TRUE(r.Fired("ExchangeQuantifiers")) << r.TraceToString();
+  EXPECT_TRUE(r.Fired("Rule1-SemiJoin")) << r.TraceToString();
+  EXPECT_FALSE(r.Fired("UnnestAttribute")) << r.TraceToString();
+  EXPECT_FALSE(HasNestedBaseTable(r.expr));
+}
+
+TEST_F(UnnestAttrTest, BlockedWhenResultNeedsTheAttribute) {
+  // The select-clause uses s.parts, so the nest phase cannot be skipped:
+  // no µ rewrite.
+  ExprPtr e = TranslateOrDie(
+      *db_,
+      "select (n = s.sname, ps = s.parts) from s in SUPPLIER where "
+      "exists z in s.parts : exists p in PART : z.pid = p.pid");
+  RewriteResult r = CheckEquivalence(*db_, e);
+  EXPECT_FALSE(r.Fired("UnnestAttribute")) << r.TraceToString();
+  EXPECT_FALSE(ContainsKind(r.expr, ExprKind::kUnnest));
+}
+
+TEST_F(UnnestAttrTest, BlockedForUniversalQuantification) {
+  // ∀z ∈ s.parts · φ: losing suppliers with empty part sets would be
+  // wrong (∀ over ∅ is true), so option 1 must not fire.
+  ExprPtr e = TranslateOrDie(
+      *db_,
+      "select s.eid from s in SUPPLIER where "
+      "forall z in s.parts : exists p in PART : z.pid = p.pid");
+  RewriteResult r = CheckEquivalence(*db_, e);
+  EXPECT_FALSE(r.Fired("UnnestAttribute")) << r.TraceToString();
+}
+
+TEST_F(UnnestAttrTest, BlockedWhenOtherConjunctUsesAttribute) {
+  ExprPtr e = TranslateOrDie(
+      *db_,
+      "select s.eid from s in SUPPLIER where "
+      "(exists z in s.parts : exists p in PART : z.pid = p.pid) "
+      "and count(s.parts) > 2");
+  RewriteResult r = CheckEquivalence(*db_, e);
+  EXPECT_FALSE(r.Fired("UnnestAttribute")) << r.TraceToString();
+}
+
+TEST_F(UnnestAttrTest, EmptySetSuppliersAreHandledCorrectly) {
+  // Suppliers with zero parts: the ∃ is false for them, and µ drops
+  // them — both agree (the paper's justification for option 1).
+  // Hand-built: one supplier with parts, one without.
+  Database db2(MakeSupplierPartSchema());
+  Result<Oid> part = db2.NewObject(
+      "Part", Value::Tuple({Field("pname", Value::String("p")),
+                            Field("price", Value::Int(1)),
+                            Field("color", Value::String("red"))}));
+  ASSERT_TRUE(part.ok());
+  ASSERT_TRUE(db2.NewObject(
+                     "Supplier",
+                     Value::Tuple(
+                         {Field("sname", Value::String("with")),
+                          Field("parts",
+                                Value::Set({Value::Tuple(
+                                    {Field("pid", Value::MakeOidValue(
+                                                      *part))})}))}))
+                  .ok());
+  ASSERT_TRUE(
+      db2.NewObject("Supplier",
+                    Value::Tuple({Field("sname", Value::String("empty")),
+                                  Field("parts", Value::EmptySet())}))
+          .ok());
+  ExprPtr e = TranslateOrDie(
+      db2,
+      "select s.sname from s in SUPPLIER where "
+      "exists z in s.parts : exists p in PART : z.pid = p.pid");
+  RewriteResult r = CheckEquivalence(db2, e);
+  Value v = testutil::EvalExpr(db2, r.expr);
+  ASSERT_EQ(v.set_size(), 1u);
+  EXPECT_EQ(v.elements()[0], Value::String("with"));
+}
+
+}  // namespace
+}  // namespace n2j

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "storage/datagen.h"
+#include "storage/database.h"
+#include "storage/object_store.h"
+
+namespace n2j {
+namespace {
+
+TEST(ObjectStoreTest, PutGetRoundTrip) {
+  ObjectStore store(4, 2);
+  Oid a = MakeOid(1, 0);
+  ASSERT_TRUE(store.Put(a, Value::Int(10)).ok());
+  ASSERT_TRUE(store.Put(MakeOid(1, 1), Value::Int(11)).ok());
+  Result<Value> v = store.Get(a);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(10));
+  EXPECT_TRUE(store.Contains(a));
+  EXPECT_FALSE(store.Contains(MakeOid(1, 9)));
+  EXPECT_FALSE(store.Get(MakeOid(2, 0)).ok());
+}
+
+TEST(ObjectStoreTest, DenseAllocationEnforced) {
+  ObjectStore store;
+  EXPECT_FALSE(store.Put(MakeOid(1, 5), Value::Int(1)).ok());
+  EXPECT_TRUE(store.Put(MakeOid(1, 0), Value::Int(1)).ok());
+  EXPECT_FALSE(store.Put(MakeOid(1, 0), Value::Int(1)).ok());
+}
+
+TEST(ObjectStoreTest, PageCacheCountsHitsAndMisses) {
+  ObjectStore store(/*page_size=*/2, /*cache_pages=*/1);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.Put(MakeOid(1, i), Value::Int(int64_t(i))).ok());
+  }
+  store.ResetStats();
+  // Sequential scan: 6 derefs touch 3 pages; first touch of each page is
+  // a miss, the second a hit.
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.Get(MakeOid(1, i)).ok());
+  }
+  EXPECT_EQ(store.stats().gets, 6u);
+  EXPECT_EQ(store.stats().page_misses, 3u);
+  EXPECT_EQ(store.stats().page_hits, 3u);
+
+  store.ResetStats();
+  // Ping-pong across pages with a single cache page: all misses.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(store.Get(MakeOid(1, 0)).ok());
+    ASSERT_TRUE(store.Get(MakeOid(1, 4)).ok());
+  }
+  EXPECT_EQ(store.stats().page_misses, 6u);
+}
+
+TEST(DatabaseTest, NewObjectAddsOidFieldAndExtentRow) {
+  Database db(MakeSupplierPartSchema());
+  Result<Oid> oid = db.NewObject(
+      "Part", Value::Tuple({Field("pname", Value::String("bolt")),
+                            Field("price", Value::Int(5)),
+                            Field("color", Value::String("red"))}));
+  ASSERT_TRUE(oid.ok());
+  const Table* t = db.FindTable("PART");
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->size(), 1u);
+  EXPECT_EQ(t->rows()[0].FindField("pid")->oid_value(), *oid);
+  Result<Value> obj = db.Deref(*oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->FindField("pname")->string_value(), "bolt");
+}
+
+TEST(DatabaseTest, PlainTables) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("T", Type::Tuple({{"a", Type::Int()}})).ok());
+  EXPECT_FALSE(db.CreateTable("T", Type::Tuple({{"a", Type::Int()}})).ok());
+  EXPECT_TRUE(
+      db.Insert("T", Value::Tuple({Field("a", Value::Int(1))})).ok());
+  EXPECT_FALSE(db.Insert("NOPE", Value::Int(1)).ok());
+  EXPECT_FALSE(db.Insert("T", Value::Int(1)).ok());
+  EXPECT_EQ(db.FindTable("T")->size(), 1u);
+}
+
+TEST(DatagenTest, SupplierPartRespectsConfig) {
+  SupplierPartConfig config;
+  config.num_parts = 30;
+  config.num_suppliers = 10;
+  config.parts_per_supplier = 4;
+  config.num_deliveries = 5;
+  auto db = MakeSupplierPartDatabase(config);
+  EXPECT_EQ(db->FindTable("PART")->size(), 30u);
+  EXPECT_EQ(db->FindTable("SUPPLIER")->size(), 10u);
+  EXPECT_EQ(db->FindTable("DELIVERY")->size(), 5u);
+  for (const Value& s : db->FindTable("SUPPLIER")->rows()) {
+    EXPECT_LE(s.FindField("parts")->set_size(), 4u);
+  }
+}
+
+TEST(DatagenTest, MatchFractionControlsDanglingRefs) {
+  SupplierPartConfig config;
+  config.num_parts = 50;
+  config.num_suppliers = 40;
+  config.parts_per_supplier = 10;
+  config.match_fraction = 1.0;
+  auto db = MakeSupplierPartDatabase(config);
+  for (const Value& s : db->FindTable("SUPPLIER")->rows()) {
+    for (const Value& ref : s.FindField("parts")->elements()) {
+      EXPECT_TRUE(db->store().Contains(ref.FindField("pid")->oid_value()));
+    }
+  }
+  config.match_fraction = 0.0;
+  auto db2 = MakeSupplierPartDatabase(config);
+  size_t dangling = 0;
+  for (const Value& s : db2->FindTable("SUPPLIER")->rows()) {
+    for (const Value& ref : s.FindField("parts")->elements()) {
+      if (!db2->store().Contains(ref.FindField("pid")->oid_value())) {
+        ++dangling;
+      }
+    }
+  }
+  EXPECT_GT(dangling, 0u);
+}
+
+TEST(DatagenTest, DeterministicUnderSeed) {
+  SupplierPartConfig config;
+  config.seed = 123;
+  auto a = MakeSupplierPartDatabase(config);
+  auto b = MakeSupplierPartDatabase(config);
+  EXPECT_EQ(a->FindTable("SUPPLIER")->AsSetValue(),
+            b->FindTable("SUPPLIER")->AsSetValue());
+}
+
+TEST(DatagenTest, Figure2DataMatchesPaper) {
+  auto db = MakeFigure2Database();
+  const Table* x = db->FindTable("X");
+  ASSERT_EQ(x->size(), 3u);
+  // The dangling tuple (a=2, c=∅).
+  bool found_empty = false;
+  for (const Value& row : x->rows()) {
+    if (row.FindField("a")->int_value() == 2) {
+      EXPECT_EQ(row.FindField("c")->set_size(), 0u);
+      found_empty = true;
+    }
+  }
+  EXPECT_TRUE(found_empty);
+  EXPECT_EQ(db->FindTable("Y")->size(), 4u);
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Uniform(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    int64_t z = r.Zipf(100, 0.9);
+    EXPECT_GE(z, 0);
+    EXPECT_LT(z, 100);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace n2j

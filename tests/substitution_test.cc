@@ -1,0 +1,140 @@
+// The capture-avoidance and scope-skipping machinery underneath every
+// rewrite: Substitute's alpha-renaming, ReplaceSubexpr's binder checks,
+// and OnlyFieldAccesses — the helpers whose subtle failure modes would
+// silently corrupt plans.
+
+#include <gtest/gtest.h>
+
+#include "adl/analysis.h"
+#include "adl/printer.h"
+#include "rewrite/rules_internal.h"
+#include "tests/test_util.h"
+
+namespace n2j {
+namespace {
+
+using rewrite_internal::OnlyFieldAccesses;
+using rewrite_internal::ReplaceSubexpr;
+
+TEST(SubstitutionTest, RenamesSelectBinderOnCapture) {
+  // [y := x.a] into σ[x : x.b = y](T): the bound x must be renamed so
+  // the free x in the replacement stays free.
+  ExprPtr e = Expr::Select(
+      "x", Expr::Eq(Expr::Access(Expr::Var("x"), "b"), Expr::Var("y")),
+      Expr::Table("T"));
+  ExprPtr out = Substitute(e, "y", Expr::Access(Expr::Var("x"), "a"));
+  EXPECT_NE(out->var(), "x");
+  // The replacement's x is free in the result.
+  EXPECT_TRUE(IsFreeIn("x", out)) << AlgebraStr(out);
+  // The binder's occurrences were renamed consistently.
+  EXPECT_TRUE(IsFreeIn(out->var(), out->child(1)) ||
+              out->child(1)->TreeSize() > 0);
+}
+
+TEST(SubstitutionTest, RenamesJoinBindersOnCapture) {
+  // Join binds two variables; capture through either must rename.
+  ExprPtr join = Expr::SemiJoin(
+      Expr::Table("A"), Expr::Table("B"), "x", "y",
+      Expr::And(Expr::Eq(Expr::Var("x"), Expr::Var("y")),
+                Expr::Eq(Expr::Var("z"), Expr::Var("z"))));
+  ExprPtr out = Substitute(join, "z", Expr::Var("y"));
+  // The y of the replacement must not be captured by the join's y.
+  EXPECT_NE(out->var2(), "y");
+  EXPECT_TRUE(IsFreeIn("y", out)) << AlgebraStr(out);
+}
+
+TEST(SubstitutionTest, QuantifierShadowingStopsSubstitution) {
+  // [v := 1] into ∃v∈R·v = v: bound occurrences untouched.
+  ExprPtr q = Expr::Quant(QuantKind::kExists, "v", Expr::Var("v"),
+                          Expr::Eq(Expr::Var("v"), Expr::Var("v")));
+  ExprPtr out = Substitute(q, "v", Expr::Const(Value::Int(1)));
+  // The range (not bound) was substituted; the predicate was not.
+  EXPECT_EQ(out->child(0)->kind(), ExprKind::kConst);
+  EXPECT_EQ(out->child(1)->child(0)->kind(), ExprKind::kVar);
+}
+
+TEST(SubstitutionTest, NestJoinInnerFunctionIsBound) {
+  // Both pred and inner are binding children of a nestjoin.
+  ExprPtr nj = Expr::NestJoin(
+      Expr::Table("A"), Expr::Table("B"), "x", "y",
+      Expr::Eq(Expr::Var("x"), Expr::Var("y")), "g",
+      Expr::Access(Expr::Var("y"), "f"));
+  ExprPtr out = Substitute(nj, "y", Expr::Const(Value::Int(5)));
+  // No occurrence was replaced: y is bound everywhere it appears.
+  EXPECT_TRUE(out->Equals(*nj));
+}
+
+TEST(SubstitutionTest, SubstituteIntoOperandsStillWorks) {
+  // The operand children of iterators are NOT bound; a free var there
+  // must be substituted even when the binder shares its name.
+  ExprPtr e = Expr::Select("v", Expr::True(), Expr::Var("v"));
+  ExprPtr out = Substitute(e, "v", Expr::Table("T"));
+  EXPECT_EQ(out->child(0)->kind(), ExprKind::kGetTable);
+}
+
+TEST(ReplaceSubexprTest, ReplacesAllEqualOccurrences) {
+  ExprPtr target = Expr::Access(Expr::Var("x"), "a");
+  ExprPtr e = Expr::And(Expr::Eq(target, Expr::Const(Value::Int(1))),
+                        Expr::Eq(target, Expr::Const(Value::Int(2))));
+  ExprPtr out = ReplaceSubexpr(e, target, Expr::Var("k"));
+  EXPECT_EQ(AlgebraStr(out), "k = 1 ∧ k = 2");
+}
+
+TEST(ReplaceSubexprTest, SkipsScopesThatRebindFreeVars) {
+  // target = x.a with free x; inside σ[x : …] the x is a different
+  // binding, so no replacement may happen there.
+  ExprPtr target = Expr::Access(Expr::Var("x"), "a");
+  ExprPtr shadowed = Expr::Select(
+      "x", Expr::Eq(target, Expr::Const(Value::Int(1))), Expr::Table("T"));
+  ExprPtr e = Expr::And(
+      Expr::Eq(target, Expr::Const(Value::Int(0))),
+      Expr::Bin(BinOp::kIn, Expr::Const(Value::Int(9)),
+                Expr::Map("m", Expr::Var("m"), shadowed)));
+  ExprPtr out = ReplaceSubexpr(e, target, Expr::Var("k"));
+  // Outer occurrence replaced…
+  EXPECT_EQ(AlgebraStr(out->child(0)), "k = 0");
+  // …inner (shadowed) untouched.
+  bool inner_intact = false;
+  VisitPreOrder(out, [&](const ExprPtr& n) {
+    if (n->kind() == ExprKind::kSelect && n->var() == "x" &&
+        n->child(1)->child(0)->Equals(*target)) {
+      inner_intact = true;
+    }
+  });
+  EXPECT_TRUE(inner_intact) << AlgebraStr(out);
+}
+
+TEST(OnlyFieldAccessesTest, DetectsWholesaleUses) {
+  ExprPtr field_only = Expr::And(
+      Expr::Eq(Expr::Access(Expr::Var("x"), "a"), Expr::Const(Value::Int(1))),
+      Expr::Bin(BinOp::kGt, Expr::Access(Expr::Var("x"), "b"),
+                Expr::Const(Value::Int(0))));
+  EXPECT_TRUE(OnlyFieldAccesses(field_only, "x"));
+
+  ExprPtr wholesale = Expr::Bin(BinOp::kIn, Expr::Var("x"),
+                                Expr::Const(Value::EmptySet()));
+  EXPECT_FALSE(OnlyFieldAccesses(wholesale, "x"));
+
+  // A shadowed x below a binder does not count as a use.
+  ExprPtr shadowed = Expr::Quant(
+      QuantKind::kExists, "x", Expr::Const(Value::EmptySet()),
+      Expr::Bin(BinOp::kIn, Expr::Var("x"), Expr::Const(Value::EmptySet())));
+  EXPECT_TRUE(OnlyFieldAccesses(shadowed, "x")) << AlgebraStr(shadowed);
+
+  // Tuple projection x[a] is a wholesale use (the projection needs the
+  // tuple), so rebinding to a wider tuple is unsafe only via projection:
+  ExprPtr proj = Expr::TupleProject(Expr::Var("x"), {"a"});
+  EXPECT_FALSE(OnlyFieldAccesses(proj, "x"));
+}
+
+TEST(FreshVarTest, AvoidsEverythingInScope) {
+  ExprPtr e = Expr::Select(
+      "z", Expr::Eq(Expr::Var("z1"), Expr::Var("z2")), Expr::Table("T"));
+  std::string fresh = FreshVar("z", e);
+  EXPECT_NE(fresh, "z");
+  EXPECT_NE(fresh, "z1");
+  EXPECT_NE(fresh, "z2");
+}
+
+}  // namespace
+}  // namespace n2j

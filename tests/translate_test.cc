@@ -1,0 +1,168 @@
+#include "oosql/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "adl/printer.h"
+#include "tests/test_util.h"
+
+namespace n2j {
+namespace {
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testutil::SmallSupplierDb();
+    ASSERT_TRUE(AddRandomXY(db_.get(), XYConfig()).ok());
+  }
+
+  TypedExpr Tr(const std::string& text) {
+    Translator tr(db_->schema(), db_.get());
+    Result<TypedExpr> r = tr.TranslateString(text);
+    EXPECT_TRUE(r.ok()) << text << "\n" << r.status().ToString();
+    if (!r.ok()) std::abort();
+    return *r;
+  }
+
+  Status TrError(const std::string& text) {
+    Translator tr(db_->schema(), db_.get());
+    Result<TypedExpr> r = tr.TranslateString(text);
+    EXPECT_FALSE(r.ok()) << text << " unexpectedly translated";
+    return r.ok() ? Status::OK() : r.status();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(TranslateTest, SimpleSelectBecomesMapOverSelect) {
+  TypedExpr t = Tr(
+      "select p.pname from p in PART where p.color = \"red\"");
+  // α[p : p.pname](σ[p : p.color = "red"](PART))
+  EXPECT_EQ(t.expr->kind(), ExprKind::kMap);
+  EXPECT_EQ(t.expr->child(0)->kind(), ExprKind::kSelect);
+  EXPECT_EQ(t.expr->child(0)->child(0)->kind(), ExprKind::kGetTable);
+  EXPECT_TRUE(t.type->is_set());
+  EXPECT_TRUE(t.type->element()->is_string());
+}
+
+TEST_F(TranslateTest, NoWhereClauseOmitsSelection) {
+  TypedExpr t = Tr("select p.price from p in PART");
+  EXPECT_EQ(t.expr->kind(), ExprKind::kMap);
+  EXPECT_EQ(t.expr->child(0)->kind(), ExprKind::kGetTable);
+}
+
+TEST_F(TranslateTest, MultiRangeBecomesFlattenedNest) {
+  TypedExpr t = Tr(
+      "select (a = x.a, e = y.e) from x in X, y in Y where x.a = y.a");
+  EXPECT_EQ(t.expr->kind(), ExprKind::kFlatten);
+  EXPECT_EQ(t.expr->child(0)->kind(), ExprKind::kMap);
+  EXPECT_TRUE(t.type->element()->is_tuple());
+}
+
+TEST_F(TranslateTest, DependentRangeOverSetAttribute) {
+  TypedExpr t = Tr("select x.pid from s in SUPPLIER, x in s.parts");
+  EXPECT_EQ(t.expr->kind(), ExprKind::kFlatten);
+  // The element type is the Ref(Part) stored in parts elements.
+  EXPECT_TRUE(t.type->element()->is_ref());
+}
+
+TEST_F(TranslateTest, PathThroughReferenceInsertsDeref) {
+  TypedExpr t = Tr(
+      "select d from d in DELIVERY where d.supplier.sname = \"s1\"");
+  std::string printed = AlgebraStr(t.expr);
+  EXPECT_NE(printed.find("deref<Supplier>"), std::string::npos) << printed;
+}
+
+TEST_F(TranslateTest, TypesOfLiteralsAndOps) {
+  EXPECT_TRUE(Tr("select p.price * 2 from p in PART")
+                  .type->element()->is_int());
+  EXPECT_TRUE(Tr("select p.price * 1.5 from p in PART")
+                  .type->element()->is_double());
+  EXPECT_TRUE(Tr("select p.price > 3 from p in PART")
+                  .type->element()->is_bool());
+  EXPECT_TRUE(Tr("select count(s.parts) from s in SUPPLIER")
+                  .type->element()->is_int());
+  EXPECT_TRUE(Tr("select avg(select p.price from p in PART) "
+                 "from s in SUPPLIER")
+                  .type->element()->is_double());
+}
+
+TEST_F(TranslateTest, QuantifiersTypeCheck) {
+  TypedExpr t = Tr(
+      "select s.sname from s in SUPPLIER where "
+      "exists x in s.parts : exists p in PART : x.pid = p.pid");
+  EXPECT_TRUE(t.type->element()->is_string());
+}
+
+TEST_F(TranslateTest, SetComparisonOnAttributes) {
+  TypedExpr t = Tr(
+      "select s.sname from s in SUPPLIER where "
+      "s.parts supseteq (select x from t in SUPPLIER, x in t.parts "
+      "where t.sname = \"s1\")");
+  EXPECT_TRUE(t.type->element()->is_string());
+}
+
+TEST_F(TranslateTest, ErrorSetOfSetsComparison) {
+  // The un-flattened variant compares { (pid) } with { { (pid) } }: a
+  // type error our checker reports (the paper's notation glosses it).
+  TrError(
+      "select s.sname from s in SUPPLIER where "
+      "s.parts supseteq (select t.parts from t in SUPPLIER "
+      "where t.sname = \"s1\")");
+}
+
+TEST_F(TranslateTest, VariablesShadowTables) {
+  // Using the extent name as a variable is legal; inside, it refers to
+  // the tuple.
+  TypedExpr t = Tr("select PART.pname from PART in PART");
+  EXPECT_EQ(t.expr->kind(), ExprKind::kMap);
+}
+
+TEST_F(TranslateTest, ErrorUnknownIdentifier) {
+  Status st = TrError("select z.a from x in X");
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_NE(st.message().find("unknown identifier 'z'"), std::string::npos);
+}
+
+TEST_F(TranslateTest, ErrorUnknownAttribute) {
+  Status st = TrError("select p.nope from p in PART");
+  EXPECT_NE(st.message().find("no attribute 'nope'"), std::string::npos);
+}
+
+TEST_F(TranslateTest, ErrorNonSetRange) {
+  TrError("select x from x in 42");
+}
+
+TEST_F(TranslateTest, ErrorNonBooleanWhere) {
+  TrError("select p from p in PART where p.price");
+}
+
+TEST_F(TranslateTest, ErrorTypeMismatchComparison) {
+  TrError("select p from p in PART where p.pname = 3");
+  TrError("select p from p in PART where p.price in PART");
+}
+
+TEST_F(TranslateTest, ErrorMixedSetLiteral) {
+  TrError("select x from x in X where x.a in {1, \"two\"}");
+}
+
+TEST_F(TranslateTest, ErrorDuplicateTupleField) {
+  TrError("select (a = 1, a = 2) from p in PART");
+}
+
+TEST_F(TranslateTest, EmptySetLiteralTypesAsAny) {
+  TypedExpr t = Tr("select x from x in X where x.c = {}");
+  EXPECT_TRUE(t.type->is_set());
+}
+
+TEST_F(TranslateTest, TranslationEvaluates) {
+  // End-to-end sanity: the translated tree evaluates without error.
+  TypedExpr t = Tr(
+      "select s.sname from s in SUPPLIER where "
+      "exists x in s.parts : exists p in PART : "
+      "x.pid = p.pid and p.color = \"red\"");
+  Value v = testutil::EvalExpr(*db_, t.expr);
+  EXPECT_TRUE(v.is_set());
+}
+
+}  // namespace
+}  // namespace n2j

@@ -1,0 +1,66 @@
+#include "adl/type.h"
+
+#include <gtest/gtest.h>
+
+namespace n2j {
+namespace {
+
+TEST(TypeTest, AtomSingletonsAndPredicates) {
+  EXPECT_TRUE(Type::Int()->is_int());
+  EXPECT_TRUE(Type::Int()->is_numeric());
+  EXPECT_TRUE(Type::Double()->is_numeric());
+  EXPECT_FALSE(Type::String()->is_numeric());
+  EXPECT_EQ(Type::Int().get(), Type::Int().get());  // interned
+}
+
+TEST(TypeTest, TupleFields) {
+  TypePtr t = Type::Tuple({{"a", Type::Int()}, {"b", Type::String()}});
+  ASSERT_TRUE(t->is_tuple());
+  EXPECT_TRUE(t->FindField("a")->is_int());
+  EXPECT_TRUE(t->FindField("b")->is_string());
+  EXPECT_EQ(t->FindField("c"), nullptr);
+  EXPECT_EQ(t->FieldNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TypeTest, StructuralEquality) {
+  TypePtr t1 = Type::Set(Type::Tuple({{"a", Type::Int()}}));
+  TypePtr t2 = Type::Set(Type::Tuple({{"a", Type::Int()}}));
+  TypePtr t3 = Type::Set(Type::Tuple({{"a", Type::String()}}));
+  TypePtr t4 = Type::Set(Type::Tuple({{"b", Type::Int()}}));
+  EXPECT_TRUE(t1->Equals(*t2));
+  EXPECT_FALSE(t1->Equals(*t3));
+  EXPECT_FALSE(t1->Equals(*t4));
+}
+
+TEST(TypeTest, RefEqualityByClassName) {
+  EXPECT_TRUE(Type::Ref("Part")->Equals(*Type::Ref("Part")));
+  EXPECT_FALSE(Type::Ref("Part")->Equals(*Type::Ref("Supplier")));
+}
+
+TEST(TypeTest, AnyEqualsEverything) {
+  EXPECT_TRUE(Type::Any()->Equals(*Type::Int()));
+  EXPECT_TRUE(Type::Set(Type::Any())->Equals(*Type::Set(Type::Int())));
+}
+
+TEST(TypeTest, ComparableWith) {
+  EXPECT_TRUE(Type::Int()->ComparableWith(*Type::Double()));
+  EXPECT_TRUE(Type::Ref("Part")->ComparableWith(*Type::OidType()));
+  EXPECT_TRUE(Type::OidType()->ComparableWith(*Type::Ref("Part")));
+  EXPECT_FALSE(Type::Int()->ComparableWith(*Type::String()));
+}
+
+TEST(TypeTest, ToStringRendering) {
+  EXPECT_EQ(Type::Int()->ToString(), "int");
+  EXPECT_EQ(Type::Ref("Part")->ToString(), "Ref(Part)");
+  TypePtr t = Type::Set(Type::Tuple({{"a", Type::Int()}}));
+  EXPECT_EQ(t->ToString(), "{ (a : int) }");
+}
+
+TEST(TypeTest, TableTypeHelper) {
+  TypePtr t = TableType({{"a", Type::Int()}});
+  EXPECT_TRUE(t->is_set());
+  EXPECT_TRUE(t->element()->is_tuple());
+}
+
+}  // namespace
+}  // namespace n2j

@@ -1,0 +1,105 @@
+// The paper's `with` construct — local definitions in the general query
+// format of Section 5.1:
+//
+//   select F(x) from x in X where P(x, Y')
+//     with Y' = select G(x,y) from y in Y where Q(x,y)
+
+#include <gtest/gtest.h>
+
+#include "oosql/parser.h"
+#include "tests/test_util.h"
+
+namespace n2j {
+namespace {
+
+using testutil::CheckEquivalence;
+using testutil::EvalExpr;
+using testutil::TranslateOrDie;
+
+class WithConstructTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(AddRandomXY(db_.get(), XYConfig()).ok());
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(WithConstructTest, ExpandsIntoTheWhereClause) {
+  // The paper's general two-block format, verbatim modulo ASCII.
+  ExprPtr with_form = TranslateOrDie(
+      *db_,
+      "select x from x in X where x.c subseteq Yp "
+      "with Yp = select (d = y.e) from y in Y where y.a = x.a");
+  ExprPtr inline_form = TranslateOrDie(
+      *db_,
+      "select x from x in X where x.c subseteq "
+      "(select (d = y.e) from y in Y where y.a = x.a)");
+  EXPECT_TRUE(with_form->Equals(*inline_form));
+}
+
+TEST_F(WithConstructTest, DefinitionsMayUseRangeVariables) {
+  // Correlated definition: runs end to end and optimizes like the
+  // inline form (nestjoin).
+  ExprPtr e = TranslateOrDie(
+      *db_,
+      "select (a = x.a, n = count(Yp)) from x in X "
+      "with Yp = select y from y in Y where y.a = x.a");
+  RewriteResult r = CheckEquivalence(*db_, e);
+  EXPECT_TRUE(r.Fired("NestJoinRewrite")) << r.TraceToString();
+}
+
+TEST_F(WithConstructTest, LaterDefinitionsSeeEarlierOnes) {
+  ExprPtr e = TranslateOrDie(
+      *db_,
+      "select x.a from x in X where x.a in Big "
+      "with Small = select y.a from y in Y where y.e > 2, "
+      "     Big = Small union (select y.a from y in Y where y.e <= 2)");
+  // Equivalent to membership in all of Y's a-values.
+  ExprPtr direct = TranslateOrDie(
+      *db_, "select x.a from x in X where x.a in "
+            "(select y.a from y in Y)");
+  EXPECT_EQ(EvalExpr(*db_, e), EvalExpr(*db_, direct));
+}
+
+TEST_F(WithConstructTest, RangeVariablesShadowDefinitions) {
+  // A from-variable named like the definition wins inside its block.
+  ExprPtr e = TranslateOrDie(
+      *db_,
+      "select (outer = count(Yp), inner = "
+      "  select Yp.e from Yp in Y where Yp.a = x.a) "
+      "from x in X with Yp = select y from y in Y where y.a = x.a");
+  Value v = EvalExpr(*db_, e);
+  EXPECT_TRUE(v.is_set());
+}
+
+TEST_F(WithConstructTest, QuantifierVariablesShadowToo) {
+  ExprPtr e = TranslateOrDie(
+      *db_,
+      "select x from x in X where exists Q in x.c : Q.d >= 0 "
+      "with Q = select y from y in Y");
+  // Q inside the quantifier refers to the bound element, not the def.
+  Value v = EvalExpr(*db_, e);
+  EXPECT_TRUE(v.is_set());
+}
+
+TEST_F(WithConstructTest, UndefinedNameStillErrors) {
+  Translator tr(db_->schema(), db_.get());
+  Result<TypedExpr> r = tr.TranslateString(
+      "select x from x in X where x.a in Nope "
+      "with Other = select y.a from y in Y");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Nope"), std::string::npos);
+}
+
+TEST_F(WithConstructTest, ParseErrors) {
+  EXPECT_FALSE(Parser::ParseQueryString(
+                   "select x from x in X with = 3")
+                   .ok());
+  EXPECT_FALSE(Parser::ParseQueryString(
+                   "select x from x in X with Yp 3")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace n2j
