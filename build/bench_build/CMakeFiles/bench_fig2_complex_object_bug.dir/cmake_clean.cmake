@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_complex_object_bug"
+  "../bench/bench_fig2_complex_object_bug.pdb"
+  "CMakeFiles/bench_fig2_complex_object_bug.dir/bench_fig2_complex_object_bug.cc.o"
+  "CMakeFiles/bench_fig2_complex_object_bug.dir/bench_fig2_complex_object_bug.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_complex_object_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

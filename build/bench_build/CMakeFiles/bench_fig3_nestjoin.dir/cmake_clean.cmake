@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_nestjoin"
+  "../bench/bench_fig3_nestjoin.pdb"
+  "CMakeFiles/bench_fig3_nestjoin.dir/bench_fig3_nestjoin.cc.o"
+  "CMakeFiles/bench_fig3_nestjoin.dir/bench_fig3_nestjoin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_nestjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_materialize"
+  "../bench/bench_materialize.pdb"
+  "CMakeFiles/bench_materialize.dir/bench_materialize.cc.o"
+  "CMakeFiles/bench_materialize.dir/bench_materialize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_materialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nl_vs_join"
+  "../bench/bench_nl_vs_join.pdb"
+  "CMakeFiles/bench_nl_vs_join.dir/bench_nl_vs_join.cc.o"
+  "CMakeFiles/bench_nl_vs_join.dir/bench_nl_vs_join.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nl_vs_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pnhl"
+  "../bench/bench_pnhl.pdb"
+  "CMakeFiles/bench_pnhl.dir/bench_pnhl.cc.o"
+  "CMakeFiles/bench_pnhl.dir/bench_pnhl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pnhl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

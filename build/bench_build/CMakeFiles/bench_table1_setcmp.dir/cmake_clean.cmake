@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_setcmp"
+  "../bench/bench_table1_setcmp.pdb"
+  "CMakeFiles/bench_table1_setcmp.dir/bench_table1_setcmp.cc.o"
+  "CMakeFiles/bench_table1_setcmp.dir/bench_table1_setcmp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_setcmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_predicates"
+  "../bench/bench_table2_predicates.pdb"
+  "CMakeFiles/bench_table2_predicates.dir/bench_table2_predicates.cc.o"
+  "CMakeFiles/bench_table2_predicates.dir/bench_table2_predicates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

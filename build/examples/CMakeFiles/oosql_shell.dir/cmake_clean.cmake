@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosql_shell.dir/oosql_shell.cc.o"
+  "CMakeFiles/oosql_shell.dir/oosql_shell.cc.o.d"
+  "oosql_shell"
+  "oosql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

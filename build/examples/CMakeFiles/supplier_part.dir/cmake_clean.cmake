@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplier_part.dir/supplier_part.cc.o"
+  "CMakeFiles/supplier_part.dir/supplier_part.cc.o.d"
+  "supplier_part"
+  "supplier_part.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplier_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adl/analysis.cc" "src/CMakeFiles/n2j.dir/adl/analysis.cc.o" "gcc" "src/CMakeFiles/n2j.dir/adl/analysis.cc.o.d"
+  "/root/repo/src/adl/expr.cc" "src/CMakeFiles/n2j.dir/adl/expr.cc.o" "gcc" "src/CMakeFiles/n2j.dir/adl/expr.cc.o.d"
+  "/root/repo/src/adl/printer.cc" "src/CMakeFiles/n2j.dir/adl/printer.cc.o" "gcc" "src/CMakeFiles/n2j.dir/adl/printer.cc.o.d"
+  "/root/repo/src/adl/schema.cc" "src/CMakeFiles/n2j.dir/adl/schema.cc.o" "gcc" "src/CMakeFiles/n2j.dir/adl/schema.cc.o.d"
+  "/root/repo/src/adl/type.cc" "src/CMakeFiles/n2j.dir/adl/type.cc.o" "gcc" "src/CMakeFiles/n2j.dir/adl/type.cc.o.d"
+  "/root/repo/src/adl/typecheck.cc" "src/CMakeFiles/n2j.dir/adl/typecheck.cc.o" "gcc" "src/CMakeFiles/n2j.dir/adl/typecheck.cc.o.d"
+  "/root/repo/src/adl/value.cc" "src/CMakeFiles/n2j.dir/adl/value.cc.o" "gcc" "src/CMakeFiles/n2j.dir/adl/value.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/n2j.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/n2j.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/n2j.dir/common/status.cc.o" "gcc" "src/CMakeFiles/n2j.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/n2j.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/n2j.dir/common/str_util.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/n2j.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/n2j.dir/core/engine.cc.o.d"
+  "/root/repo/src/exec/equi_join.cc" "src/CMakeFiles/n2j.dir/exec/equi_join.cc.o" "gcc" "src/CMakeFiles/n2j.dir/exec/equi_join.cc.o.d"
+  "/root/repo/src/exec/eval.cc" "src/CMakeFiles/n2j.dir/exec/eval.cc.o" "gcc" "src/CMakeFiles/n2j.dir/exec/eval.cc.o.d"
+  "/root/repo/src/exec/materialize.cc" "src/CMakeFiles/n2j.dir/exec/materialize.cc.o" "gcc" "src/CMakeFiles/n2j.dir/exec/materialize.cc.o.d"
+  "/root/repo/src/exec/physical.cc" "src/CMakeFiles/n2j.dir/exec/physical.cc.o" "gcc" "src/CMakeFiles/n2j.dir/exec/physical.cc.o.d"
+  "/root/repo/src/exec/physical_membership.cc" "src/CMakeFiles/n2j.dir/exec/physical_membership.cc.o" "gcc" "src/CMakeFiles/n2j.dir/exec/physical_membership.cc.o.d"
+  "/root/repo/src/exec/physical_sortmerge.cc" "src/CMakeFiles/n2j.dir/exec/physical_sortmerge.cc.o" "gcc" "src/CMakeFiles/n2j.dir/exec/physical_sortmerge.cc.o.d"
+  "/root/repo/src/exec/pnhl.cc" "src/CMakeFiles/n2j.dir/exec/pnhl.cc.o" "gcc" "src/CMakeFiles/n2j.dir/exec/pnhl.cc.o.d"
+  "/root/repo/src/exec/pnhl_fastpath.cc" "src/CMakeFiles/n2j.dir/exec/pnhl_fastpath.cc.o" "gcc" "src/CMakeFiles/n2j.dir/exec/pnhl_fastpath.cc.o.d"
+  "/root/repo/src/oosql/ast.cc" "src/CMakeFiles/n2j.dir/oosql/ast.cc.o" "gcc" "src/CMakeFiles/n2j.dir/oosql/ast.cc.o.d"
+  "/root/repo/src/oosql/lexer.cc" "src/CMakeFiles/n2j.dir/oosql/lexer.cc.o" "gcc" "src/CMakeFiles/n2j.dir/oosql/lexer.cc.o.d"
+  "/root/repo/src/oosql/parser.cc" "src/CMakeFiles/n2j.dir/oosql/parser.cc.o" "gcc" "src/CMakeFiles/n2j.dir/oosql/parser.cc.o.d"
+  "/root/repo/src/oosql/translate.cc" "src/CMakeFiles/n2j.dir/oosql/translate.cc.o" "gcc" "src/CMakeFiles/n2j.dir/oosql/translate.cc.o.d"
+  "/root/repo/src/rewrite/helpers.cc" "src/CMakeFiles/n2j.dir/rewrite/helpers.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/helpers.cc.o.d"
+  "/root/repo/src/rewrite/hoist.cc" "src/CMakeFiles/n2j.dir/rewrite/hoist.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/hoist.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/CMakeFiles/n2j.dir/rewrite/rewriter.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/rewriter.cc.o.d"
+  "/root/repo/src/rewrite/rule_grouping.cc" "src/CMakeFiles/n2j.dir/rewrite/rule_grouping.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/rule_grouping.cc.o.d"
+  "/root/repo/src/rewrite/rule_map.cc" "src/CMakeFiles/n2j.dir/rewrite/rule_map.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/rule_map.cc.o.d"
+  "/root/repo/src/rewrite/rule_pushdown.cc" "src/CMakeFiles/n2j.dir/rewrite/rule_pushdown.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/rule_pushdown.cc.o.d"
+  "/root/repo/src/rewrite/rule_quantifier.cc" "src/CMakeFiles/n2j.dir/rewrite/rule_quantifier.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/rule_quantifier.cc.o.d"
+  "/root/repo/src/rewrite/rule_setcmp.cc" "src/CMakeFiles/n2j.dir/rewrite/rule_setcmp.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/rule_setcmp.cc.o.d"
+  "/root/repo/src/rewrite/rule_unnest_attr.cc" "src/CMakeFiles/n2j.dir/rewrite/rule_unnest_attr.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/rule_unnest_attr.cc.o.d"
+  "/root/repo/src/rewrite/simplify.cc" "src/CMakeFiles/n2j.dir/rewrite/simplify.cc.o" "gcc" "src/CMakeFiles/n2j.dir/rewrite/simplify.cc.o.d"
+  "/root/repo/src/storage/csv_loader.cc" "src/CMakeFiles/n2j.dir/storage/csv_loader.cc.o" "gcc" "src/CMakeFiles/n2j.dir/storage/csv_loader.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/n2j.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/n2j.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/datagen.cc" "src/CMakeFiles/n2j.dir/storage/datagen.cc.o" "gcc" "src/CMakeFiles/n2j.dir/storage/datagen.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/n2j.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/n2j.dir/storage/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

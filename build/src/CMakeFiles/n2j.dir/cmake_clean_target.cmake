@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libn2j.a"
+)

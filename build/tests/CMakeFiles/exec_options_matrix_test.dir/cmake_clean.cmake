@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_options_matrix_test.dir/exec_options_matrix_test.cc.o"
+  "CMakeFiles/exec_options_matrix_test.dir/exec_options_matrix_test.cc.o.d"
+  "exec_options_matrix_test"
+  "exec_options_matrix_test.pdb"
+  "exec_options_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_options_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

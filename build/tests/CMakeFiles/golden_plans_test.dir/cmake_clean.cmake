@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_plans_test.dir/golden_plans_test.cc.o"
+  "CMakeFiles/golden_plans_test.dir/golden_plans_test.cc.o.d"
+  "golden_plans_test"
+  "golden_plans_test.pdb"
+  "golden_plans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_plans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_algorithms_test.dir/join_algorithms_test.cc.o"
+  "CMakeFiles/join_algorithms_test.dir/join_algorithms_test.cc.o.d"
+  "join_algorithms_test"
+  "join_algorithms_test.pdb"
+  "join_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

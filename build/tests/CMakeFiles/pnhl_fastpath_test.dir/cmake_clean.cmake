@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnhl_fastpath_test.dir/pnhl_fastpath_test.cc.o"
+  "CMakeFiles/pnhl_fastpath_test.dir/pnhl_fastpath_test.cc.o.d"
+  "pnhl_fastpath_test"
+  "pnhl_fastpath_test.pdb"
+  "pnhl_fastpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnhl_fastpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

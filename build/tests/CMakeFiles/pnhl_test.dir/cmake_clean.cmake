@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnhl_test.dir/pnhl_test.cc.o"
+  "CMakeFiles/pnhl_test.dir/pnhl_test.cc.o.d"
+  "pnhl_test"
+  "pnhl_test.pdb"
+  "pnhl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnhl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

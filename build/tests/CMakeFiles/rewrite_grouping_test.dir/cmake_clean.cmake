@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_grouping_test.dir/rewrite_grouping_test.cc.o"
+  "CMakeFiles/rewrite_grouping_test.dir/rewrite_grouping_test.cc.o.d"
+  "rewrite_grouping_test"
+  "rewrite_grouping_test.pdb"
+  "rewrite_grouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

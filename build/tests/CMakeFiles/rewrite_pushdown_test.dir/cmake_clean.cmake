@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_pushdown_test.dir/rewrite_pushdown_test.cc.o"
+  "CMakeFiles/rewrite_pushdown_test.dir/rewrite_pushdown_test.cc.o.d"
+  "rewrite_pushdown_test"
+  "rewrite_pushdown_test.pdb"
+  "rewrite_pushdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_pushdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_rule1_test.dir/rewrite_rule1_test.cc.o"
+  "CMakeFiles/rewrite_rule1_test.dir/rewrite_rule1_test.cc.o.d"
+  "rewrite_rule1_test"
+  "rewrite_rule1_test.pdb"
+  "rewrite_rule1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_rule1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

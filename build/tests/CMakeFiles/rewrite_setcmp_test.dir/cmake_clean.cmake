@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_setcmp_test.dir/rewrite_setcmp_test.cc.o"
+  "CMakeFiles/rewrite_setcmp_test.dir/rewrite_setcmp_test.cc.o.d"
+  "rewrite_setcmp_test"
+  "rewrite_setcmp_test.pdb"
+  "rewrite_setcmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_setcmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

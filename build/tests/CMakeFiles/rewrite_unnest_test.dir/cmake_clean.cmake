@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_unnest_test.dir/rewrite_unnest_test.cc.o"
+  "CMakeFiles/rewrite_unnest_test.dir/rewrite_unnest_test.cc.o.d"
+  "rewrite_unnest_test"
+  "rewrite_unnest_test.pdb"
+  "rewrite_unnest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_unnest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/with_construct_test.dir/with_construct_test.cc.o"
+  "CMakeFiles/with_construct_test.dir/with_construct_test.cc.o.d"
+  "with_construct_test"
+  "with_construct_test.pdb"
+  "with_construct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/with_construct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
