@@ -351,6 +351,11 @@ Result<TypePtr> TypeChecker::Infer(const ExprPtr& ep, TypeEnv& env) {
     case ExprKind::kProject: {
       N2J_ASSIGN_OR_RETURN(TypePtr in, Infer(e.child(0), env));
       if (in->is_any()) return Type::Any();
+      // A set of unknown element type (the empty set constant a rewrite
+      // may fold a subplan to) projects to a set of unknown element type.
+      if (in->is_set() && in->element()->is_any()) {
+        return Type::Set(Type::Any());
+      }
       if (!in->is_set() || !in->element()->is_tuple()) {
         return TypeError("project over " + in->ToString());
       }
@@ -378,6 +383,9 @@ Result<TypePtr> TypeChecker::Infer(const ExprPtr& ep, TypeEnv& env) {
 
     case ExprKind::kNest: {
       N2J_ASSIGN_OR_RETURN(TypePtr in, Infer(e.child(0), env));
+      if (in->is_any() || (in->is_set() && in->element()->is_any())) {
+        return Type::Set(Type::Any());
+      }
       if (!in->is_set() || !in->element()->is_tuple()) {
         return TypeError("nest over " + in->ToString());
       }
@@ -402,12 +410,18 @@ Result<TypePtr> TypeChecker::Infer(const ExprPtr& ep, TypeEnv& env) {
 
     case ExprKind::kUnnest: {
       N2J_ASSIGN_OR_RETURN(TypePtr in, Infer(e.child(0), env));
+      if (in->is_any() || (in->is_set() && in->element()->is_any())) {
+        return Type::Set(Type::Any());
+      }
       if (!in->is_set() || !in->element()->is_tuple()) {
         return TypeError("unnest over " + in->ToString());
       }
       TypePtr attr = in->element()->FindField(e.name());
       if (attr == nullptr) {
         return TypeError("unnest: no attribute '" + e.name() + "'");
+      }
+      if (attr->is_any() || (attr->is_set() && attr->element()->is_any())) {
+        return Type::Set(Type::Any());
       }
       if (!attr->is_set() || !attr->element()->is_tuple()) {
         return TypeError("unnest: attribute '" + e.name() +
@@ -425,17 +439,27 @@ Result<TypePtr> TypeChecker::Infer(const ExprPtr& ep, TypeEnv& env) {
     case ExprKind::kJoin: {
       N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
       N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
-      if (!l->is_set() || !r->is_set() || !l->element()->is_tuple() ||
-          !r->element()->is_tuple()) {
+      if ((!l->is_set() && !l->is_any()) || (!r->is_set() && !r->is_any())) {
+        return TypeError("product/join over non-tables");
+      }
+      TypePtr lelem = l->is_set() ? l->element() : Type::Any();
+      TypePtr relem = r->is_set() ? r->element() : Type::Any();
+      if (!lelem->is_any() && !lelem->is_tuple()) {
+        return TypeError("product/join over non-tables");
+      }
+      if (!relem->is_any() && !relem->is_tuple()) {
         return TypeError("product/join over non-tables");
       }
       if (e.kind() == ExprKind::kJoin) {
-        env.Push(e.var(), l->element());
-        env.Push(e.var2(), r->element());
+        env.Push(e.var(), lelem);
+        env.Push(e.var2(), relem);
         Result<TypePtr> pred = Infer(e.child(2), env);
         env.Pop();
         env.Pop();
         if (!pred.ok()) return pred.status();
+      }
+      if (lelem->is_any() || relem->is_any()) {
+        return Type::Set(Type::Any());
       }
       std::vector<TypeField> fields = l->element()->fields();
       for (const TypeField& f : r->element()->fields()) {
@@ -451,32 +475,37 @@ Result<TypePtr> TypeChecker::Infer(const ExprPtr& ep, TypeEnv& env) {
     case ExprKind::kAntiJoin: {
       N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
       N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
-      if (!l->is_set() || !r->is_set()) {
+      if ((!l->is_set() && !l->is_any()) || (!r->is_set() && !r->is_any())) {
         return TypeError("semijoin/antijoin over non-sets");
       }
-      env.Push(e.var(), l->element());
-      env.Push(e.var2(), r->element());
+      env.Push(e.var(), l->is_set() ? l->element() : Type::Any());
+      env.Push(e.var2(), r->is_set() ? r->element() : Type::Any());
       Result<TypePtr> pred = Infer(e.child(2), env);
       env.Pop();
       env.Pop();
       if (!pred.ok()) return pred.status();
-      return l;
+      return l->is_any() ? Type::Set(Type::Any()) : l;
     }
 
     case ExprKind::kNestJoin: {
       N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
       N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
-      if (!l->is_set() || !r->is_set() || !l->element()->is_tuple()) {
+      if ((!l->is_set() && !l->is_any()) || (!r->is_set() && !r->is_any())) {
         return TypeError("nestjoin over non-tables");
       }
-      env.Push(e.var(), l->element());
-      env.Push(e.var2(), r->element());
+      TypePtr lelem = l->is_set() ? l->element() : Type::Any();
+      if (!lelem->is_tuple() && !lelem->is_any()) {
+        return TypeError("nestjoin over non-tables");
+      }
+      env.Push(e.var(), lelem);
+      env.Push(e.var2(), r->is_set() ? r->element() : Type::Any());
       Result<TypePtr> pred = Infer(e.child(2), env);
       Result<TypePtr> inner = Infer(e.child(3), env);
       env.Pop();
       env.Pop();
       if (!pred.ok()) return pred.status();
       if (!inner.ok()) return inner.status();
+      if (lelem->is_any()) return Type::Set(Type::Any());
       if (l->element()->FindField(e.name()) != nullptr) {
         return TypeError("nestjoin attribute conflict: " + e.name());
       }
@@ -488,6 +517,11 @@ Result<TypePtr> TypeChecker::Infer(const ExprPtr& ep, TypeEnv& env) {
     case ExprKind::kDivide: {
       N2J_ASSIGN_OR_RETURN(TypePtr l, Infer(e.child(0), env));
       N2J_ASSIGN_OR_RETURN(TypePtr r, Infer(e.child(1), env));
+      if (l->is_any() || r->is_any() ||
+          (l->is_set() && l->element()->is_any()) ||
+          (r->is_set() && r->element()->is_any())) {
+        return Type::Set(Type::Any());
+      }
       if (!l->is_set() || !r->is_set() || !l->element()->is_tuple() ||
           !r->element()->is_tuple()) {
         return TypeError("division over non-tables");

@@ -1,0 +1,246 @@
+#include "fuzz/oracle.h"
+
+#include "adl/printer.h"
+#include "adl/typecheck.h"
+#include "oosql/translate.h"
+
+namespace n2j {
+namespace fuzz {
+
+namespace {
+
+OracleConfig Cell(const char* name,
+                  RewriteOptions rewrite = RewriteOptions(),
+                  EvalOptions eval = EvalOptions()) {
+  OracleConfig c;
+  c.name = name;
+  c.rewrite = rewrite;
+  c.eval = eval;
+  return c;
+}
+
+}  // namespace
+
+std::vector<OracleConfig> DefaultConfigMatrix() {
+  std::vector<OracleConfig> m;
+
+  {
+    // Sanity cell: naive plan, nested-loop execution — must match the
+    // oracle by construction; catches nondeterminism in eval itself.
+    OracleConfig c = Cell("nl-norewrite");
+    c.skip_rewrite = true;
+    c.eval.use_hash_joins = false;
+    c.eval.enable_pnhl = false;
+    m.push_back(c);
+  }
+
+  // The paper's full strategy under every physical join algorithm.
+  {
+    OracleConfig c = Cell("full-nestjoin-hash");
+    c.eval.join_algorithm = JoinAlgorithm::kHash;
+    m.push_back(c);
+  }
+  {
+    OracleConfig c = Cell("full-nestjoin-sortmerge");
+    c.eval.join_algorithm = JoinAlgorithm::kSortMerge;
+    m.push_back(c);
+  }
+  {
+    OracleConfig c = Cell("full-nestjoin-index");
+    c.eval.join_algorithm = JoinAlgorithm::kIndex;
+    m.push_back(c);
+  }
+  {
+    // Logical rewrites alone: optimized plan, tuple-at-a-time execution.
+    OracleConfig c = Cell("full-nestjoin-nl");
+    c.eval.use_hash_joins = false;
+    c.eval.enable_pnhl = false;
+    m.push_back(c);
+  }
+
+  // Grouping-mode sweep (the Complex Object bug axis).
+  {
+    OracleConfig c = Cell("grouping-when-safe");
+    c.rewrite.grouping = GroupingMode::kGroupingWhenSafe;
+    m.push_back(c);
+  }
+  {
+    OracleConfig c = Cell("grouping-none");
+    c.rewrite.grouping = GroupingMode::kNone;
+    m.push_back(c);
+  }
+
+  // Pass-ablation cells: each disabled pass must be *optional*, never
+  // load-bearing for correctness.
+  {
+    OracleConfig c = Cell("no-setcmp");
+    c.rewrite.enable_setcmp = false;
+    m.push_back(c);
+  }
+  {
+    OracleConfig c = Cell("no-quantifier-no-mapjoin");
+    c.rewrite.enable_quantifier = false;
+    c.rewrite.enable_map_join = false;
+    m.push_back(c);
+  }
+  {
+    OracleConfig c = Cell("no-unnest-no-pushdown-no-hoist");
+    c.rewrite.enable_unnest_attr = false;
+    c.rewrite.enable_pushdown = false;
+    c.rewrite.enable_hoist = false;
+    m.push_back(c);
+  }
+
+  // PNHL under memory pressure (multi-segment partitioning).
+  {
+    OracleConfig c = Cell("pnhl-tight-budget");
+    c.eval.pnhl_memory_budget = 256;
+    m.push_back(c);
+  }
+
+  return m;
+}
+
+std::vector<OracleConfig> MinimalConfigMatrix() {
+  std::vector<OracleConfig> m;
+  {
+    OracleConfig c = Cell("full-nestjoin-hash");
+    m.push_back(c);
+  }
+  {
+    OracleConfig c = Cell("full-nestjoin-nl");
+    c.eval.use_hash_joins = false;
+    c.eval.enable_pnhl = false;
+    m.push_back(c);
+  }
+  {
+    OracleConfig c = Cell("grouping-when-safe");
+    c.rewrite.grouping = GroupingMode::kGroupingWhenSafe;
+    m.push_back(c);
+  }
+  return m;
+}
+
+std::vector<OracleConfig> UnsafeGroupingMatrix() {
+  OracleConfig c = Cell("force-grouping-unsafe");
+  c.rewrite.grouping = GroupingMode::kForceGroupingUnsafe;
+  return {c};
+}
+
+const char* OracleStatusName(OracleStatus s) {
+  switch (s) {
+    case OracleStatus::kOk: return "ok";
+    case OracleStatus::kSkipped: return "skipped";
+    case OracleStatus::kMismatch: return "mismatch";
+    case OracleStatus::kFrontEndError: return "front-end-error";
+  }
+  return "?";
+}
+
+OracleReport RunDifferentialOracle(const Database& db,
+                                   const std::string& query,
+                                   const std::vector<OracleConfig>& matrix) {
+  OracleReport report;
+  report.query = query;
+
+  Translator tr(db.schema(), &db);
+  Result<TypedExpr> typed = tr.TranslateString(query);
+  if (!typed.ok()) {
+    report.status = OracleStatus::kFrontEndError;
+    report.detail = typed.status().ToString();
+    return report;
+  }
+  const ExprPtr& naive = typed->expr;
+
+  // The oracle: pure nested-loop evaluation of the naive translation.
+  EvalOptions reference_opts;
+  reference_opts.use_hash_joins = false;
+  reference_opts.enable_pnhl = false;
+  Evaluator reference(db, reference_opts);
+  Result<Value> expected = reference.Eval(naive);
+
+  TypeChecker checker(db.schema(), &db);
+  Result<TypePtr> naive_type = checker.Infer(naive);
+  if (!naive_type.ok()) {
+    report.status = OracleStatus::kFrontEndError;
+    report.detail = "naive plan fails type inference: " +
+                    naive_type.status().ToString();
+    return report;
+  }
+
+  for (const OracleConfig& config : matrix) {
+    ExprPtr plan = naive;
+    std::string trace;
+    if (!config.skip_rewrite) {
+      Rewriter rw(db.schema(), &db, config.rewrite);
+      Result<RewriteResult> rewritten = rw.Rewrite(naive);
+      if (!rewritten.ok()) {
+        // The rewriter must be total on well-typed input.
+        report.status = OracleStatus::kMismatch;
+        report.failing_config = config.name;
+        report.detail = "rewrite failed: " + rewritten.status().ToString();
+        return report;
+      }
+      plan = rewritten->expr;
+      trace = rewritten->TraceToString();
+
+      Result<TypePtr> plan_type = checker.Infer(plan);
+      if (!plan_type.ok()) {
+        report.status = OracleStatus::kMismatch;
+        report.failing_config = config.name;
+        report.detail = "rewritten plan fails type inference: " +
+                        plan_type.status().ToString() +
+                        "\nplan: " + AlgebraStr(plan) + "\n" + trace;
+        return report;
+      }
+      if (!naive_type->get()->Equals(**plan_type)) {
+        report.status = OracleStatus::kMismatch;
+        report.failing_config = config.name;
+        report.detail = "rewrite changed the inferred type: " +
+                        naive_type->get()->ToString() + " vs " +
+                        plan_type->get()->ToString() +
+                        "\nplan: " + AlgebraStr(plan) + "\n" + trace;
+        return report;
+      }
+    }
+
+    Evaluator ev(db, config.eval);
+    Result<Value> actual = ev.Eval(plan);
+    ++report.configs_checked;
+
+    if (!expected.ok()) {
+      // Reference hit a runtime error (e.g. arithmetic on a null
+      // min-over-empty-set). Rewrites may legitimately dodge or hit the
+      // same error, so results are not comparable; we only insist that
+      // each cell terminates with a Status (crash-freedom is implicit in
+      // getting here).
+      continue;
+    }
+    if (!actual.ok()) {
+      report.status = OracleStatus::kMismatch;
+      report.failing_config = config.name;
+      report.detail = "config errored where the oracle succeeded: " +
+                      actual.status().ToString() +
+                      "\nplan: " + AlgebraStr(plan) + "\n" + trace;
+      return report;
+    }
+    if (*actual != *expected) {
+      report.status = OracleStatus::kMismatch;
+      report.failing_config = config.name;
+      report.detail = "value mismatch\nexpected: " + expected->ToString() +
+                      "\nactual:   " + actual->ToString() +
+                      "\nplan: " + AlgebraStr(plan) + "\n" + trace;
+      return report;
+    }
+  }
+
+  if (!expected.ok()) {
+    report.status = OracleStatus::kSkipped;
+    report.detail = "reference runtime error: " +
+                    expected.status().ToString();
+  }
+  return report;
+}
+
+}  // namespace fuzz
+}  // namespace n2j

@@ -1,0 +1,236 @@
+#include "fuzz/shrink.h"
+
+#include <vector>
+
+#include "oosql/ast.h"
+#include "oosql/parser.h"
+
+namespace n2j {
+namespace fuzz {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Query reductions (on the surface AST, re-rendered via QExprToString).
+
+std::shared_ptr<QExpr> CopyNode(const QExpr& n) {
+  return std::make_shared<QExpr>(n);
+}
+
+/// Well-founded size measure: node count plus nonzero int literals and
+/// set-literal elements. Every reduction below strictly decreases it.
+int Measure(const QExprPtr& e) {
+  int m = 1;
+  if (e->kind == QExpr::Kind::kIntLit && e->int_value != 0) ++m;
+  for (const QExprPtr& k : e->kids) m += Measure(k);
+  return m;
+}
+
+QExprPtr BoolLit(bool b) {
+  auto n = std::make_shared<QExpr>();
+  n->kind = QExpr::Kind::kBoolLit;
+  n->bool_value = b;
+  return n;
+}
+
+/// Collects every tree obtainable from the current whole tree by one
+/// local reduction at `node`; `wrap` grafts a replacement of `node` back
+/// into the whole tree.
+void Reductions(const QExprPtr& node,
+                const std::function<QExprPtr(QExprPtr)>& wrap,
+                std::vector<QExprPtr>* out) {
+  // Generic hoist: replace the node by any of its children.
+  for (const QExprPtr& kid : node->kids) out->push_back(wrap(kid));
+
+  switch (node->kind) {
+    case QExpr::Kind::kSelect: {
+      if (node->has_where) {
+        auto c = CopyNode(*node);
+        c->kids.pop_back();
+        c->has_where = false;
+        out->push_back(wrap(c));
+      }
+      if (node->NumRanges() > 1) {
+        for (size_t i = 0; i < node->NumRanges(); ++i) {
+          auto c = CopyNode(*node);
+          c->names.erase(c->names.begin() + static_cast<long>(i));
+          c->kids.erase(c->kids.begin() + static_cast<long>(1 + i));
+          out->push_back(wrap(c));
+        }
+      }
+      break;
+    }
+    case QExpr::Kind::kQuant:
+    case QExpr::Kind::kBinary:
+    case QExpr::Kind::kIsEmptyCall:
+      out->push_back(wrap(BoolLit(true)));
+      out->push_back(wrap(BoolLit(false)));
+      break;
+    case QExpr::Kind::kIntLit:
+      if (node->int_value != 0) {
+        auto c = CopyNode(*node);
+        c->int_value = 0;
+        out->push_back(wrap(c));
+      }
+      break;
+    case QExpr::Kind::kSetLit:
+      for (size_t i = 0; i < node->kids.size(); ++i) {
+        auto c = CopyNode(*node);
+        c->kids.erase(c->kids.begin() + static_cast<long>(i));
+        out->push_back(wrap(c));
+      }
+      break;
+    default:
+      break;
+  }
+
+  // Recurse: the same reductions anywhere below.
+  for (size_t i = 0; i < node->kids.size(); ++i) {
+    const QExprPtr kid = node->kids[i];
+    auto wrap_kid = [&node, &wrap, i](QExprPtr replacement) {
+      auto c = CopyNode(*node);
+      c->kids[i] = std::move(replacement);
+      return wrap(c);
+    };
+    Reductions(kid, wrap_kid, out);
+  }
+}
+
+std::vector<QExprPtr> QueryCandidates(const QExprPtr& root) {
+  std::vector<QExprPtr> out;
+  Reductions(root, [](QExprPtr r) { return r; }, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Database reductions.
+
+/// Clone of `db` with `drop_rows[table]` row indexes removed and, when
+/// `empty_set` names a (table, row, field), that set cell emptied.
+std::unique_ptr<Database> CloneReduced(
+    const Database& db, const std::string& drop_table, size_t drop_begin,
+    size_t drop_end, const std::string& set_table, size_t set_row,
+    const std::string& set_field) {
+  auto clone = std::make_unique<Database>();
+  for (const std::string& name : db.TableNames()) {
+    const Table* t = db.FindTable(name);
+    Status s = clone->CreateTable(name, t->row_type());
+    N2J_CHECK(s.ok());
+    for (size_t i = 0; i < t->rows().size(); ++i) {
+      if (name == drop_table && i >= drop_begin && i < drop_end) continue;
+      Value row = t->rows()[i];
+      if (name == set_table && i == set_row && row.is_tuple()) {
+        std::vector<Field> fields;
+        for (const Field& f : row.fields()) {
+          fields.emplace_back(f.name, f.name == set_field
+                                          ? Value::EmptySet()
+                                          : f.val());
+        }
+        row = Value::Tuple(std::move(fields));
+      }
+      N2J_CHECK(clone->Insert(name, std::move(row)).ok());
+    }
+  }
+  return clone;
+}
+
+}  // namespace
+
+std::unique_ptr<Database> ClonePlainTables(const Database& db) {
+  return CloneReduced(db, "", 0, 0, "", 0, "");
+}
+
+std::string DumpPlainTables(const Database& db) {
+  std::string out;
+  for (const std::string& name : db.TableNames()) {
+    const Table* t = db.FindTable(name);
+    out += name + " : " + (t->row_type() ? t->row_type()->ToString() : "?") +
+           "\n";
+    for (const Value& row : t->rows()) out += "  " + row.ToString() + "\n";
+  }
+  return out;
+}
+
+ShrinkResult ShrinkFailure(const Database& db, const std::string& query,
+                           const FailurePredicate& still_fails,
+                           int max_steps) {
+  ShrinkResult result;
+  result.query = query;
+  result.db = ClonePlainTables(db);
+  int steps = 0;
+
+  bool improved = true;
+  while (improved && steps < max_steps) {
+    improved = false;
+
+    // Query reductions first: a smaller query usually unlocks more
+    // database reductions.
+    Result<QExprPtr> parsed = Parser::ParseQueryString(result.query);
+    if (parsed.ok()) {
+      int current = Measure(*parsed);
+      for (const QExprPtr& cand : QueryCandidates(*parsed)) {
+        if (Measure(cand) >= current) continue;
+        std::string text = QExprToString(cand);
+        if (++steps > max_steps) break;
+        if (still_fails(*result.db, text)) {
+          result.query = text;
+          ++result.accepted_steps;
+          improved = true;
+          break;
+        }
+      }
+      if (improved) continue;
+    }
+
+    // Database reductions: drop row ranges (halves, then singles), then
+    // empty out set-valued cells.
+    for (const std::string& name : result.db->TableNames()) {
+      const Table* t = result.db->FindTable(name);
+      size_t n = t->size();
+      if (n == 0) continue;
+      std::vector<std::pair<size_t, size_t>> ranges;
+      if (n > 1) {
+        ranges.emplace_back(0, n / 2);
+        ranges.emplace_back(n / 2, n);
+      }
+      for (size_t i = 0; i < n; ++i) ranges.emplace_back(i, i + 1);
+      for (const auto& [b, e] : ranges) {
+        if (++steps > max_steps) break;
+        auto cand = CloneReduced(*result.db, name, b, e, "", 0, "");
+        if (still_fails(*cand, result.query)) {
+          result.db = std::move(cand);
+          ++result.accepted_steps;
+          improved = true;
+          break;
+        }
+      }
+      if (improved) break;
+    }
+    if (improved) continue;
+
+    for (const std::string& name : result.db->TableNames()) {
+      const Table* t = result.db->FindTable(name);
+      for (size_t i = 0; i < t->size(); ++i) {
+        const Value& row = t->rows()[i];
+        if (!row.is_tuple()) continue;
+        for (const Field& f : row.fields()) {
+          if (!f.val().is_set() || f.val().set_size() == 0) continue;
+          if (++steps > max_steps) break;
+          auto cand = CloneReduced(*result.db, "", 0, 0, name, i, f.name);
+          if (still_fails(*cand, result.query)) {
+            result.db = std::move(cand);
+            ++result.accepted_steps;
+            improved = true;
+            break;
+          }
+        }
+        if (improved) break;
+      }
+      if (improved) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fuzz
+}  // namespace n2j

@@ -1,0 +1,48 @@
+#ifndef N2J_FUZZ_SHRINK_H_
+#define N2J_FUZZ_SHRINK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "storage/database.h"
+
+namespace n2j {
+namespace fuzz {
+
+/// Decides whether a (database, query) pair still exhibits the failure
+/// being minimized. Must return false for invalid inputs (e.g. a
+/// candidate query that no longer translates) — the oracle's kMismatch
+/// check naturally does.
+using FailurePredicate =
+    std::function<bool(const Database& db, const std::string& query)>;
+
+struct ShrinkResult {
+  std::string query;             // minimized query text
+  std::unique_ptr<Database> db;  // minimized database
+  int accepted_steps = 0;        // number of reductions that stuck
+};
+
+/// Greedy delta-debugging of a failing repro: alternately tries
+/// structural query reductions (drop where-clause, drop a range, hoist a
+/// subexpression, replace a quantifier with a boolean literal, zero
+/// literals, drop set-literal elements) and database reductions (drop
+/// row blocks / single rows, empty out set-valued cells), keeping any
+/// candidate for which `still_fails` holds, until a fixpoint or
+/// `max_steps` predicate evaluations. Every accepted step strictly
+/// shrinks a well-founded measure, so this terminates.
+ShrinkResult ShrinkFailure(const Database& db, const std::string& query,
+                           const FailurePredicate& still_fails,
+                           int max_steps = 2000);
+
+/// Clones the plain tables of `db` (schemas and rows). Class extents and
+/// the object store are not cloned — the fuzzer works on plain tables.
+std::unique_ptr<Database> ClonePlainTables(const Database& db);
+
+/// Printable dump of all plain tables (for repro reports).
+std::string DumpPlainTables(const Database& db);
+
+}  // namespace fuzz
+}  // namespace n2j
+
+#endif  // N2J_FUZZ_SHRINK_H_

@@ -1,5 +1,8 @@
 #include "storage/datagen.h"
 
+#include <algorithm>
+#include <iterator>
+
 #include "common/str_util.h"
 
 namespace n2j {
@@ -129,6 +132,65 @@ Status AddRandomXY(Database* db, const XYConfig& config,
         Field("e", Value::Int(rng.Uniform(0, config.value_domain - 1))),
     });
     N2J_RETURN_IF_ERROR(db->Insert(y_name, std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status AddRandomFuzzTables(Database* db, const FuzzTablesConfig& config) {
+  Rng rng(config.seed);
+  // Column name pools. Set-valued columns all use element field "d" so
+  // any two set expressions in a generated query are type-compatible.
+  static const char* kIntCols[] = {"a", "b", "k", "m"};
+  static const char* kSetCols[] = {"c", "cs"};
+  static const char* kStrings[] = {"red",  "blue", "green", "amber",
+                                   "teal", "plum", "rust",  "jade"};
+  const int num_strings =
+      std::min<int>(config.num_strings, static_cast<int>(std::size(kStrings)));
+
+  for (int t = 0; t < config.num_tables; ++t) {
+    int int_cols = static_cast<int>(rng.Uniform(
+        1, std::min<int64_t>(config.max_int_cols, std::size(kIntCols))));
+    int set_cols = static_cast<int>(rng.Uniform(
+        0, std::min<int64_t>(config.max_set_cols, std::size(kSetCols))));
+    bool str_col = rng.Bernoulli(config.string_col_prob);
+
+    std::vector<TypeField> fields;
+    for (int i = 0; i < int_cols; ++i) {
+      fields.push_back({kIntCols[i], Type::Int()});
+    }
+    for (int i = 0; i < set_cols; ++i) {
+      fields.push_back(
+          {kSetCols[i], Type::Set(Type::Tuple({{"d", Type::Int()}}))});
+    }
+    if (str_col) fields.push_back({"tag", Type::String()});
+
+    std::string name = StrFormat("F%d", t);
+    N2J_RETURN_IF_ERROR(db->CreateTable(name, Type::Tuple(fields)));
+
+    int rows = static_cast<int>(rng.Uniform(config.min_rows, config.max_rows));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Field> row;
+      for (int i = 0; i < int_cols; ++i) {
+        row.emplace_back(kIntCols[i],
+                         Value::Int(rng.Uniform(0, config.key_domain - 1)));
+      }
+      for (int i = 0; i < set_cols; ++i) {
+        std::vector<Value> elems;
+        if (!rng.Bernoulli(config.empty_set_prob)) {
+          int n = static_cast<int>(rng.Uniform(0, config.max_set_size));
+          for (int j = 0; j < n; ++j) {
+            elems.push_back(
+                UnaryIntTuple("d", rng.Uniform(0, config.key_domain - 1)));
+          }
+        }
+        row.emplace_back(kSetCols[i], Value::Set(std::move(elems)));
+      }
+      if (str_col) {
+        row.emplace_back(
+            "tag", Value::String(kStrings[rng.Uniform(0, num_strings - 1)]));
+      }
+      N2J_RETURN_IF_ERROR(db->Insert(name, Value::Tuple(std::move(row))));
+    }
   }
   return Status::OK();
 }

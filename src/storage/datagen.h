@@ -59,6 +59,35 @@ Status AddRandomXY(Database* db, const XYConfig& config,
                    const std::string& x_name = "X",
                    const std::string& y_name = "Y");
 
+/// Parameters for the differential fuzzer's fully random plain-table
+/// workloads (src/fuzz). Unlike the fixed X/Y shape above, the *schemas*
+/// themselves are random: each table gets 1..max_int_cols int columns,
+/// up to max_set_cols set-valued columns (sets of unary (d : int)
+/// tuples, the NF2 convention the rewriter's unnest rules expect) and,
+/// with string_col_prob, one string column. All int data draws from the
+/// single small [0, key_domain) pool so cross-table joins, membership
+/// tests and set comparisons hit often, and empty sets — the trigger of
+/// the Complex Object bug — are generated on purpose.
+struct FuzzTablesConfig {
+  uint64_t seed = 1;
+  int num_tables = 3;        // tables are named F0, F1, ...
+  int min_rows = 0;          // per-table row count uniform in
+  int max_rows = 10;         //   [min_rows, max_rows]
+  int max_int_cols = 3;      // every table has at least one int column
+  int max_set_cols = 2;
+  double string_col_prob = 0.5;
+  int key_domain = 6;        // all int values drawn from [0, key_domain)
+  int max_set_size = 3;      // |set cell| uniform in [0, max_set_size]
+  double empty_set_prob = 0.25;  // force a set cell to ∅ outright
+  int num_strings = 4;       // string values drawn from a pool this big
+};
+
+/// Adds `num_tables` random plain tables F0, F1, … to `db`. The fuzzer's
+/// query generator discovers the generated schemas through
+/// Database::TableNames / FindTable, so the two stay in sync by
+/// construction. Deterministic in config.seed.
+Status AddRandomFuzzTables(Database* db, const FuzzTablesConfig& config);
+
 /// Builds the exact X and Y tables of Figure 2 of the paper:
 ///   X = { (a=1, c={1,2}), (a=2, c=∅), (a=3, c={2,3}) }
 ///   Y = { (a=1, e=1), (a=1, e=2), (a=1, e=3), (a=3, e=3) }

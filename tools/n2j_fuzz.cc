@@ -1,0 +1,104 @@
+// Differential query fuzzer CLI: random OOSQL vs. the nested-loop
+// oracle across the rewrite/exec option matrix. Exit code 0 iff every
+// round matched (and every malformed query was rejected gracefully).
+//
+//   n2j_fuzz --seed=1 --rounds=1000                # the default matrix
+//   n2j_fuzz --rounds=200 --matrix=minimal         # 3-cell quick mode
+//   n2j_fuzz --rounds=500 --reject-rounds=500      # + rejection fuzzing
+//   n2j_fuzz --seed=S --start-round=R --rounds=1   # replay round R of S
+//
+// Reproducing a failure: the fuzzer prints the round index and seed of
+// every mismatch; rerun with the same --seed plus --start-round=<round>
+// --rounds=1 to regenerate exactly that database and query (see
+// docs/FUZZING.md).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed=N] [--rounds=N] [--time-budget-ms=N]\n"
+               "          [--matrix=default|minimal|unsafe] "
+               "[--reject-rounds=N]\n"
+               "          [--start-round=N] [--max-rows=N] [--no-shrink] "
+               "[--verbose]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  n2j::fuzz::FuzzOptions options;
+  options.rounds = 100;
+  int reject_rounds = 0;
+  std::string v;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (ParseFlag(a, "--seed", &v)) {
+      options.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(a, "--rounds", &v)) {
+      options.rounds = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--time-budget-ms", &v)) {
+      options.time_budget_ms = std::atoll(v.c_str());
+    } else if (ParseFlag(a, "--reject-rounds", &v)) {
+      reject_rounds = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--start-round", &v)) {
+      options.start_round = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--max-rows", &v)) {
+      options.tables.max_rows = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--matrix", &v)) {
+      if (v == "minimal") {
+        options.matrix = n2j::fuzz::MinimalConfigMatrix();
+      } else if (v == "unsafe") {
+        // Demonstration mode: force the Complex-Object-bug rewrite the
+        // paper warns about; expect mismatches.
+        options.matrix = n2j::fuzz::UnsafeGroupingMatrix();
+      } else if (v != "default") {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(a, "--no-shrink") == 0) {
+      options.shrink_failures = false;
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      options.verbose = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::vector<n2j::fuzz::FuzzFailure> failures;
+  n2j::fuzz::FuzzSummary summary =
+      n2j::fuzz::RunFuzzer(options, &failures, &std::cout);
+
+  int rejected = 0;
+  if (reject_rounds > 0) {
+    n2j::fuzz::FuzzOptions reject = options;
+    reject.rounds = reject_rounds;
+    rejected = n2j::fuzz::RunRejectionRounds(reject, &std::cout);
+    std::cout << "rejection rounds survived: " << rejected << "\n";
+  }
+
+  if (!summary.Clean()) {
+    std::cout << "FAIL: " << summary.mismatches << " mismatches, "
+              << summary.front_end_rejects << " front-end rejects\n";
+    return 1;
+  }
+  std::cout << "OK\n";
+  return 0;
+}
