@@ -4,6 +4,7 @@
 //   \tables          list tables and sizes
 //   \explain <query> show translation, optimization trace and plan
 //   \nestedloop      toggle the rewriter off/on (to feel the difference)
+//   \threads N       set worker threads for the parallel operators
 //   \quit            exit
 //
 //   $ ./build/examples/oosql_shell
@@ -51,6 +52,7 @@ int main() {
   std::unique_ptr<Database> db = MakeSupplierPartDatabase(config);
 
   bool rewrites_enabled = true;
+  int num_threads = 1;
   std::printf(
       "nested-to-join OOSQL shell — supplier-part database loaded\n"
       "(|SUPPLIER| = %zu, |PART| = %zu, |DELIVERY| = %zu)\n"
@@ -79,6 +81,15 @@ int main() {
       } else if (cmd == "\\nestedloop") {
         rewrites_enabled = !rewrites_enabled;
         std::printf("rewrites %s\n", rewrites_enabled ? "ON" : "OFF");
+      } else if (cmd == "\\threads") {
+        int n = 0;
+        if (iss >> n && n >= 1) {
+          num_threads = n;
+          std::printf("worker threads: %d%s\n", num_threads,
+                      num_threads == 1 ? " (serial)" : "");
+        } else {
+          std::printf("usage: \\threads N   (N >= 1)\n");
+        }
       } else if (cmd == "\\explain") {
         std::string rest;
         std::getline(iss, rest);
@@ -114,7 +125,9 @@ int main() {
       opts.enable_hoist = false;
       opts.grouping = GroupingMode::kNone;
     }
-    QueryEngine engine(db.get(), opts);
+    EvalOptions eval_opts;
+    eval_opts.num_threads = num_threads;
+    QueryEngine engine(db.get(), opts, eval_opts);
     Result<QueryReport> r = engine.Run(buffer);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());

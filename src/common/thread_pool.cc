@@ -1,0 +1,127 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace n2j {
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 1) num_workers = 1;
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = first_exception_;
+    first_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (first_exception_ == nullptr) {
+        first_exception_ = std::current_exception();
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+Status ThreadPool::RunMorsels(
+    size_t num_morsels,
+    const std::function<Status(int worker, size_t morsel)>& body) {
+  if (num_morsels == 0) return Status::OK();
+  std::vector<Status> statuses(num_morsels, Status::OK());
+  std::atomic<size_t> next{0};
+  size_t launched = std::min(num_morsels, workers_.size());
+  for (size_t w = 0; w < launched; ++w) {
+    Submit([&, w] {
+      for (;;) {
+        size_t m = next.fetch_add(1, std::memory_order_relaxed);
+        if (m >= num_morsels) return;
+        try {
+          statuses[m] = body(static_cast<int>(w), m);
+        } catch (const std::exception& ex) {
+          statuses[m] = Status::Internal(std::string("morsel threw: ") +
+                                         ex.what());
+        } catch (...) {
+          statuses[m] = Status::Internal("morsel threw a non-exception");
+        }
+      }
+    });
+  }
+  Wait();
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+size_t NumMorsels(size_t n, size_t morsel_size) {
+  if (n == 0) return 0;
+  if (morsel_size == 0) morsel_size = 1;
+  return (n + morsel_size - 1) / morsel_size;
+}
+
+MorselRange MorselAt(size_t n, size_t morsel_size, size_t m) {
+  if (morsel_size == 0) morsel_size = 1;
+  size_t begin = m * morsel_size;
+  size_t end = begin + morsel_size;
+  if (end > n) end = n;
+  if (begin > n) begin = n;
+  return {begin, end};
+}
+
+size_t PickMorselSize(size_t n, int num_workers) {
+  if (num_workers < 1) num_workers = 1;
+  // ~8 morsels per worker balances skew without drowning in scheduling;
+  // tiny inputs degrade to one element per morsel, which keeps the
+  // parallel paths exercised (and differentially testable) even on
+  // fuzzer-sized data.
+  size_t target = static_cast<size_t>(num_workers) * 8;
+  size_t size = n / target;
+  if (size < 1) size = 1;
+  if (size > 1024) size = 1024;
+  return size;
+}
+
+}  // namespace n2j

@@ -1,0 +1,90 @@
+#ifndef N2J_COMMON_THREAD_POOL_H_
+#define N2J_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace n2j {
+
+/// A small fixed-size thread pool with one shared FIFO task queue — no
+/// work stealing. Built for morsel-driven query execution, where tasks
+/// are coarse enough (hundreds of tuples each) that a single queue under
+/// a mutex is never the bottleneck.
+///
+/// One pool serves one evaluator; Submit/Wait and RunMorsels are meant
+/// to be driven from that evaluator's thread, not called concurrently
+/// from several threads.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (clamped to at least 1).
+  explicit ThreadPool(int num_workers);
+  /// Drains the queue and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception (in completion order).
+  /// Waiting with nothing submitted returns immediately.
+  void Wait();
+
+  /// Runs body(worker, morsel) for every morsel in [0, num_morsels).
+  /// Worker ids are in [0, num_workers()); each worker claims morsels
+  /// one at a time from a shared counter (morsel-driven scheduling), so
+  /// a slow morsel never stalls the rest of the input. Blocks until all
+  /// morsels are done. Returns the error of the *lowest-numbered*
+  /// failing morsel — error reporting is deterministic regardless of
+  /// scheduling. An exception escaping `body` becomes an internal-error
+  /// Status for its morsel.
+  Status RunMorsels(
+      size_t num_morsels,
+      const std::function<Status(int worker, size_t morsel)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool shutdown_ = false;
+  std::exception_ptr first_exception_;
+};
+
+/// Half-open element range of one morsel.
+struct MorselRange {
+  size_t begin;
+  size_t end;
+};
+
+/// Number of size-`morsel_size` morsels covering [0, n). Zero when n is
+/// zero.
+size_t NumMorsels(size_t n, size_t morsel_size);
+
+/// The range of morsel `m` (the last morsel may be ragged).
+MorselRange MorselAt(size_t n, size_t morsel_size, size_t m);
+
+/// Morsel-size heuristic: aims for several morsels per worker so the
+/// shared-counter scheduling can balance skew, while capping the morsel
+/// count for tiny inputs (every element its own morsel at the limit).
+size_t PickMorselSize(size_t n, int num_workers);
+
+}  // namespace n2j
+
+#endif  // N2J_COMMON_THREAD_POOL_H_

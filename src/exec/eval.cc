@@ -6,6 +6,18 @@
 
 namespace n2j {
 
+void EvalStats::Merge(const EvalStats& other) {
+  tuples_scanned += other.tuples_scanned;
+  predicate_evals += other.predicate_evals;
+  hash_inserts += other.hash_inserts;
+  hash_probes += other.hash_probes;
+  rows_sorted += other.rows_sorted;
+  index_probes += other.index_probes;
+  pnhl_partitions += other.pnhl_partitions;
+  derefs += other.derefs;
+  nodes_evaluated += other.nodes_evaluated;
+}
+
 std::string EvalStats::ToString() const {
   return StrFormat(
       "scanned=%llu preds=%llu h_ins=%llu h_probe=%llu sorted=%llu "
@@ -39,6 +51,80 @@ Result<Value> Evaluator::ConcatTuples(const Value& l, const Value& r) {
     }
   }
   return l.ConcatTuple(r);
+}
+
+ThreadPool& Evaluator::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  }
+  return *pool_;
+}
+
+std::vector<std::unique_ptr<Evaluator>> Evaluator::ForkWorkers(int count) {
+  std::vector<std::unique_ptr<Evaluator>> workers;
+  workers.reserve(static_cast<size_t>(count));
+  EvalOptions worker_opts = opts_;
+  worker_opts.num_threads = 1;  // nested operators stay serial
+  for (int i = 0; i < count; ++i) {
+    auto w = std::make_unique<Evaluator>(db_, worker_opts);
+    w->table_cache_ = table_cache_;
+    workers.push_back(std::move(w));
+  }
+  return workers;
+}
+
+void Evaluator::MergeWorkerStats(
+    const std::vector<std::unique_ptr<Evaluator>>& workers) {
+  for (const auto& w : workers) stats_.Merge(w->stats_);
+}
+
+Result<Value> Evaluator::ParallelMapSelect(const Expr& e, const Value& in,
+                                           Environment& env,
+                                           bool is_select) {
+  const std::vector<Value>& xs = in.elements();
+  const size_t n = xs.size();
+  ThreadPool& tp = pool();
+  const int num_workers = tp.num_workers();
+  std::vector<std::unique_ptr<Evaluator>> workers = ForkWorkers(num_workers);
+  std::vector<Environment> envs(static_cast<size_t>(num_workers), env);
+
+  size_t morsel_size = PickMorselSize(n, num_workers);
+  std::vector<Value> out(n);   // map results, slot per input element
+  std::vector<char> keep(n, 0);  // select verdicts
+  Status s = tp.RunMorsels(
+      NumMorsels(n, morsel_size), [&](int w, size_t m) -> Status {
+        Evaluator& ev = *workers[static_cast<size_t>(w)];
+        Environment& wenv = envs[static_cast<size_t>(w)];
+        MorselRange range = MorselAt(n, morsel_size, m);
+        for (size_t i = range.begin; i < range.end; ++i) {
+          ++ev.stats_.tuples_scanned;
+          if (is_select) ++ev.stats_.predicate_evals;
+          wenv.Push(e.var(), xs[i]);
+          Result<Value> r = ev.EvalNode(*e.child(1), wenv);
+          wenv.Pop();
+          if (!r.ok()) return r.status();
+          if (is_select) {
+            if (!r->is_bool()) {
+              return Status::RuntimeError("selection predicate not boolean");
+            }
+            keep[i] = r->bool_value() ? 1 : 0;
+          } else {
+            out[i] = std::move(*r);
+          }
+        }
+        return Status::OK();
+      });
+  MergeWorkerStats(workers);
+  N2J_RETURN_IF_ERROR(s);
+  if (is_select) {
+    std::vector<Value> selected;
+    for (size_t i = 0; i < n; ++i) {
+      if (keep[i]) selected.push_back(xs[i]);
+    }
+    // Input order is canonical and selection preserves it.
+    return Value::SetFromCanonical(std::move(selected));
+  }
+  return Value::Set(std::move(out));
 }
 
 Result<Value> Evaluator::TableValue(const std::string& name) {
@@ -198,6 +284,9 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
       }
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("map over non-set");
+      if (opts_.num_threads > 1 && in.set_size() > 1) {
+        return ParallelMapSelect(e, in, env, /*is_select=*/false);
+      }
       std::vector<Value> out;
       out.reserve(in.set_size());
       for (const Value& x : in.elements()) {
@@ -214,6 +303,9 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
     case ExprKind::kSelect: {
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("select over non-set");
+      if (opts_.num_threads > 1 && in.set_size() > 1) {
+        return ParallelMapSelect(e, in, env, /*is_select=*/true);
+      }
       std::vector<Value> out;
       for (const Value& x : in.elements()) {
         ++stats_.tuples_scanned;
@@ -503,6 +595,7 @@ Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
   // ν_{A→a}: group on B = SCH − A; collect A-projections into `a`.
   const std::vector<std::string>& grouped = e.names();
   std::unordered_map<Value, std::vector<Value>, ValueHash> groups;
+  groups.reserve(in.set_size());
   std::vector<Value> group_order;  // deterministic output
   for (const Value& x : in.elements()) {
     ++stats_.tuples_scanned;
@@ -605,6 +698,7 @@ Result<Value> Evaluator::EvalDivide(const Expr& e, Environment& env) {
   }
   // Index l by its A-projection.
   std::unordered_map<Value, std::vector<Value>, ValueHash> by_a;
+  by_a.reserve(l.set_size());
   for (const Value& x : l.elements()) {
     ++stats_.tuples_scanned;
     ++stats_.hash_inserts;

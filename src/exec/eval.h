@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "adl/value.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "storage/database.h"
 
 namespace n2j {
@@ -29,6 +31,11 @@ struct EvalStats {
   uint64_t nodes_evaluated = 0;  // expression nodes evaluated
 
   void Reset() { *this = EvalStats(); }
+  /// Adds another (per-worker) counter set into this one. Parallel
+  /// operators give every worker its own EvalStats and merge afterwards,
+  /// so totals are exact — equal to a serial run's counters.
+  void Merge(const EvalStats& other);
+  bool operator==(const EvalStats& other) const = default;
   std::string ToString() const;
 };
 
@@ -60,6 +67,13 @@ struct EvalOptions {
   bool enable_pnhl = true;
   /// Memory budget (bytes) for one PNHL hash segment.
   size_t pnhl_memory_budget = SIZE_MAX;
+  /// Worker threads for the set-oriented operators: hash-join build and
+  /// probe, map/select morsels, PNHL segment processing. 1 (the default)
+  /// runs the serial code paths byte-identically to the pre-parallel
+  /// engine; any value > 1 produces value-identical results and exact
+  /// (merged per-worker) EvalStats. Morsels are merged in input order,
+  /// so output is deterministic regardless of scheduling.
+  int num_threads = 1;
 };
 
 /// Variable bindings during evaluation, innermost last.
@@ -134,6 +148,41 @@ class Evaluator {
   /// returns kUnsupported when `e` is not that map pattern.
   Result<Value> TryPnhlMap(const Expr& e, Environment& env);
 
+  // ---- Morsel-driven parallel execution (num_threads > 1) -----------
+  // Each parallel operator forks per-worker evaluator clones (own stats
+  // and table cache, num_threads forced to 1 so nested operators stay
+  // serial), runs morsels over the materialized input, and merges both
+  // the per-morsel outputs (in morsel order — deterministic) and the
+  // per-worker stats (sums — exact).
+
+  /// The lazily created pool backing this evaluator's parallel
+  /// operators; opts_.num_threads workers.
+  ThreadPool& pool();
+  /// Per-worker evaluator clones sharing the database and the current
+  /// table cache snapshot.
+  std::vector<std::unique_ptr<Evaluator>> ForkWorkers(int count);
+  /// Adds every worker's counters into stats_.
+  void MergeWorkerStats(
+      const std::vector<std::unique_ptr<Evaluator>>& workers);
+
+  /// Parallel morsels for map/select over a materialized set.
+  Result<Value> ParallelMapSelect(const Expr& e, const Value& in,
+                                  Environment& env, bool is_select);
+  /// Partitioned parallel hash join: parallel build-key evaluation,
+  /// hash-partitioned build (one partition per worker, scan order
+  /// preserved inside buckets), then parallel probe morsels.
+  Result<Value> ParallelHashJoin(const Expr& e, const Value& l,
+                                 const Value& r, Environment& env,
+                                 const struct EquiJoinKeys& keys);
+  /// Parallel probe morsels for the membership join (build stays
+  /// serial; the probe side dominates).
+  Result<Value> ParallelMembershipProbe(
+      const Expr& e, const Value& l, Environment& env,
+      const std::function<Status(Evaluator& worker, Environment& wenv,
+                                 const Value& x,
+                                 std::vector<const Value*>* matches)>&
+          probe_one);
+
   /// Shared per-left-tuple result assembly for the join family: given
   /// the matching right tuples (post-residual), appends the appropriate
   /// output to `out`. Used by the hash/sort-merge/index variants.
@@ -151,6 +200,7 @@ class Evaluator {
   EvalOptions opts_;
   EvalStats stats_;
   std::map<std::string, Value> table_cache_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Convenience: evaluate a closed expression against `db` with default

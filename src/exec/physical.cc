@@ -106,6 +106,9 @@ Result<Value> Evaluator::HashJoin(const Expr& e, const Value& l,
   if (!keys.usable()) {
     return Status::Unsupported("no equi keys in join predicate");
   }
+  if (opts_.num_threads > 1 && (l.set_size() > 1 || r.set_size() > 1)) {
+    return ParallelHashJoin(e, l, r, env, keys);
+  }
 
   // Build phase over the right operand.
   std::unordered_map<Value, std::vector<const Value*>, ValueHash> table;
@@ -154,6 +157,135 @@ Result<Value> Evaluator::HashJoin(const Expr& e, const Value& l,
       }
     }
     N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out));
+  }
+  return Value::Set(std::move(out));
+}
+
+// Morsel-driven parallel hash join (num_threads > 1). Three passes:
+//
+//   1. build-key evaluation — parallel morsels over the right operand,
+//      each key written to its input-index slot;
+//   2. hash-partitioned build — partition p owns keys with
+//      hash(key) % P == p; each partition task scans the key vector in
+//      input order, so bucket contents keep the serial insertion order;
+//   3. probe — parallel morsels over the left operand, each morsel
+//      emitting into its own output slot; slots are concatenated in
+//      morsel order.
+//
+// Every intermediate is indexed by input position, so the result (and,
+// after the per-worker merge, every EvalStats counter) is independent
+// of thread scheduling.
+Result<Value> Evaluator::ParallelHashJoin(const Expr& e, const Value& l,
+                                          const Value& r, Environment& env,
+                                          const EquiJoinKeys& keys) {
+  const std::vector<Value>& build = r.elements();
+  const std::vector<Value>& probe = l.elements();
+  ThreadPool& tp = pool();
+  const int num_workers = tp.num_workers();
+  std::vector<std::unique_ptr<Evaluator>> workers = ForkWorkers(num_workers);
+  std::vector<Environment> envs(static_cast<size_t>(num_workers), env);
+
+  // Pass 1: evaluate build keys (and their partitions) slot-per-element.
+  const size_t num_partitions = static_cast<size_t>(num_workers);
+  std::vector<Value> build_keys(build.size());
+  std::vector<size_t> partition_of(build.size());
+  size_t build_morsel = PickMorselSize(build.size(), num_workers);
+  Status s = tp.RunMorsels(
+      NumMorsels(build.size(), build_morsel), [&](int w, size_t m) -> Status {
+        Evaluator& ev = *workers[static_cast<size_t>(w)];
+        Environment& wenv = envs[static_cast<size_t>(w)];
+        MorselRange range = MorselAt(build.size(), build_morsel, m);
+        for (size_t i = range.begin; i < range.end; ++i) {
+          ++ev.stats_.tuples_scanned;
+          Result<Value> key = EvalKeyTuple(&ev, keys.right_keys, e.var2(),
+                                           build[i], wenv);
+          if (!key.ok()) return key.status();
+          partition_of[i] = key->Hash() % num_partitions;
+          build_keys[i] = std::move(*key);
+        }
+        return Status::OK();
+      });
+  if (!s.ok()) {
+    MergeWorkerStats(workers);
+    return s;
+  }
+
+  // Pass 2: one build task per partition; bucket order = input order.
+  std::vector<
+      std::unordered_map<Value, std::vector<const Value*>, ValueHash>>
+      tables(num_partitions);
+  s = tp.RunMorsels(num_partitions, [&](int, size_t p) -> Status {
+    auto& table = tables[p];
+    table.reserve(build.size() / num_partitions + 1);
+    for (size_t i = 0; i < build.size(); ++i) {
+      if (partition_of[i] != p) continue;
+      table[build_keys[i]].push_back(&build[i]);
+    }
+    return Status::OK();
+  });
+  stats_.hash_inserts += build.size();
+  if (!s.ok()) {
+    MergeWorkerStats(workers);
+    return s;
+  }
+
+  // Pass 3: probe morsels, each with its own output slot.
+  ExprPtr residual = Expr::AndAll(keys.residual);
+  bool trivial_residual = keys.residual.empty();
+  size_t probe_morsel = PickMorselSize(probe.size(), num_workers);
+  size_t num_morsels = NumMorsels(probe.size(), probe_morsel);
+  std::vector<std::vector<Value>> outs(num_morsels);
+  s = tp.RunMorsels(num_morsels, [&](int w, size_t m) -> Status {
+    Evaluator& ev = *workers[static_cast<size_t>(w)];
+    Environment& wenv = envs[static_cast<size_t>(w)];
+    MorselRange range = MorselAt(probe.size(), probe_morsel, m);
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const Value& x = probe[i];
+      ++ev.stats_.tuples_scanned;
+      Result<Value> key =
+          EvalKeyTuple(&ev, keys.left_keys, e.var(), x, wenv);
+      if (!key.ok()) return key.status();
+      ++ev.stats_.hash_probes;
+      const auto& table = tables[key->Hash() % num_partitions];
+      auto it = table.find(*key);
+
+      std::vector<const Value*> matches;
+      if (it != table.end()) {
+        if (trivial_residual) {
+          matches = it->second;
+        } else {
+          wenv.Push(e.var(), x);
+          for (const Value* y : it->second) {
+            ++ev.stats_.predicate_evals;
+            wenv.Push(e.var2(), *y);
+            Result<Value> p = ev.EvalNode(*residual, wenv);
+            wenv.Pop();
+            if (!p.ok()) {
+              wenv.Pop();
+              return p.status();
+            }
+            if (!p->is_bool()) {
+              wenv.Pop();
+              return Status::RuntimeError("join residual not boolean");
+            }
+            if (p->bool_value()) matches.push_back(y);
+          }
+          wenv.Pop();
+        }
+      }
+      N2J_RETURN_IF_ERROR(ev.EmitJoinResult(e, x, matches, wenv, &outs[m]));
+    }
+    return Status::OK();
+  });
+  MergeWorkerStats(workers);
+  N2J_RETURN_IF_ERROR(s);
+
+  size_t total = 0;
+  for (const auto& o : outs) total += o.size();
+  std::vector<Value> out;
+  out.reserve(total);
+  for (auto& o : outs) {
+    for (Value& v : o) out.push_back(std::move(v));
   }
   return Value::Set(std::move(out));
 }

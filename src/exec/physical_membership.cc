@@ -114,9 +114,12 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
   ExprPtr residual = Expr::AndAll(residual_conjuncts);
   bool trivial_residual = residual_conjuncts.empty();
 
-  std::vector<Value> out;
-  for (const Value& x : l.elements()) {
-    ++stats_.tuples_scanned;
+  // Matches for one left tuple: probe the (shared, read-only) table once
+  // per set element under the given worker evaluator. With an element
+  // key k(v), two distinct elements can share a key, so right tuples are
+  // deduplicated.
+  auto probe_one = [&](Evaluator& ev, Environment& wenv, const Value& x,
+                       std::vector<const Value*>* matches) -> Status {
     if (!x.is_tuple()) {
       return Status::RuntimeError("join element not a tuple");
     }
@@ -125,20 +128,17 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
       return Status::RuntimeError("membership attribute '" + key.attr +
                                   "' is not a set");
     }
-    // Probe once per set element. With an element key k(v), two distinct
-    // elements can share a key, so right tuples are deduplicated.
-    std::vector<const Value*> matches;
     std::unordered_map<const Value*, bool> seen;
-    env.Push(e.var(), x);
+    wenv.Push(e.var(), x);
     for (const Value& elem : attr->elements()) {
-      ++stats_.hash_probes;
+      ++ev.stats_.hash_probes;
       Value probe = elem;
       if (key.elem_key != nullptr) {
-        env.Push(key.elem_var, elem);
-        Result<Value> kv = EvalNode(*key.elem_key, env);
-        env.Pop();
+        wenv.Push(key.elem_var, elem);
+        Result<Value> kv = ev.EvalNode(*key.elem_key, wenv);
+        wenv.Pop();
         if (!kv.ok()) {
-          env.Pop();
+          wenv.Pop();
           return kv.status();
         }
         probe = std::move(*kv);
@@ -151,25 +151,81 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
           if (!inserted) continue;
         }
         if (!trivial_residual) {
-          ++stats_.predicate_evals;
-          env.Push(e.var2(), *y);
-          Result<Value> p = EvalNode(*residual, env);
-          env.Pop();
+          ++ev.stats_.predicate_evals;
+          wenv.Push(e.var2(), *y);
+          Result<Value> p = ev.EvalNode(*residual, wenv);
+          wenv.Pop();
           if (!p.ok()) {
-            env.Pop();
+            wenv.Pop();
             return p.status();
           }
           if (!p->is_bool()) {
-            env.Pop();
+            wenv.Pop();
             return Status::RuntimeError("join residual not boolean");
           }
           if (!p->bool_value()) continue;
         }
-        matches.push_back(y);
+        matches->push_back(y);
       }
     }
-    env.Pop();
+    wenv.Pop();
+    return Status::OK();
+  };
+
+  if (opts_.num_threads > 1 && l.set_size() > 1) {
+    return ParallelMembershipProbe(e, l, env, probe_one);
+  }
+
+  std::vector<Value> out;
+  for (const Value& x : l.elements()) {
+    ++stats_.tuples_scanned;
+    std::vector<const Value*> matches;
+    N2J_RETURN_IF_ERROR(probe_one(*this, env, x, &matches));
     N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out));
+  }
+  return Value::Set(std::move(out));
+}
+
+// Probe-side morsel parallelism: the build table is shared read-only;
+// each morsel probes its left-tuple range with a per-worker evaluator
+// and emits into its own output slot, concatenated in morsel order.
+Result<Value> Evaluator::ParallelMembershipProbe(
+    const Expr& e, const Value& l, Environment& env,
+    const std::function<Status(Evaluator& worker, Environment& wenv,
+                               const Value& x,
+                               std::vector<const Value*>* matches)>&
+        probe_one) {
+  const std::vector<Value>& probe = l.elements();
+  ThreadPool& tp = pool();
+  const int num_workers = tp.num_workers();
+  std::vector<std::unique_ptr<Evaluator>> workers = ForkWorkers(num_workers);
+  std::vector<Environment> envs(static_cast<size_t>(num_workers), env);
+
+  size_t morsel_size = PickMorselSize(probe.size(), num_workers);
+  size_t num_morsels = NumMorsels(probe.size(), morsel_size);
+  std::vector<std::vector<Value>> outs(num_morsels);
+  Status s = tp.RunMorsels(num_morsels, [&](int w, size_t m) -> Status {
+    Evaluator& ev = *workers[static_cast<size_t>(w)];
+    Environment& wenv = envs[static_cast<size_t>(w)];
+    MorselRange range = MorselAt(probe.size(), morsel_size, m);
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const Value& x = probe[i];
+      ++ev.stats_.tuples_scanned;
+      std::vector<const Value*> matches;
+      N2J_RETURN_IF_ERROR(probe_one(ev, wenv, x, &matches));
+      N2J_RETURN_IF_ERROR(ev.EmitJoinResult(e, x, matches, wenv, &outs[m]));
+    }
+    return Status::OK();
+  });
+  MergeWorkerStats(workers);
+  N2J_RETURN_IF_ERROR(s);
+
+  size_t total = 0;
+  for (const auto& o : outs) total += o.size();
+  std::vector<Value> out;
+  out.reserve(total);
+  for (auto& o : outs) {
+    for (Value& v : o) out.push_back(std::move(v));
   }
   return Value::Set(std::move(out));
 }

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace n2j {
 
@@ -50,13 +51,18 @@ Result<Value> PnhlJoin(const Value& outer, const Value& inner,
 
   // Phase 0: split the inner (build) table into segments that fit the
   // memory budget. In PNHL only the flat table can be the build table.
+  // A row is admitted while the running total stays within budget; the
+  // comparison is phrased subtraction-side so `bytes + sz` can never
+  // overflow size_t. A row larger than the whole budget still gets a
+  // (singleton) segment — segments are never empty.
   const std::vector<Value>& build = inner.elements();
   std::vector<std::pair<size_t, size_t>> segments;  // [begin, end)
   size_t begin = 0;
   size_t bytes = 0;
   for (size_t i = 0; i < build.size(); ++i) {
     size_t sz = build[i].ApproxBytes();
-    if (bytes > 0 && bytes + sz > params.memory_budget) {
+    if (bytes > 0 && (bytes >= params.memory_budget ||
+                      sz > params.memory_budget - bytes)) {
       segments.emplace_back(begin, i);
       begin = i;
       bytes = 0;
@@ -66,29 +72,37 @@ Result<Value> PnhlJoin(const Value& outer, const Value& inner,
   segments.emplace_back(begin, build.size());
   st.partitions = static_cast<uint32_t>(segments.size());
 
-  // Partial results: per outer tuple, the accumulating joined set.
+  // Per-segment pass: build a hash table over the segment, probe every
+  // outer tuple's set elements against it. Segments are independent, so
+  // with num_threads > 1 they run as parallel tasks; each writes its own
+  // partial-result and stats slots, merged in segment order below, which
+  // makes the output and counters identical to the serial loop.
   const std::vector<Value>& xs = outer.elements();
-  std::vector<std::vector<Value>> partial(xs.size());
+  std::vector<std::vector<std::vector<Value>>> partial(
+      segments.size(), std::vector<std::vector<Value>>(xs.size()));
+  std::vector<PnhlStats> seg_stats(segments.size());
 
-  for (const auto& [seg_begin, seg_end] : segments) {
-    // Build a hash table over this segment of the flat table.
+  auto run_segment = [&](size_t s) -> Status {
+    const auto& [seg_begin, seg_end] = segments[s];
+    PnhlStats& sst = seg_stats[s];
     std::unordered_map<Value, std::vector<size_t>, ValueHash> table;
+    table.reserve(seg_end - seg_begin);
     for (size_t i = seg_begin; i < seg_end; ++i) {
       const Value* key = build[i].FindField(params.inner_key);
       if (key == nullptr) {
         return Status::InvalidArgument("inner tuples need key field '" +
                                        params.inner_key + "'");
       }
-      ++st.build_inserts;
+      ++sst.build_inserts;
       table[*key].push_back(i);
     }
     // Probe the outer operand (its clustered set elements) against the
     // segment, producing partial results that are merged positionally.
     for (size_t xi = 0; xi < xs.size(); ++xi) {
-      ++st.probe_tuples;
+      ++sst.probe_tuples;
       const Value& attr = *xs[xi].FindField(params.set_attr);
       for (const Value& e : attr.elements()) {
-        ++st.probe_elements;
+        ++sst.probe_elements;
         if (!e.is_tuple()) {
           return Status::InvalidArgument("set element is not a tuple");
         }
@@ -100,20 +114,43 @@ Result<Value> PnhlJoin(const Value& outer, const Value& inner,
         auto it = table.find(*key);
         if (it == table.end()) continue;
         for (size_t bi : it->second) {
-          ++st.matches;
-          partial[xi].push_back(
+          ++sst.matches;
+          partial[s][xi].push_back(
               e.ConcatTuple(InnerPayload(build[bi], params)));
         }
       }
     }
+    return Status::OK();
+  };
+
+  if (params.num_threads > 1 && segments.size() > 1) {
+    ThreadPool tp(params.num_threads);
+    N2J_RETURN_IF_ERROR(tp.RunMorsels(
+        segments.size(),
+        [&](int /*worker*/, size_t s) { return run_segment(s); }));
+  } else {
+    for (size_t s = 0; s < segments.size(); ++s) {
+      N2J_RETURN_IF_ERROR(run_segment(s));
+    }
+  }
+  for (const PnhlStats& sst : seg_stats) {
+    st.build_inserts += sst.build_inserts;
+    st.probe_tuples += sst.probe_tuples;
+    st.probe_elements += sst.probe_elements;
+    st.matches += sst.matches;
   }
 
-  // Phase 2: merge partial results into the final nested relation.
+  // Phase 2: merge partial results (in segment order) into the final
+  // nested relation.
   std::vector<Value> out;
   out.reserve(xs.size());
   for (size_t xi = 0; xi < xs.size(); ++xi) {
+    std::vector<Value> joined;
+    for (size_t s = 0; s < segments.size(); ++s) {
+      for (Value& v : partial[s][xi]) joined.push_back(std::move(v));
+    }
     out.push_back(xs[xi].ExceptUpdate(
-        {Field(params.set_attr, Value::Set(std::move(partial[xi])))}));
+        {Field(params.set_attr, Value::Set(std::move(joined)))}));
   }
   return Value::Set(std::move(out));
 }
@@ -128,6 +165,7 @@ Result<Value> UnnestJoinNest(const Value& outer, const Value& inner,
 
   // Build a hash table over the whole inner table.
   std::unordered_map<Value, std::vector<const Value*>, ValueHash> table;
+  table.reserve(inner.set_size());
   for (const Value& t : inner.elements()) {
     const Value* key = t.FindField(params.inner_key);
     if (key == nullptr) {

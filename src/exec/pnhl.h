@@ -42,6 +42,14 @@ struct PnhlParams {
   /// the structure of [DeLa92] (only the flat table can be the build
   /// table).
   size_t memory_budget = SIZE_MAX;
+  /// Worker threads for segment processing. Segments are independent —
+  /// each builds its own hash table and probes the whole outer operand —
+  /// so they run as parallel tasks; per-segment partial results and
+  /// stats are merged in segment order, making the output and counters
+  /// identical to a serial run. Note that up to num_threads segment
+  /// tables are resident at once, so the effective memory ceiling is
+  /// num_threads × memory_budget.
+  int num_threads = 1;
 };
 
 /// Runs PNHL over materialized operands. `outer` and `inner` are sets of

@@ -89,6 +89,7 @@ Result<Value> Evaluator::TryPnhlMap(const Expr& e, Environment& env) {
   // different names: keep both, matching what the plain join would do.
   params.drop_inner_key = *elem_key == *inner_key;
   params.memory_budget = opts_.pnhl_memory_budget;
+  params.num_threads = opts_.num_threads;
 
   PnhlStats pnhl_stats;
   Result<Value> out = PnhlJoin(outer, inner, params, &pnhl_stats);

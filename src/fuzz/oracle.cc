@@ -98,6 +98,31 @@ std::vector<OracleConfig> DefaultConfigMatrix() {
     m.push_back(c);
   }
 
+  // Morsel-driven parallel execution: the serial oracle must agree with
+  // every parallel cell bit-for-bit — morsel merges are input-ordered, so
+  // any divergence is a real scheduling-dependent bug. 2 threads is the
+  // smallest parallel shape; 8 oversubscribes the scheduler to shake out
+  // ordering assumptions.
+  {
+    OracleConfig c = Cell("full-nestjoin-hash-mt2");
+    c.eval.join_algorithm = JoinAlgorithm::kHash;
+    c.eval.num_threads = 2;
+    m.push_back(c);
+  }
+  {
+    OracleConfig c = Cell("full-nestjoin-hash-mt8");
+    c.eval.join_algorithm = JoinAlgorithm::kHash;
+    c.eval.num_threads = 8;
+    m.push_back(c);
+  }
+  {
+    // Multi-segment PNHL with parallel segment processing.
+    OracleConfig c = Cell("pnhl-tight-budget-mt2");
+    c.eval.pnhl_memory_budget = 256;
+    c.eval.num_threads = 2;
+    m.push_back(c);
+  }
+
   return m;
 }
 

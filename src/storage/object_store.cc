@@ -28,9 +28,12 @@ Result<Value> ObjectStore::Get(Oid oid) const {
     return Status::NotFound(StrFormat(
         "dangling oid @%u.%llu", cls, static_cast<unsigned long long>(seq)));
   }
-  ++stats_.gets;
-  PageId page = (static_cast<uint64_t>(cls) << 32) | (seq / page_size_);
-  TouchPage(page);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.gets;
+    PageId page = (static_cast<uint64_t>(cls) << 32) | (seq / page_size_);
+    TouchPage(page);
+  }
   return it->second[seq];
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +50,7 @@ class ObjectStore {
 
   const StoreStats& stats() const { return stats_; }
   void ResetStats() const {
+    std::lock_guard<std::mutex> lock(mu_);
     stats_.Reset();
     lru_.clear();
     cached_.clear();
@@ -68,7 +70,10 @@ class ObjectStore {
   std::map<uint16_t, std::vector<Value>> by_class_;
   size_t count_ = 0;
 
-  // Page-cache cost model (mutable: Get() is logically const).
+  // Page-cache cost model (mutable: Get() is logically const; the mutex
+  // makes concurrent dereferences from parallel workers safe — page
+  // hit/miss counts then depend on interleaving, but their sum does not).
+  mutable std::mutex mu_;
   mutable StoreStats stats_;
   mutable std::list<PageId> lru_;  // front = most recent
   mutable std::unordered_map<PageId, std::list<PageId>::iterator> cached_;

@@ -1,7 +1,9 @@
 // Execution-option matrix: every optimized paper-shaped query must
 // return the identical result under every combination of physical
-// options (join algorithm × PNHL fast path), with and without indexes.
-// This is the guarantee that makes the logical/physical split safe.
+// options (join algorithm × PNHL fast path × worker threads), with and
+// without indexes. This is the guarantee that makes the logical/physical
+// split safe — and that morsel-driven parallelism is invisible except in
+// wall time.
 
 #include <gtest/gtest.h>
 
@@ -53,17 +55,54 @@ TEST_P(ExecOptionsMatrixTest, AllOptionCombinationsAgree) {
           JoinAlgorithm::kNestedLoop}) {
       for (bool pnhl : {false, true}) {
         for (size_t budget : {SIZE_MAX, size_t{512}}) {
-          EvalOptions opts;
-          opts.join_algorithm = algo;
-          opts.enable_pnhl = pnhl;
-          opts.pnhl_memory_budget = budget;
-          Value actual = EvalExpr(*db, plan, opts);
-          ASSERT_EQ(expected, actual)
-              << q << "\nalgo=" << static_cast<int>(algo)
-              << " pnhl=" << pnhl << " budget=" << budget;
+          for (int threads : {1, 4}) {
+            EvalOptions opts;
+            opts.join_algorithm = algo;
+            opts.enable_pnhl = pnhl;
+            opts.pnhl_memory_budget = budget;
+            opts.num_threads = threads;
+            Value actual = EvalExpr(*db, plan, opts);
+            ASSERT_EQ(expected, actual)
+                << q << "\nalgo=" << static_cast<int>(algo)
+                << " pnhl=" << pnhl << " budget=" << budget
+                << " threads=" << threads;
+          }
         }
       }
     }
+  }
+}
+
+// Merged per-worker counters must equal the serial run's counters
+// exactly — parallelism redistributes work, it never changes how much
+// work is done.
+TEST_P(ExecOptionsMatrixTest, ParallelStatsMatchSerial) {
+  auto db = std::make_unique<Database>();
+  XYConfig config;
+  config.seed = 97 + static_cast<uint64_t>(GetParam());
+  config.x_rows = 30;
+  config.y_rows = 35;
+  ASSERT_TRUE(AddRandomXY(db.get(), config).ok());
+
+  for (const char* q : kQueries) {
+    ExprPtr naive = TranslateOrDie(*db, q);
+    ExprPtr plan = RewriteExpr(*db, naive).expr;
+
+    EvalOptions serial_opts;
+    Evaluator serial(*db, serial_opts);
+    Result<Value> sv = serial.Eval(plan);
+    ASSERT_TRUE(sv.ok()) << q;
+
+    EvalOptions mt_opts;
+    mt_opts.num_threads = 4;
+    Evaluator mt(*db, mt_opts);
+    Result<Value> mv = mt.Eval(plan);
+    ASSERT_TRUE(mv.ok()) << q;
+
+    ASSERT_EQ(*sv, *mv) << q;
+    EXPECT_EQ(serial.stats(), mt.stats())
+        << q << "\nserial: " << serial.stats().ToString()
+        << "\n4-thread: " << mt.stats().ToString();
   }
 }
 

@@ -91,6 +91,83 @@ TEST(PnhlTest, PartitioningPreservesResult) {
   }
 }
 
+TEST(PnhlTest, SegmentArithmeticEdgeCases) {
+  SetJoinFixture f = SetJoinFixture::Make();
+  Result<Value> full = PnhlJoin(f.outer, f.inner, f.params, nullptr);
+  ASSERT_TRUE(full.ok());
+  size_t row_bytes = f.inner.elements()[0].ApproxBytes();
+  ASSERT_GT(row_bytes, 0u);
+
+  // budget = 1 byte: every row exceeds the budget on its own; each must
+  // still get its own (singleton) segment — 4 rows → 4 partitions.
+  {
+    PnhlParams p = f.params;
+    p.memory_budget = 1;
+    PnhlStats stats;
+    Result<Value> r = PnhlJoin(f.outer, f.inner, p, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*full, *r);
+    EXPECT_EQ(stats.partitions, 4u);
+  }
+  // budget = exactly one row: a second row must NOT squeeze into the
+  // segment (the off-by-one this test pins down) — again 4 partitions.
+  {
+    PnhlParams p = f.params;
+    p.memory_budget = row_bytes;
+    PnhlStats stats;
+    Result<Value> r = PnhlJoin(f.outer, f.inner, p, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*full, *r);
+    EXPECT_EQ(stats.partitions, 4u);
+  }
+  // budget = two rows: pairs fit, so exactly 2 partitions (>= 2 forced).
+  {
+    PnhlParams p = f.params;
+    p.memory_budget = 2 * row_bytes;
+    PnhlStats stats;
+    Result<Value> r = PnhlJoin(f.outer, f.inner, p, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*full, *r);
+    EXPECT_EQ(stats.partitions, 2u);
+  }
+  // A budget one byte short of a row must not admit it (the comparison
+  // is overflow-proof: bytes + row size never computed directly).
+  {
+    PnhlParams p = f.params;
+    p.memory_budget = row_bytes - 1;
+    PnhlStats stats;
+    Result<Value> r = PnhlJoin(f.outer, f.inner, p, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*full, *r);
+    EXPECT_EQ(stats.partitions, 4u);
+  }
+}
+
+TEST(PnhlTest, ParallelSegmentsMatchSerial) {
+  SetJoinFixture f = SetJoinFixture::Make();
+  for (size_t budget : {size_t{1}, size_t{40}, size_t{80}, SIZE_MAX}) {
+    PnhlParams serial = f.params;
+    serial.memory_budget = budget;
+    PnhlStats serial_stats;
+    Result<Value> s = PnhlJoin(f.outer, f.inner, serial, &serial_stats);
+    ASSERT_TRUE(s.ok());
+    for (int threads : {2, 8}) {
+      PnhlParams mt = serial;
+      mt.num_threads = threads;
+      PnhlStats mt_stats;
+      Result<Value> p = PnhlJoin(f.outer, f.inner, mt, &mt_stats);
+      ASSERT_TRUE(p.ok()) << "budget=" << budget << " threads=" << threads;
+      EXPECT_EQ(*s, *p) << "budget=" << budget << " threads=" << threads;
+      // Counters are merged in segment order: exact, not approximate.
+      EXPECT_EQ(serial_stats.partitions, mt_stats.partitions);
+      EXPECT_EQ(serial_stats.build_inserts, mt_stats.build_inserts);
+      EXPECT_EQ(serial_stats.probe_tuples, mt_stats.probe_tuples);
+      EXPECT_EQ(serial_stats.probe_elements, mt_stats.probe_elements);
+      EXPECT_EQ(serial_stats.matches, mt_stats.matches);
+    }
+  }
+}
+
 TEST(PnhlTest, AgreesWithNestedLoopBaseline) {
   SetJoinFixture f = SetJoinFixture::Make();
   Result<Value> pnhl = PnhlJoin(f.outer, f.inner, f.params, nullptr);

@@ -1,0 +1,135 @@
+// The morsel-scheduling thread pool behind num_threads > 1.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace n2j {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdown) {
+  // Construction spawns workers; destruction joins them — repeatedly,
+  // including with nothing ever submitted.
+  for (int workers : {1, 2, 8}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.num_workers(), workers);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsWorkerCountToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1);
+  ThreadPool neg(-3);
+  EXPECT_EQ(neg.num_workers(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(4);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunMorselsCoversEveryMorselExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  Status s = pool.RunMorsels(hits.size(), [&](int worker, size_t m) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 4);
+    hits[m].fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunMorselsZeroMorselsIsOk) {
+  ThreadPool pool(2);
+  bool ran = false;
+  Status s = pool.RunMorsels(0, [&](int, size_t) {
+    ran = true;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, RunMorselsReportsLowestFailingMorsel) {
+  // Error reporting is deterministic: regardless of which worker hits
+  // which morsel first, the lowest-numbered failure wins — the same
+  // error a serial left-to-right loop would report first.
+  ThreadPool pool(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    Status s = pool.RunMorsels(64, [&](int, size_t m) {
+      if (m % 7 == 3) {
+        return Status::Internal("failed at " + std::to_string(m));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.message(), "failed at 3");
+  }
+}
+
+TEST(ThreadPoolTest, RunMorselsConvertsBodyExceptionToStatus) {
+  ThreadPool pool(2);
+  Status s = pool.RunMorsels(4, [&](int, size_t m) -> Status {
+    if (m == 1) throw std::runtime_error("kaput");
+    return Status::OK();
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("kaput"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, MorselMathCoversRangeExactly) {
+  for (size_t n : {0u, 1u, 2u, 7u, 64u, 1000u}) {
+    for (size_t ms : {1u, 3u, 64u, 2000u}) {
+      size_t num = NumMorsels(n, ms);
+      size_t covered = 0;
+      size_t expected_begin = 0;
+      for (size_t m = 0; m < num; ++m) {
+        MorselRange r = MorselAt(n, ms, m);
+        EXPECT_EQ(r.begin, expected_begin);
+        EXPECT_LE(r.end, n);
+        EXPECT_LT(r.begin, r.end);  // no empty morsels
+        covered += r.end - r.begin;
+        expected_begin = r.end;
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " morsel_size=" << ms;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PickMorselSizeDegradesToSingleElements) {
+  // Tiny inputs must still split into several morsels so the parallel
+  // code paths get exercised by fuzzer-sized data.
+  EXPECT_EQ(PickMorselSize(3, 4), 1u);
+  EXPECT_EQ(PickMorselSize(100, 4), 3u);
+  // Huge inputs cap at 1024 elements per morsel.
+  EXPECT_EQ(PickMorselSize(1 << 20, 2), 1024u);
+}
+
+}  // namespace
+}  // namespace n2j
