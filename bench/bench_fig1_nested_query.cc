@@ -71,11 +71,11 @@ void Walkthrough() {
               truth.set_size());
 }
 
-void Sweep() {
+void Sweep(bench::Trajectory* traj) {
   Section("Scaling: nested loop vs nestjoin plan for the Figure 1 query");
   std::printf("%8s %16s %16s %10s %22s\n", "|X|=|Y|", "nested (ms)",
               "nestjoin (ms)", "speedup", "pred-evals nested/nj");
-  for (int n : {50, 100, 200, 400, 800}) {
+  for (int n : {50, 100, 200, 400, 800, 1600}) {
     auto db = MakeDb(n, 5);
     ExprPtr q = Fig1Query();
     ExprPtr plan = MustRewrite(*db, q).expr;
@@ -85,6 +85,8 @@ void Sweep() {
     N2J_CHECK(a == b);
     double nested_ms = TimeMs([&] { MustEval(*db, q); }, 40);
     double nj_ms = TimeMs([&] { MustEval(*db, plan); }, 40);
+    traj->Add("fig1", "nested", n, nested_ms, sn);
+    traj->Add("fig1", "nestjoin", n, nj_ms, sj);
     std::printf("%8d %16.3f %16.3f %9.1fx %15llu/%llu\n", n, nested_ms,
                 nj_ms, nested_ms / nj_ms,
                 static_cast<unsigned long long>(sn.predicate_evals),
@@ -113,8 +115,10 @@ BENCHMARK(BM_Fig1NestJoin)->Arg(128)->Arg(512);
 }  // namespace n2j
 
 int main(int argc, char** argv) {
+  n2j::bench::Trajectory traj("fig1_nested_query", &argc, argv);
   n2j::Walkthrough();
-  n2j::Sweep();
+  n2j::Sweep(&traj);
+  traj.WriteIfRequested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -50,7 +50,8 @@ EvalOptions Algo(JoinAlgorithm a) {
   return opts;
 }
 
-void SweepAlgorithms(const char* title, const ExprPtr& plan) {
+void SweepAlgorithms(const char* title, const ExprPtr& plan,
+                     const char* sweep, bench::Trajectory* traj) {
   Section(title);
   std::printf("%8s %15s %12s %16s %12s\n", "n", "nested (ms)", "hash (ms)",
               "sort-merge (ms)", "index (ms)");
@@ -58,26 +59,31 @@ void SweepAlgorithms(const char* title, const ExprPtr& plan) {
     auto db = MakeDb(n, 47);
     EvalOptions nested;
     nested.use_hash_joins = false;
-    // Verify all agree first.
-    Value expected = MustEval(*db, plan, nested);
-    for (JoinAlgorithm a : {JoinAlgorithm::kHash, JoinAlgorithm::kSortMerge,
-                            JoinAlgorithm::kIndex}) {
-      N2J_CHECK(MustEval(*db, plan, Algo(a)) == expected);
+    // Verify all agree first (and capture each algorithm's counters).
+    EvalStats s_nested;
+    Value expected = MustEval(*db, plan, nested, &s_nested);
+    const JoinAlgorithm algos[3] = {JoinAlgorithm::kHash,
+                                    JoinAlgorithm::kSortMerge,
+                                    JoinAlgorithm::kIndex};
+    const char* names[3] = {"hash", "sortmerge", "index"};
+    EvalStats s_algo[3];
+    for (int i = 0; i < 3; ++i) {
+      N2J_CHECK(MustEval(*db, plan, Algo(algos[i]), &s_algo[i]) == expected);
     }
     double t_nl = n > 1024 ? -1.0
                            : TimeMs([&] { MustEval(*db, plan, nested); }, 30);
-    double t_hash =
-        TimeMs([&] { MustEval(*db, plan, Algo(JoinAlgorithm::kHash)); }, 30);
-    double t_sm = TimeMs(
-        [&] { MustEval(*db, plan, Algo(JoinAlgorithm::kSortMerge)); }, 30);
-    double t_idx = TimeMs(
-        [&] { MustEval(*db, plan, Algo(JoinAlgorithm::kIndex)); }, 30);
+    double t[3];
+    for (int i = 0; i < 3; ++i) {
+      t[i] = TimeMs([&] { MustEval(*db, plan, Algo(algos[i])); }, 30);
+    }
+    if (t_nl >= 0) traj->Add(sweep, "nested", n, t_nl, s_nested);
+    for (int i = 0; i < 3; ++i) traj->Add(sweep, names[i], n, t[i], s_algo[i]);
     if (t_nl < 0) {
-      std::printf("%8d %15s %12.3f %16.3f %12.3f\n", n, "(skipped)", t_hash,
-                  t_sm, t_idx);
+      std::printf("%8d %15s %12.3f %16.3f %12.3f\n", n, "(skipped)", t[0],
+                  t[1], t[2]);
     } else {
-      std::printf("%8d %15.3f %12.3f %16.3f %12.3f\n", n, t_nl, t_hash,
-                  t_sm, t_idx);
+      std::printf("%8d %15.3f %12.3f %16.3f %12.3f\n", n, t_nl, t[0],
+                  t[1], t[2]);
     }
   }
 }
@@ -88,7 +94,8 @@ void SweepAlgorithms(const char* title, const ExprPtr& plan) {
 // be). On a single hardware core the extra threads only add scheduling
 // overhead — the sweep reports whatever the machine gives, it does not
 // assume cores.
-void SweepThreads(const char* title, const ExprPtr& plan) {
+void SweepThreads(const char* title, const ExprPtr& plan,
+                  const char* sweep, bench::Trajectory* traj) {
   Section(title);
   std::printf("%8s %12s %12s %12s %12s %10s\n", "n", "1t (ms)", "2t (ms)",
               "4t (ms)", "8t (ms)", "4t-speedup");
@@ -100,8 +107,11 @@ void SweepThreads(const char* title, const ExprPtr& plan) {
     for (int i = 0; i < 4; ++i) {
       EvalOptions opts = Algo(JoinAlgorithm::kHash);
       opts.num_threads = threads[i];
-      N2J_CHECK(MustEval(*db, plan, opts) == expected);
+      EvalStats stats;
+      N2J_CHECK(MustEval(*db, plan, opts, &stats) == expected);
       times[i] = TimeMs([&] { MustEval(*db, plan, opts); }, 30);
+      traj->Add(sweep, "hash-" + std::to_string(threads[i]) + "t", n,
+                times[i], stats);
     }
     std::printf("%8d %12.3f %12.3f %12.3f %12.3f %9.2fx\n", n, times[0],
                 times[1], times[2], times[3], times[0] / times[2]);
@@ -123,23 +133,25 @@ BENCHMARK(BM_SemiJoin)
 }  // namespace n2j
 
 int main(int argc, char** argv) {
+  n2j::bench::Trajectory traj("join_algorithms", &argc, argv);
   n2j::SweepAlgorithms(
       "Semijoin X ⋉ Y: one logical operator, four physical algorithms",
-      n2j::SemiJoinPlan());
+      n2j::SemiJoinPlan(), "semijoin", &traj);
   n2j::SweepAlgorithms(
       "Nestjoin X ⊣ Y: the new operator admits the same implementations",
-      n2j::NestJoinPlan());
+      n2j::NestJoinPlan(), "nestjoin", &traj);
   n2j::SweepThreads(
       "Morsel-driven parallel hash semijoin: threads 1/2/4/8",
-      n2j::SemiJoinPlan());
+      n2j::SemiJoinPlan(), "semijoin-threads", &traj);
   n2j::SweepThreads(
       "Morsel-driven parallel hash nestjoin: threads 1/2/4/8",
-      n2j::NestJoinPlan());
+      n2j::NestJoinPlan(), "nestjoin-threads", &traj);
   std::printf(
       "\nThe index variant skips the build phase entirely (the index was\n"
       "built at load time); sort-merge pays n·log n but would win on\n"
       "presorted or disk-resident inputs; the nested loop is the\n"
       "tuple-oriented baseline the paper wants to leave behind.\n");
+  traj.WriteIfRequested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -88,6 +89,89 @@ inline void Section(const std::string& title) {
   std::printf("\n%s\n", std::string(76, '-').c_str());
   std::printf("%s\n%s\n", title.c_str(), std::string(76, '-').c_str());
 }
+
+/// One measured cell of a benchmark sweep: (sweep, variant, n) with the
+/// wall-clock milliseconds and the operator counters of one evaluation.
+struct TrajectoryPoint {
+  std::string sweep;
+  std::string variant;
+  int n = 0;
+  double ms = 0.0;
+  EvalStats stats;
+};
+
+/// Collects sweep points and, when the binary was invoked with
+/// --json=<path>, writes them out as a JSON document — the machine-
+/// readable trajectory CI archives next to the human-readable tables.
+/// Without the flag, recording is kept but nothing is written.
+class Trajectory {
+ public:
+  /// Scans argv for --json=<path> and strips the flag so that
+  /// google-benchmark's own argument parser never sees it.
+  Trajectory(std::string bench_name, int* argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--json=", 7) == 0) {
+        path_ = arg + 7;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    *argc = kept;
+  }
+
+  void Add(const std::string& sweep, const std::string& variant, int n,
+           double ms, const EvalStats& stats = EvalStats()) {
+    points_.push_back(TrajectoryPoint{sweep, variant, n, ms, stats});
+  }
+
+  /// Writes the JSON file when --json=<path> was given. Aborts on I/O
+  /// failure: a silently missing CI artifact is worse than a red job.
+  void WriteIfRequested() const {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      std::abort();
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"points\": [\n",
+                 bench_.c_str());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      const TrajectoryPoint& p = points_[i];
+      const EvalStats& s = p.stats;
+      std::fprintf(
+          f,
+          "    {\"sweep\": \"%s\", \"variant\": \"%s\", \"n\": %d, "
+          "\"ms\": %.6f, \"stats\": {\"tuples_scanned\": %llu, "
+          "\"predicate_evals\": %llu, \"hash_inserts\": %llu, "
+          "\"hash_probes\": %llu, \"rows_sorted\": %llu, "
+          "\"index_probes\": %llu, \"pnhl_partitions\": %llu, "
+          "\"derefs\": %llu, \"nodes_evaluated\": %llu}}%s\n",
+          p.sweep.c_str(), p.variant.c_str(), p.n, p.ms,
+          static_cast<unsigned long long>(s.tuples_scanned),
+          static_cast<unsigned long long>(s.predicate_evals),
+          static_cast<unsigned long long>(s.hash_inserts),
+          static_cast<unsigned long long>(s.hash_probes),
+          static_cast<unsigned long long>(s.rows_sorted),
+          static_cast<unsigned long long>(s.index_probes),
+          static_cast<unsigned long long>(s.pnhl_partitions),
+          static_cast<unsigned long long>(s.derefs),
+          static_cast<unsigned long long>(s.nodes_evaluated),
+          i + 1 < points_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu trajectory points to %s\n", points_.size(),
+                path_.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<TrajectoryPoint> points_;
+};
 
 }  // namespace bench
 }  // namespace n2j

@@ -1,0 +1,217 @@
+#include "adl/tuple_shape.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace n2j {
+
+namespace {
+
+// Above this arity IndexOf switches from a length-first linear scan to
+// the prebuilt name→index hash map. Real schemas are almost always
+// below it, and a scan over a handful of length-checked names beats
+// hashing the probe string.
+constexpr size_t kLinearScanLimit = 8;
+
+uint64_t HashNameList(const std::vector<std::string>& names) {
+  uint64_t h = 0x73686170ULL + names.size();  // "shap"
+  for (const std::string& n : names) {
+    h = HashCombine(h, Fnv1a(n.data(), n.size()));
+  }
+  return h;
+}
+
+struct NamesPtrHash {
+  size_t operator()(const std::vector<std::string>* v) const {
+    return static_cast<size_t>(HashNameList(*v));
+  }
+};
+struct NamesPtrEq {
+  bool operator()(const std::vector<std::string>* a,
+                  const std::vector<std::string>* b) const {
+    return *a == *b;
+  }
+};
+
+// The intern registry. Keys point at the interned shape's own name
+// vector, so lookups hash the caller's vector without building a string
+// key. Shapes are never freed (see the class comment).
+struct Registry {
+  std::shared_mutex mu;
+  std::unordered_map<const std::vector<std::string>*, TupleShape*,
+                     NamesPtrHash, NamesPtrEq>
+      shapes;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Derived-shape memo tables, all pointer-keyed on the source shape(s).
+struct PairHash {
+  size_t operator()(const std::pair<const TupleShape*, const TupleShape*>&
+                        p) const {
+    return HashCombine(reinterpret_cast<uintptr_t>(p.first),
+                       reinterpret_cast<uintptr_t>(p.second));
+  }
+};
+struct ShapeNameHash {
+  size_t operator()(
+      const std::pair<const TupleShape*, std::string>& p) const {
+    return HashCombine(reinterpret_cast<uintptr_t>(p.first),
+                       Fnv1a(p.second.data(), p.second.size()));
+  }
+};
+
+template <typename Key, typename Hash>
+struct Memo {
+  std::shared_mutex mu;
+  std::unordered_map<Key, const TupleShape*, Hash> map;
+
+  template <typename Make>
+  const TupleShape* GetOrCompute(const Key& key, const Make& make) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu);
+      auto it = map.find(key);
+      if (it != map.end()) return it->second;
+    }
+    const TupleShape* made = make();
+    std::unique_lock<std::shared_mutex> lock(mu);
+    return map.emplace(key, made).first->second;
+  }
+};
+
+using PairMemo =
+    Memo<std::pair<const TupleShape*, const TupleShape*>, PairHash>;
+using NameMemo = Memo<std::pair<const TupleShape*, std::string>,
+                      ShapeNameHash>;
+
+PairMemo& ConcatMemo() {
+  static PairMemo* m = new PairMemo();
+  return *m;
+}
+NameMemo& ExtendMemo() {
+  static NameMemo* m = new NameMemo();
+  return *m;
+}
+NameMemo& RemoveMemo() {
+  static NameMemo* m = new NameMemo();
+  return *m;
+}
+
+}  // namespace
+
+TupleShape::TupleShape(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  name_hashes_.reserve(names_.size());
+  for (const std::string& n : names_) {
+    name_hashes_.push_back(Fnv1a(n.data(), n.size()));
+  }
+  sorted_order_.resize(names_.size());
+  for (uint32_t i = 0; i < names_.size(); ++i) sorted_order_[i] = i;
+  std::sort(sorted_order_.begin(), sorted_order_.end(),
+            [this](uint32_t a, uint32_t b) { return names_[a] < names_[b]; });
+  if (names_.size() > kLinearScanLimit) {
+    index_.reserve(names_.size());
+    for (uint32_t i = 0; i < names_.size(); ++i) {
+      index_.emplace(std::string_view(names_[i]), i);
+    }
+  }
+}
+
+const TupleShape* TupleShape::Intern(const std::vector<std::string>& names) {
+  Registry& r = GlobalRegistry();
+  {
+    std::shared_lock<std::shared_mutex> lock(r.mu);
+    auto it = r.shapes.find(&names);
+    if (it != r.shapes.end()) return it->second;
+  }
+  std::unique_ptr<TupleShape> shape(new TupleShape(names));
+  std::unique_lock<std::shared_mutex> lock(r.mu);
+  auto [it, inserted] = r.shapes.emplace(&shape->names_, shape.get());
+  if (inserted) shape.release();  // owned by the registry forever
+  return it->second;
+}
+
+const TupleShape* TupleShape::Intern(std::vector<std::string>&& names) {
+  Registry& r = GlobalRegistry();
+  {
+    std::shared_lock<std::shared_mutex> lock(r.mu);
+    auto it = r.shapes.find(&names);
+    if (it != r.shapes.end()) return it->second;
+  }
+  std::unique_ptr<TupleShape> shape(new TupleShape(std::move(names)));
+  std::unique_lock<std::shared_mutex> lock(r.mu);
+  auto [it, inserted] = r.shapes.emplace(&shape->names_, shape.get());
+  if (inserted) shape.release();
+  return it->second;
+}
+
+const TupleShape* TupleShape::Empty() {
+  static const TupleShape* empty = Intern(std::vector<std::string>());
+  return empty;
+}
+
+int TupleShape::IndexOf(std::string_view name) const {
+  const size_t n = names_.size();
+  if (n <= kLinearScanLimit) {
+    const size_t len = name.size();
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& cand = names_[i];
+      if (cand.size() == len &&
+          std::memcmp(cand.data(), name.data(), len) == 0) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+const TupleShape* TupleShape::ConcatWith(const TupleShape* other) const {
+  return ConcatMemo().GetOrCompute(
+      {this, other}, [this, other]() -> const TupleShape* {
+        std::vector<std::string> combined;
+        combined.reserve(size() + other->size());
+        combined.insert(combined.end(), names_.begin(), names_.end());
+        for (const std::string& n : other->names()) {
+          if (IndexOf(n) >= 0) return nullptr;  // name collision
+          combined.push_back(n);
+        }
+        return Intern(std::move(combined));
+      });
+}
+
+const TupleShape* TupleShape::ExtendedWith(const std::string& name) const {
+  return ExtendMemo().GetOrCompute(
+      {this, name}, [this, &name]() -> const TupleShape* {
+        std::vector<std::string> extended;
+        extended.reserve(size() + 1);
+        extended.insert(extended.end(), names_.begin(), names_.end());
+        extended.push_back(name);
+        return Intern(std::move(extended));
+      });
+}
+
+const TupleShape* TupleShape::WithoutField(const std::string& name) const {
+  if (IndexOf(name) < 0) return this;
+  return RemoveMemo().GetOrCompute(
+      {this, name}, [this, &name]() -> const TupleShape* {
+        std::vector<std::string> kept;
+        kept.reserve(size() - 1);
+        for (const std::string& n : names_) {
+          if (n != name) kept.push_back(n);
+        }
+        return Intern(std::move(kept));
+      });
+}
+
+}  // namespace n2j

@@ -20,9 +20,9 @@ TypePtr TypeOfValue(const Value& v) {
       return Type::OidType();
     case Value::Kind::kTuple: {
       std::vector<TypeField> fields;
-      fields.reserve(v.fields().size());
-      for (const Field& f : v.fields()) {
-        fields.push_back({f.name, TypeOfValue(*f.value)});
+      fields.reserve(v.tuple_size());
+      for (size_t i = 0; i < v.tuple_size(); ++i) {
+        fields.push_back({v.field_name(i), TypeOfValue(v.field_value(i))});
       }
       return Type::Tuple(std::move(fields));
     }

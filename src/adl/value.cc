@@ -3,63 +3,64 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/status.h"
 #include "common/str_util.h"
 
 namespace n2j {
 
-Field::Field(std::string n, Value v)
-    : name(std::move(n)), value(std::make_unique<Value>(std::move(v))) {}
-Field::Field(const Field& other)
-    : name(other.name), value(std::make_unique<Value>(*other.value)) {}
-Field::Field(Field&&) noexcept = default;
-Field& Field::operator=(const Field& other) {
-  name = other.name;
-  value = std::make_unique<Value>(*other.value);
-  return *this;
-}
-Field& Field::operator=(Field&&) noexcept = default;
-Field::~Field() = default;
-
 Value Value::Bool(bool b) {
   Value v;
   v.kind_ = Kind::kBool;
-  v.b_ = b;
+  v.rep_.b = b;
   return v;
 }
 
 Value Value::Int(int64_t i) {
   Value v;
   v.kind_ = Kind::kInt;
-  v.i_ = i;
+  v.rep_.i = i;
   return v;
 }
 
 Value Value::Double(double d) {
   Value v;
   v.kind_ = Kind::kDouble;
-  v.d_ = d;
+  v.rep_.d = d;
   return v;
 }
 
 Value Value::String(std::string s) {
   Value v;
   v.kind_ = Kind::kString;
-  v.s_ = std::make_shared<const std::string>(std::move(s));
+  v.rep_.p = new StringPayload(std::move(s));
   return v;
 }
 
 Value Value::MakeOidValue(Oid oid) {
   Value v;
   v.kind_ = Kind::kOid;
-  v.o_ = oid;
+  v.rep_.o = oid;
   return v;
 }
 
 Value Value::Tuple(std::vector<Field> fields) {
+  std::vector<std::string> names;
+  std::vector<Value> values;
+  names.reserve(fields.size());
+  values.reserve(fields.size());
+  for (Field& f : fields) {
+    names.push_back(std::move(f.name));
+    values.push_back(std::move(f.value));
+  }
+  return TupleFromShape(TupleShape::Intern(std::move(names)),
+                        std::move(values));
+}
+
+Value Value::TupleFromShape(const TupleShape* shape,
+                            std::vector<Value> values) {
+  N2J_CHECK(shape != nullptr && values.size() == shape->size());
   Value v;
   v.kind_ = Kind::kTuple;
-  v.tuple_ = std::make_shared<const std::vector<Field>>(std::move(fields));
+  v.rep_.p = new TuplePayload(shape, std::move(values));
   return v;
 }
 
@@ -73,101 +74,86 @@ Value Value::Set(std::vector<Value> elements) {
 Value Value::SetFromCanonical(std::vector<Value> elements) {
   Value v;
   v.kind_ = Kind::kSet;
-  v.set_ = std::make_shared<const std::vector<Value>>(std::move(elements));
+  v.rep_.p = new SetPayload(std::move(elements));
   return v;
 }
 
-bool Value::bool_value() const {
-  N2J_CHECK(is_bool());
-  return b_;
-}
-
-int64_t Value::int_value() const {
-  N2J_CHECK(is_int());
-  return i_;
-}
-
-double Value::double_value() const {
-  N2J_CHECK(is_double());
-  return d_;
-}
-
-double Value::as_double() const {
-  N2J_CHECK(is_numeric());
-  return is_int() ? static_cast<double>(i_) : d_;
-}
-
-const std::string& Value::string_value() const {
-  N2J_CHECK(is_string());
-  return *s_;
-}
-
-Oid Value::oid_value() const {
-  N2J_CHECK(is_oid());
-  return o_;
-}
-
-const std::vector<Field>& Value::fields() const {
-  N2J_CHECK(is_tuple());
-  return *tuple_;
-}
-
-const Value* Value::FindField(std::string_view name) const {
-  N2J_CHECK(is_tuple());
-  for (const Field& f : *tuple_) {
-    if (f.name == name) return f.value.get();
+void Value::DeletePayload() {
+  switch (kind_) {
+    case Kind::kString:
+      delete static_cast<StringPayload*>(rep_.p);
+      break;
+    case Kind::kTuple:
+      delete static_cast<TuplePayload*>(rep_.p);
+      break;
+    case Kind::kSet:
+      delete static_cast<SetPayload*>(rep_.p);
+      break;
+    default:
+      break;
   }
-  return nullptr;
 }
 
 Value Value::ProjectTuple(const std::vector<std::string>& names) const {
-  std::vector<Field> out;
-  out.reserve(names.size());
+  N2J_CHECK(is_tuple());
+  const TuplePayload* p = tuple_payload();
+  const TupleShape* target = TupleShape::Intern(names);
+  if (target == p->shape) return *this;  // full projection in order
+  std::vector<Value> values;
+  values.reserve(names.size());
   for (const std::string& n : names) {
-    const Value* v = FindField(n);
-    N2J_CHECK(v != nullptr);
-    out.emplace_back(n, *v);
+    int i = p->shape->IndexOf(n);
+    N2J_CHECK(i >= 0);
+    values.push_back(p->values[static_cast<size_t>(i)]);
   }
-  return Tuple(std::move(out));
+  return TupleFromShape(target, std::move(values));
 }
 
 Value Value::ConcatTuple(const Value& other) const {
   N2J_CHECK(is_tuple() && other.is_tuple());
-  std::vector<Field> out = *tuple_;
-  for (const Field& f : other.fields()) {
-    N2J_CHECK(FindField(f.name) == nullptr);
-    out.push_back(f);
-  }
-  return Tuple(std::move(out));
+  const TuplePayload* a = tuple_payload();
+  const TuplePayload* b = other.tuple_payload();
+  const TupleShape* combined = a->shape->ConcatWith(b->shape);
+  N2J_CHECK(combined != nullptr);  // field names must not collide
+  std::vector<Value> values;
+  values.reserve(a->values.size() + b->values.size());
+  values.insert(values.end(), a->values.begin(), a->values.end());
+  values.insert(values.end(), b->values.begin(), b->values.end());
+  return TupleFromShape(combined, std::move(values));
 }
 
 Value Value::ExceptUpdate(const std::vector<Field>& updates) const {
   N2J_CHECK(is_tuple());
-  std::vector<Field> out = *tuple_;
+  const TuplePayload* p = tuple_payload();
+  const TupleShape* shape = p->shape;
+  std::vector<Value> values = p->values;
   for (const Field& u : updates) {
-    bool found = false;
-    for (Field& f : out) {
-      if (f.name == u.name) {
-        f = u;
-        found = true;
-        break;
-      }
+    int i = shape->IndexOf(u.name);
+    if (i >= 0) {
+      values[static_cast<size_t>(i)] = u.value;
+    } else {
+      shape = shape->ExtendedWith(u.name);
+      values.push_back(u.value);
     }
-    if (!found) out.push_back(u);
   }
-  return Tuple(std::move(out));
+  return TupleFromShape(shape, std::move(values));
+}
+
+Value Value::WithoutField(const std::string& name) const {
+  N2J_CHECK(is_tuple());
+  const TuplePayload* p = tuple_payload();
+  int drop = p->shape->IndexOf(name);
+  if (drop < 0) return *this;
+  std::vector<Value> values;
+  values.reserve(p->values.size() - 1);
+  for (size_t i = 0; i < p->values.size(); ++i) {
+    if (static_cast<int>(i) != drop) values.push_back(p->values[i]);
+  }
+  return TupleFromShape(p->shape->WithoutField(name), std::move(values));
 }
 
 std::vector<std::string> Value::FieldNames() const {
-  std::vector<std::string> out;
-  out.reserve(fields().size());
-  for (const Field& f : fields()) out.push_back(f.name);
-  return out;
-}
-
-const std::vector<Value>& Value::elements() const {
-  N2J_CHECK(is_set());
-  return *set_;
+  return tuple_shape()->names();
 }
 
 bool Value::SetContains(const Value& v) const {
@@ -176,6 +162,8 @@ bool Value::SetContains(const Value& v) const {
 }
 
 bool Value::IsSubsetOf(const Value& other, bool strict) const {
+  N2J_CHECK(is_set() && other.is_set());
+  if (rep_.p == other.rep_.p) return !strict;  // shared payload ⇒ equal
   const std::vector<Value>& a = elements();
   const std::vector<Value>& b = other.elements();
   if (a.size() > b.size()) return false;
@@ -197,8 +185,12 @@ bool Value::IsSubsetOf(const Value& other, bool strict) const {
 }
 
 Value Value::SetUnion(const Value& other) const {
+  N2J_CHECK(is_set() && other.is_set());
+  if (rep_.p == other.rep_.p) return *this;
   const std::vector<Value>& a = elements();
   const std::vector<Value>& b = other.elements();
+  if (a.empty()) return other;
+  if (b.empty()) return *this;
   std::vector<Value> out;
   out.reserve(a.size() + b.size());
   std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
@@ -207,6 +199,8 @@ Value Value::SetUnion(const Value& other) const {
 }
 
 Value Value::SetIntersect(const Value& other) const {
+  N2J_CHECK(is_set() && other.is_set());
+  if (rep_.p == other.rep_.p) return *this;
   const std::vector<Value>& a = elements();
   const std::vector<Value>& b = other.elements();
   std::vector<Value> out;
@@ -216,6 +210,8 @@ Value Value::SetIntersect(const Value& other) const {
 }
 
 Value Value::SetDifference(const Value& other) const {
+  N2J_CHECK(is_set() && other.is_set());
+  if (rep_.p == other.rep_.p) return EmptySet();
   const std::vector<Value>& a = elements();
   const std::vector<Value>& b = other.elements();
   std::vector<Value> out;
@@ -249,58 +245,50 @@ int Value::Compare(const Value& other) const {
     case Kind::kNull:
       return 0;
     case Kind::kBool:
-      return (b_ == other.b_) ? 0 : (b_ ? 1 : -1);
+      return (rep_.b == other.rep_.b) ? 0 : (rep_.b ? 1 : -1);
     case Kind::kInt:
-      return (i_ == other.i_) ? 0 : (i_ < other.i_ ? -1 : 1);
+      return (rep_.i == other.rep_.i) ? 0 : (rep_.i < other.rep_.i ? -1 : 1);
     case Kind::kDouble:
-      return CompareDoubles(d_, other.d_);
-    case Kind::kString:
-      return s_->compare(*other.s_);
+      return CompareDoubles(rep_.d, other.rep_.d);
+    case Kind::kString: {
+      if (rep_.p == other.rep_.p) return 0;
+      return str_payload()->str.compare(other.str_payload()->str);
+    }
     case Kind::kOid:
-      return (o_ == other.o_) ? 0 : (o_ < other.o_ ? -1 : 1);
+      return (rep_.o == other.rep_.o) ? 0 : (rep_.o < other.rep_.o ? -1 : 1);
     case Kind::kTuple: {
-      const std::vector<Field>& a = *tuple_;
-      const std::vector<Field>& b = *other.tuple_;
-      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
-      // Fast path: identical field order (the overwhelmingly common
-      // case).
-      bool same_order = true;
-      for (size_t i = 0; i < a.size(); ++i) {
-        if (a[i].name != b[i].name) {
-          same_order = false;
-          break;
-        }
+      if (rep_.p == other.rep_.p) return 0;  // shared payload ⇒ equal
+      const TuplePayload* a = tuple_payload();
+      const TuplePayload* b = other.tuple_payload();
+      if (a->values.size() != b->values.size()) {
+        return a->values.size() < b->values.size() ? -1 : 1;
       }
-      if (same_order) {
-        for (size_t i = 0; i < a.size(); ++i) {
-          int c = a[i].value->Compare(*b[i].value);
+      if (a->shape == b->shape) {
+        // Interning turns "same field names in the same order" — the
+        // overwhelmingly common case — into a pointer check.
+        for (size_t i = 0; i < a->values.size(); ++i) {
+          int c = a->values[i].Compare(b->values[i]);
           if (c != 0) return c;
         }
         return 0;
       }
       // Attribute order is irrelevant to tuple identity (relational
-      // convention): compare via name-sorted field sequences.
-      auto sorted_indices = [](const std::vector<Field>& fs) {
-        std::vector<size_t> idx(fs.size());
-        for (size_t i = 0; i < fs.size(); ++i) idx[i] = i;
-        std::sort(idx.begin(), idx.end(), [&fs](size_t i, size_t j) {
-          return fs[i].name < fs[j].name;
-        });
-        return idx;
-      };
-      std::vector<size_t> ia = sorted_indices(a);
-      std::vector<size_t> ib = sorted_indices(b);
-      for (size_t i = 0; i < a.size(); ++i) {
-        int c = a[ia[i]].name.compare(b[ib[i]].name);
+      // convention): compare via the shapes' precomputed name-sorted
+      // permutations.
+      const std::vector<uint32_t>& ia = a->shape->sorted_order();
+      const std::vector<uint32_t>& ib = b->shape->sorted_order();
+      for (size_t i = 0; i < a->values.size(); ++i) {
+        int c = a->shape->name(ia[i]).compare(b->shape->name(ib[i]));
         if (c != 0) return c < 0 ? -1 : 1;
-        c = a[ia[i]].value->Compare(*b[ib[i]].value);
+        c = a->values[ia[i]].Compare(b->values[ib[i]]);
         if (c != 0) return c;
       }
       return 0;
     }
     case Kind::kSet: {
-      const std::vector<Value>& a = *set_;
-      const std::vector<Value>& b = *other.set_;
+      if (rep_.p == other.rep_.p) return 0;
+      const std::vector<Value>& a = set_payload()->elems;
+      const std::vector<Value>& b = other.set_payload()->elems;
       size_t n = std::min(a.size(), b.size());
       for (size_t i = 0; i < n; ++i) {
         int c = a[i].Compare(b[i]);
@@ -313,18 +301,40 @@ int Value::Compare(const Value& other) const {
   return 0;
 }
 
+bool Value::operator==(const Value& other) const {
+  // Same kind and same bits: identical atom or shared payload pointer.
+  if (kind_ == other.kind_ && rep_.raw == other.rep_.raw) return true;
+  return Compare(other) == 0;
+}
+
+namespace {
+
+// hash_memo uses 0 as the "not yet computed" sentinel; a computed hash
+// that lands on 0 is remapped so it stays cacheable.
+constexpr uint64_t kHashZeroRemap = 0x9e3779b97f4a7c15ULL;
+
+uint64_t Memoize(std::atomic<uint64_t>& memo, uint64_t h) {
+  if (h == 0) h = kHashZeroRemap;
+  // Relaxed is enough: racing writers all store the same value, and
+  // readers only consume the loaded value itself.
+  memo.store(h, std::memory_order_relaxed);
+  return h;
+}
+
+}  // namespace
+
 uint64_t Value::Hash() const {
   switch (kind_) {
     case Kind::kNull:
       return 0x6e756c6cULL;
     case Kind::kBool:
-      return b_ ? 0x74727565ULL : 0x66616c73ULL;
+      return rep_.b ? 0x74727565ULL : 0x66616c73ULL;
     case Kind::kInt:
-      return Fnv1a(&i_, sizeof(i_));
+      return Fnv1a(&rep_.i, sizeof(rep_.i));
     case Kind::kDouble: {
       // Hash integral doubles as their int64 so numeric equality implies
       // hash equality (Compare treats 1 and 1.0 as equal).
-      double d = d_;
+      double d = rep_.d;
       if (d == 0.0) d = 0.0;  // normalize -0.0
       if (std::floor(d) == d && d >= -9.2e18 && d <= 9.2e18) {
         int64_t as_int = static_cast<int64_t>(d);
@@ -332,26 +342,33 @@ uint64_t Value::Hash() const {
       }
       return Fnv1a(&d, sizeof(d));
     }
-    case Kind::kString:
-      return Fnv1a(s_->data(), s_->size());
+    case Kind::kString: {
+      const std::string& s = str_payload()->str;
+      return Fnv1a(s.data(), s.size());
+    }
     case Kind::kOid: {
-      uint64_t mix = o_ ^ 0x6f696400ULL;
+      uint64_t mix = rep_.o ^ 0x6f696400ULL;
       return Fnv1a(&mix, sizeof(mix));
     }
     case Kind::kTuple: {
+      const TuplePayload* p = tuple_payload();
+      uint64_t h = p->hash_memo.load(std::memory_order_relaxed);
+      if (h != 0) return h;
       // Commutative combination so field order does not affect the hash
       // (consistent with order-insensitive tuple equality).
-      uint64_t h = 0x7475706cULL + tuple_->size();
-      for (const Field& f : *tuple_) {
-        h += HashCombine(Fnv1a(f.name.data(), f.name.size()),
-                         f.value->Hash());
+      h = 0x7475706cULL + p->values.size();
+      for (size_t i = 0; i < p->values.size(); ++i) {
+        h += HashCombine(p->shape->name_hash(i), p->values[i].Hash());
       }
-      return h;
+      return Memoize(p->hash_memo, h);
     }
     case Kind::kSet: {
-      uint64_t h = 0x736574ULL;
-      for (const Value& v : *set_) h = HashCombine(h, v.Hash());
-      return h;
+      const SetPayload* p = set_payload();
+      uint64_t h = p->hash_memo.load(std::memory_order_relaxed);
+      if (h != 0) return h;
+      h = 0x736574ULL;
+      for (const Value& v : p->elems) h = HashCombine(h, v.Hash());
+      return Memoize(p->hash_memo, h);
     }
   }
   return 0;
@@ -362,30 +379,32 @@ std::string Value::ToString() const {
     case Kind::kNull:
       return "null";
     case Kind::kBool:
-      return b_ ? "true" : "false";
+      return rep_.b ? "true" : "false";
     case Kind::kInt:
-      return std::to_string(i_);
+      return std::to_string(rep_.i);
     case Kind::kDouble: {
-      std::string s = StrFormat("%g", d_);
+      std::string s = StrFormat("%g", rep_.d);
       return s;
     }
     case Kind::kString:
-      return "\"" + *s_ + "\"";
+      return "\"" + str_payload()->str + "\"";
     case Kind::kOid:
-      return StrFormat("@%u.%llu", OidClassId(o_),
-                       static_cast<unsigned long long>(OidSeq(o_)));
+      return StrFormat("@%u.%llu", OidClassId(rep_.o),
+                       static_cast<unsigned long long>(OidSeq(rep_.o)));
     case Kind::kTuple: {
+      const TuplePayload* p = tuple_payload();
       std::vector<std::string> parts;
-      parts.reserve(tuple_->size());
-      for (const Field& f : *tuple_) {
-        parts.push_back(f.name + " = " + f.value->ToString());
+      parts.reserve(p->values.size());
+      for (size_t i = 0; i < p->values.size(); ++i) {
+        parts.push_back(p->shape->name(i) + " = " + p->values[i].ToString());
       }
       return "(" + Join(parts, ", ") + ")";
     }
     case Kind::kSet: {
+      const std::vector<Value>& es = set_payload()->elems;
       std::vector<std::string> parts;
-      parts.reserve(set_->size());
-      for (const Value& v : *set_) parts.push_back(v.ToString());
+      parts.reserve(es.size());
+      for (const Value& v : es) parts.push_back(v.ToString());
       return "{" + Join(parts, ", ") + "}";
     }
   }
@@ -399,23 +418,24 @@ size_t Value::ApproxBytes() const {
     case Kind::kInt:
     case Kind::kDouble:
     case Kind::kOid:
-      return 16;
+      return sizeof(Value);
     case Kind::kString:
-      return 32 + s_->size();
+      return sizeof(Value) + sizeof(StringPayload) + str_payload()->str.size();
     case Kind::kTuple: {
-      size_t total = 24;
-      for (const Field& f : *tuple_) {
-        total += 32 + f.name.size() + f.value->ApproxBytes();
-      }
+      // Each child's ApproxBytes already counts its 16 inline bytes,
+      // which here live in the payload's value vector; the interned
+      // shape is shared and not charged per tuple.
+      size_t total = sizeof(Value) + sizeof(TuplePayload);
+      for (const Value& v : tuple_payload()->values) total += v.ApproxBytes();
       return total;
     }
     case Kind::kSet: {
-      size_t total = 24;
-      for (const Value& v : *set_) total += v.ApproxBytes();
+      size_t total = sizeof(Value) + sizeof(SetPayload);
+      for (const Value& v : set_payload()->elems) total += v.ApproxBytes();
       return total;
     }
   }
-  return 16;
+  return sizeof(Value);
 }
 
 }  // namespace n2j

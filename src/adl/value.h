@@ -1,11 +1,14 @@
 #ifndef N2J_ADL_VALUE_H_
 #define N2J_ADL_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "adl/tuple_shape.h"
+#include "common/status.h"
 
 namespace n2j {
 
@@ -23,20 +26,11 @@ inline uint64_t OidSeq(Oid oid) { return oid & 0xffffffffffffULL; }
 
 class Value;
 
-/// One named field of a tuple value.
-struct Field {
-  std::string name;
-  // Defined out of line because Value is incomplete here.
-  Field(std::string n, Value v);
-  Field(const Field&);
-  Field(Field&&) noexcept;
-  Field& operator=(const Field&);
-  Field& operator=(Field&&) noexcept;
-  ~Field();
-  std::unique_ptr<Value> value;  // never null
-
-  const Value& val() const { return *value; }
-};
+/// One named field of a tuple under construction. Field is a builder
+/// convenience only: `Value::Tuple({Field("a", ...), ...})` splits the
+/// fields into an interned TupleShape plus a contiguous value vector.
+/// Stored tuples do not hold Fields (or per-field allocations) at all.
+struct Field;
 
 /// A complex-object value in the ADL data model: an atom (null, bool, int,
 /// double, string, oid), a tuple of named fields, or a set.
@@ -45,9 +39,14 @@ struct Field {
 /// deduplicated — so set equality is element-wise equality and the subset /
 /// membership operations run by merging. Tuples preserve field order.
 ///
-/// Values are immutable; copies share the underlying representation of
-/// strings, tuples and sets via shared_ptr, so passing Values around is
-/// cheap even for large nested sets.
+/// Representation: a 16-byte tagged union. Atoms are stored inline; a
+/// string, tuple or set holds one pointer to an intrusively refcounted
+/// immutable payload, so copies are a tag copy plus one atomic increment.
+/// A tuple payload is an interned TupleShape pointer (field names,
+/// deduplicated process-wide) plus a contiguous std::vector<Value> of
+/// field values. Tuple and set payloads memoize their hash, and Compare /
+/// operator== short-circuit on shared payload pointers, so repeated hash
+/// builds, set dedup and subset merges over shared values are O(1).
 class Value {
  public:
   enum class Kind : uint8_t {
@@ -62,7 +61,38 @@ class Value {
   };
 
   /// Default-constructed value is null.
-  Value() : kind_(Kind::kNull) {}
+  Value() : kind_(Kind::kNull) { rep_.raw = 0; }
+  Value(const Value& other) : kind_(other.kind_), rep_(other.rep_) {
+    if (has_payload()) {
+      rep_.p->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Value(Value&& other) noexcept : kind_(other.kind_), rep_(other.rep_) {
+    other.kind_ = Kind::kNull;
+    other.rep_.raw = 0;
+  }
+  Value& operator=(const Value& other) {
+    if (this != &other) {
+      if (other.has_payload()) {
+        other.rep_.p->refs.fetch_add(1, std::memory_order_relaxed);
+      }
+      Release();
+      kind_ = other.kind_;
+      rep_ = other.rep_;
+    }
+    return *this;
+  }
+  Value& operator=(Value&& other) noexcept {
+    if (this != &other) {
+      Release();
+      kind_ = other.kind_;
+      rep_ = other.rep_;
+      other.kind_ = Kind::kNull;
+      other.rep_.raw = 0;
+    }
+    return *this;
+  }
+  ~Value() { Release(); }
 
   static Value Null() { return Value(); }
   static Value Bool(bool b);
@@ -72,6 +102,11 @@ class Value {
   static Value MakeOidValue(Oid oid);
   /// Builds a tuple preserving field order. Field names must be distinct.
   static Value Tuple(std::vector<Field> fields);
+  /// Builds a tuple from an interned shape and one value per field —
+  /// the allocation-free construction path for hot loops. Precondition:
+  /// values.size() == shape->size().
+  static Value TupleFromShape(const TupleShape* shape,
+                              std::vector<Value> values);
   /// Builds a set; canonicalizes (sorts and deduplicates) the elements.
   static Value Set(std::vector<Value> elements);
   /// Builds a set from elements already sorted and deduplicated.
@@ -89,16 +124,37 @@ class Value {
   bool is_tuple() const { return kind_ == Kind::kTuple; }
   bool is_set() const { return kind_ == Kind::kSet; }
 
-  bool bool_value() const;
-  int64_t int_value() const;
-  double double_value() const;
+  bool bool_value() const {
+    N2J_CHECK(is_bool());
+    return rep_.b;
+  }
+  int64_t int_value() const {
+    N2J_CHECK(is_int());
+    return rep_.i;
+  }
+  double double_value() const {
+    N2J_CHECK(is_double());
+    return rep_.d;
+  }
   /// Numeric value as double (int or double kinds).
-  double as_double() const;
+  double as_double() const {
+    N2J_CHECK(is_numeric());
+    return is_int() ? static_cast<double>(rep_.i) : rep_.d;
+  }
   const std::string& string_value() const;
-  Oid oid_value() const;
+  Oid oid_value() const {
+    N2J_CHECK(is_oid());
+    return rep_.o;
+  }
 
   /// Tuple accessors. Precondition: is_tuple().
-  const std::vector<Field>& fields() const;
+  const TupleShape* tuple_shape() const;
+  const std::vector<Value>& tuple_values() const;
+  size_t tuple_size() const { return tuple_values().size(); }
+  const std::string& field_name(size_t i) const {
+    return tuple_shape()->name(i);
+  }
+  const Value& field_value(size_t i) const { return tuple_values()[i]; }
   /// Returns the field value or nullptr if absent.
   const Value* FindField(std::string_view name) const;
   /// Tuple subscription e[a1,...,an]: projects onto the named fields, in
@@ -108,6 +164,8 @@ class Value {
   Value ConcatTuple(const Value& other) const;
   /// The `except` operator: updates existing fields / appends new ones.
   Value ExceptUpdate(const std::vector<Field>& updates) const;
+  /// The tuple without field `name` (this value if the field is absent).
+  Value WithoutField(const std::string& name) const;
   /// Field names in order.
   std::vector<std::string> FieldNames() const;
 
@@ -126,11 +184,11 @@ class Value {
   /// field-by-field (name then value); sets compare lexicographically over
   /// their canonical element sequences.
   int Compare(const Value& other) const;
-  bool operator==(const Value& other) const { return Compare(other) == 0; }
-  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
   bool operator<(const Value& other) const { return Compare(other) < 0; }
 
-  /// Hash consistent with operator== .
+  /// Hash consistent with operator== . Memoized for tuples and sets.
   uint64_t Hash() const;
 
   /// Printable form: atoms as literals, tuples as (a = v, ...), sets as
@@ -138,19 +196,112 @@ class Value {
   std::string ToString() const;
 
   /// Approximate in-memory footprint in bytes, used by the PNHL memory
-  /// budget accounting.
+  /// budget accounting. Counts the 16-byte inline Value, the refcounted
+  /// payload for strings/tuples/sets, and every nested element; interned
+  /// TupleShapes are shared, so they are not charged per tuple.
   size_t ApproxBytes() const;
 
  private:
+  struct Payload {
+    mutable std::atomic<uint32_t> refs{1};
+  };
+  struct StringPayload;
+  struct TuplePayload;
+  struct SetPayload;
+
+  bool has_payload() const {
+    return kind_ == Kind::kString || kind_ == Kind::kTuple ||
+           kind_ == Kind::kSet;
+  }
+  void Release() {
+    if (has_payload() &&
+        rep_.p->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      DeletePayload();
+    }
+  }
+  void DeletePayload();
+
+  const StringPayload* str_payload() const;
+  const TuplePayload* tuple_payload() const;
+  const SetPayload* set_payload() const;
+
   Kind kind_;
-  bool b_ = false;
-  int64_t i_ = 0;
-  double d_ = 0.0;
-  Oid o_ = 0;
-  std::shared_ptr<const std::string> s_;
-  std::shared_ptr<const std::vector<Field>> tuple_;
-  std::shared_ptr<const std::vector<Value>> set_;
+  union Rep {
+    bool b;
+    int64_t i;
+    double d;
+    Oid o;
+    Payload* p;
+    uint64_t raw;
+  } rep_;
 };
+
+// The entire point of this representation: one inline tag plus one
+// 8-byte slot. Join outputs, hash keys and set elements stay copyable
+// by register moves and one atomic increment.
+static_assert(sizeof(Value) <= 16, "Value must stay a 16-byte tagged union");
+
+struct Field {
+  std::string name;
+  Value value;
+
+  Field(std::string n, Value v) : name(std::move(n)), value(std::move(v)) {}
+  const Value& val() const { return value; }
+};
+
+struct Value::StringPayload : Value::Payload {
+  explicit StringPayload(std::string s) : str(std::move(s)) {}
+  std::string str;
+};
+
+struct Value::TuplePayload : Value::Payload {
+  TuplePayload(const TupleShape* s, std::vector<Value> v)
+      : shape(s), values(std::move(v)) {}
+  const TupleShape* shape;
+  std::vector<Value> values;
+  // 0 = not yet computed (computed hashes that collide with 0 are
+  // remapped). Relaxed atomics: racing writers store the same value.
+  mutable std::atomic<uint64_t> hash_memo{0};
+};
+
+struct Value::SetPayload : Value::Payload {
+  explicit SetPayload(std::vector<Value> e) : elems(std::move(e)) {}
+  std::vector<Value> elems;
+  mutable std::atomic<uint64_t> hash_memo{0};
+};
+
+inline const Value::StringPayload* Value::str_payload() const {
+  return static_cast<const StringPayload*>(rep_.p);
+}
+inline const Value::TuplePayload* Value::tuple_payload() const {
+  return static_cast<const TuplePayload*>(rep_.p);
+}
+inline const Value::SetPayload* Value::set_payload() const {
+  return static_cast<const SetPayload*>(rep_.p);
+}
+
+inline const std::string& Value::string_value() const {
+  N2J_CHECK(is_string());
+  return str_payload()->str;
+}
+inline const TupleShape* Value::tuple_shape() const {
+  N2J_CHECK(is_tuple());
+  return tuple_payload()->shape;
+}
+inline const std::vector<Value>& Value::tuple_values() const {
+  N2J_CHECK(is_tuple());
+  return tuple_payload()->values;
+}
+inline const std::vector<Value>& Value::elements() const {
+  N2J_CHECK(is_set());
+  return set_payload()->elems;
+}
+inline const Value* Value::FindField(std::string_view name) const {
+  N2J_CHECK(is_tuple());
+  const TuplePayload* p = tuple_payload();
+  int i = p->shape->IndexOf(name);
+  return i < 0 ? nullptr : &p->values[static_cast<size_t>(i)];
+}
 
 /// Hash functor for unordered containers keyed by Value.
 struct ValueHash {

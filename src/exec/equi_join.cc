@@ -1,5 +1,8 @@
 #include "exec/equi_join.h"
 
+#include <array>
+#include <atomic>
+
 #include "adl/analysis.h"
 
 namespace n2j {
@@ -30,6 +33,33 @@ EquiJoinKeys ExtractEquiKeys(const ExprPtr& pred, const std::string& lvar,
     out.residual.push_back(conjunct);
   }
   return out;
+}
+
+namespace {
+
+// Interned "k0","k1",...,"k<n-1>" shape for composite join keys, cached
+// per arity so the per-row path never rebuilds name strings.
+const TupleShape* KeyShape(size_t n) {
+  constexpr size_t kMaxCached = 16;
+  static std::array<std::atomic<const TupleShape*>, kMaxCached> cache{};
+  if (n < kMaxCached) {
+    const TupleShape* s = cache[n].load(std::memory_order_acquire);
+    if (s != nullptr) return s;
+  }
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) names.push_back("k" + std::to_string(i));
+  const TupleShape* s = TupleShape::Intern(std::move(names));
+  if (n < kMaxCached) cache[n].store(s, std::memory_order_release);
+  return s;
+}
+
+}  // namespace
+
+Value JoinKeyFromParts(std::vector<Value> parts) {
+  if (parts.size() == 1) return std::move(parts[0]);
+  const TupleShape* shape = KeyShape(parts.size());
+  return Value::TupleFromShape(shape, std::move(parts));
 }
 
 }  // namespace n2j

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "adl/expr.h"
+#include "adl/value.h"
 
 namespace n2j {
 
@@ -31,6 +32,12 @@ struct EquiJoinKeys {
 /// `residual`.
 EquiJoinKeys ExtractEquiKeys(const ExprPtr& pred, const std::string& lvar,
                              const std::string& rvar);
+
+/// Hash/sort key built from evaluated equi-key expressions. A single key
+/// is returned bare — no tuple wrap — since join keys only ever meet
+/// keys built the same way from the matching key list; composite keys
+/// share one interned "k0","k1",... shape per arity.
+Value JoinKeyFromParts(std::vector<Value> parts);
 
 }  // namespace n2j
 

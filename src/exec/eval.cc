@@ -45,12 +45,22 @@ Result<Value> Evaluator::ConcatTuples(const Value& l, const Value& r) {
   if (!l.is_tuple() || !r.is_tuple()) {
     return Status::RuntimeError("tuple concatenation on non-tuples");
   }
-  for (const Field& f : r.fields()) {
-    if (l.FindField(f.name) != nullptr) {
-      return Status::RuntimeError("attribute naming conflict: " + f.name);
+  const TupleShape* combined = l.tuple_shape()->ConcatWith(r.tuple_shape());
+  if (combined == nullptr) {
+    for (const std::string& n : r.tuple_shape()->names()) {
+      if (l.FindField(n) != nullptr) {
+        return Status::RuntimeError("attribute naming conflict: " + n);
+      }
     }
+    return Status::RuntimeError("attribute naming conflict");
   }
-  return l.ConcatTuple(r);
+  std::vector<Value> values;
+  values.reserve(l.tuple_size() + r.tuple_size());
+  values.insert(values.end(), l.tuple_values().begin(),
+                l.tuple_values().end());
+  values.insert(values.end(), r.tuple_values().begin(),
+                r.tuple_values().end());
+  return Value::TupleFromShape(combined, std::move(values));
 }
 
 ThreadPool& Evaluator::pool() {
@@ -597,23 +607,30 @@ Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
   std::unordered_map<Value, std::vector<Value>, ValueHash> groups;
   groups.reserve(in.set_size());
   std::vector<Value> group_order;  // deterministic output
+  // Rows of one input almost always share one interned shape, so the
+  // "rest" attribute split is computed once per shape, not per row.
+  const TupleShape* last_shape = nullptr;
+  std::vector<std::string> rest;
   for (const Value& x : in.elements()) {
     ++stats_.tuples_scanned;
     if (!x.is_tuple()) return Status::RuntimeError("nest element not tuple");
-    std::vector<std::string> rest;
-    for (const Field& f : x.fields()) {
-      bool is_grouped = false;
-      for (const std::string& g : grouped) {
-        if (f.name == g) {
-          is_grouped = true;
-          break;
+    if (x.tuple_shape() != last_shape) {
+      last_shape = x.tuple_shape();
+      rest.clear();
+      for (const std::string& n : last_shape->names()) {
+        bool is_grouped = false;
+        for (const std::string& g : grouped) {
+          if (n == g) {
+            is_grouped = true;
+            break;
+          }
         }
+        if (!is_grouped) rest.push_back(n);
       }
-      if (!is_grouped) rest.push_back(f.name);
-    }
-    for (const std::string& g : grouped) {
-      if (x.FindField(g) == nullptr) {
-        return Status::RuntimeError("nest: no attribute '" + g + "'");
+      for (const std::string& g : grouped) {
+        if (last_shape->IndexOf(g) < 0) {
+          return Status::RuntimeError("nest: no attribute '" + g + "'");
+        }
       }
     }
     Value key = x.ProjectTuple(rest);
@@ -626,9 +643,10 @@ Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
   std::vector<Value> out;
   out.reserve(group_order.size());
   for (const Value& key : group_order) {
-    std::vector<Field> fields = key.fields();
-    fields.emplace_back(e.name(), Value::Set(groups[key]));
-    out.push_back(Value::Tuple(std::move(fields)));
+    const TupleShape* shape = key.tuple_shape()->ExtendedWith(e.name());
+    std::vector<Value> values = key.tuple_values();
+    values.push_back(Value::Set(std::move(groups[key])));
+    out.push_back(Value::TupleFromShape(shape, std::move(values)));
   }
   return Value::Set(std::move(out));
 }
@@ -650,11 +668,7 @@ Result<Value> Evaluator::EvalUnnest(const Expr& e, Environment& env) {
       return Status::RuntimeError("unnest: attribute '" + e.name() +
                                   "' not a set");
     }
-    std::vector<std::string> rest;
-    for (const Field& f : x.fields()) {
-      if (f.name != e.name()) rest.push_back(f.name);
-    }
-    Value rest_tuple = x.ProjectTuple(rest);
+    Value rest_tuple = x.WithoutField(e.name());
     for (const Value& elem : attr->elements()) {
       if (!elem.is_tuple()) {
         return Status::RuntimeError(
@@ -686,15 +700,15 @@ Result<Value> Evaluator::EvalDivide(const Expr& e, Environment& env) {
   }
   std::vector<std::string> b_attrs = first_r.FieldNames();
   std::vector<std::string> a_attrs;
-  for (const Field& f : l.elements()[0].fields()) {
+  for (const std::string& n : l.elements()[0].tuple_shape()->names()) {
     bool in_b = false;
     for (const std::string& b : b_attrs) {
-      if (f.name == b) {
+      if (n == b) {
         in_b = true;
         break;
       }
     }
-    if (!in_b) a_attrs.push_back(f.name);
+    if (!in_b) a_attrs.push_back(n);
   }
   // Index l by its A-projection.
   std::unordered_map<Value, std::vector<Value>, ValueHash> by_a;
@@ -826,9 +840,10 @@ Result<Value> Evaluator::NestedLoopJoin(const Expr& e, const Value& l,
           return Status::RuntimeError("nestjoin result attribute '" +
                                       e.name() + "' collides");
         }
-        std::vector<Field> fields = x.fields();
-        fields.emplace_back(e.name(), Value::Set(std::move(group)));
-        out.push_back(Value::Tuple(std::move(fields)));
+        const TupleShape* shape = x.tuple_shape()->ExtendedWith(e.name());
+        std::vector<Value> values = x.tuple_values();
+        values.push_back(Value::Set(std::move(group)));
+        out.push_back(Value::TupleFromShape(shape, std::move(values)));
         break;
       }
       default:

@@ -2,6 +2,7 @@
 #define N2J_EXEC_EVAL_H_
 
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -80,20 +81,55 @@ struct EvalOptions {
 class Environment {
  public:
   void Push(const std::string& name, Value v) {
-    bindings_.emplace_back(name, std::move(v));
+    bindings_.push_back(Binding{name, name.data(), std::move(v)});
   }
   void Pop() { bindings_.pop_back(); }
   /// Innermost binding of `name`, or nullptr.
   const Value* Lookup(const std::string& name) const {
+    // One-entry memo for the hot tuple-at-a-time pattern: per row the
+    // evaluator pops and re-pushes the same loop variable (the same
+    // source std::string each time) and the predicate re-resolves the
+    // same Var node's name string. When the query string, the stack
+    // depth, and the innermost binding's Push-source pointer all match
+    // the previous resolution, the innermost binding is still the
+    // answer — no character comparison at all. Source pointers are
+    // Expr-owned strings that outlive the evaluation, so pointer
+    // identity implies name identity here.
+    if (!bindings_.empty() && memo_query_ == name.data() &&
+        memo_depth_ == bindings_.size() &&
+        memo_src_ == bindings_.back().src) {
+      return &bindings_.back().value;
+    }
+    const size_t len = name.size();
     for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
-      if (it->first == name) return &it->second;
+      // Length first: unequal-length names (the common mismatch) are
+      // rejected without touching the characters.
+      if (it->name.size() == len &&
+          std::memcmp(it->name.data(), name.data(), len) == 0) {
+        if (it == bindings_.rbegin()) {
+          memo_query_ = name.data();
+          memo_src_ = it->src;
+          memo_depth_ = bindings_.size();
+        }
+        return &it->value;
+      }
     }
     return nullptr;
   }
   size_t size() const { return bindings_.size(); }
 
  private:
-  std::vector<std::pair<std::string, Value>> bindings_;
+  struct Binding {
+    std::string name;
+    const char* src;  // data() of the string object passed to Push
+    Value value;
+  };
+  std::vector<Binding> bindings_;
+  // Only innermost hits are memoized — a deeper hit could be shadowed
+  // by a later Push at the same depth, which the src check can't see.
+  mutable const char* memo_query_ = nullptr;
+  mutable const char* memo_src_ = nullptr;
+  mutable size_t memo_depth_ = 0;
 };
 
 /// Evaluates ADL expressions against a Database. The evaluator is the

@@ -15,20 +15,6 @@
 
 namespace n2j {
 
-namespace {
-
-/// Composite hash key from evaluated key expressions.
-Value MakeKey(std::vector<Value> parts) {
-  std::vector<Field> fields;
-  fields.reserve(parts.size());
-  for (size_t i = 0; i < parts.size(); ++i) {
-    fields.emplace_back("k" + std::to_string(i), std::move(parts[i]));
-  }
-  return Value::Tuple(std::move(fields));
-}
-
-}  // namespace
-
 Status Evaluator::EmitJoinResult(const Expr& e, const Value& x,
                                  const std::vector<const Value*>& matches,
                                  Environment& env, std::vector<Value>* out) {
@@ -67,9 +53,10 @@ Status Evaluator::EmitJoinResult(const Expr& e, const Value& x,
         group.push_back(std::move(iv).value());
       }
       env.Pop();
-      std::vector<Field> fields = x.fields();
-      fields.emplace_back(e.name(), Value::Set(std::move(group)));
-      out->push_back(Value::Tuple(std::move(fields)));
+      const TupleShape* shape = x.tuple_shape()->ExtendedWith(e.name());
+      std::vector<Value> values = x.tuple_values();
+      values.push_back(Value::Set(std::move(group)));
+      out->push_back(Value::TupleFromShape(shape, std::move(values)));
       return Status::OK();
     }
     default:
@@ -95,7 +82,7 @@ Result<Value> EvalKeyTuple(Evaluator* ev, const std::vector<ExprPtr>& keys,
     parts.push_back(std::move(kv).value());
   }
   env.Pop();
-  return MakeKey(std::move(parts));
+  return JoinKeyFromParts(std::move(parts));
 }
 
 }  // namespace

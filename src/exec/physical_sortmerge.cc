@@ -36,17 +36,18 @@ Result<Value> Evaluator::SortMergeJoin(const Expr& e, const Value& l,
     for (const Value& row : operand.elements()) {
       ++stats_.tuples_scanned;
       env.Push(var, row);
-      std::vector<Field> parts;
+      std::vector<Value> parts;
+      parts.reserve(key_exprs.size());
       for (size_t i = 0; i < key_exprs.size(); ++i) {
         Result<Value> kv = EvalNode(*key_exprs[i], env);
         if (!kv.ok()) {
           env.Pop();
           return kv.status();
         }
-        parts.emplace_back("k" + std::to_string(i), std::move(*kv));
+        parts.push_back(std::move(*kv));
       }
       env.Pop();
-      out->push_back({Value::Tuple(std::move(parts)), &row});
+      out->push_back({JoinKeyFromParts(std::move(parts)), &row});
     }
     stats_.rows_sorted += out->size();
     std::sort(out->begin(), out->end(),

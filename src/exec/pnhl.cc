@@ -15,11 +15,7 @@ namespace {
 /// names differ (params.drop_inner_key == false) the tuple is kept whole.
 Value InnerPayload(const Value& t, const PnhlParams& params) {
   if (!params.drop_inner_key) return t;
-  std::vector<std::string> keep;
-  for (const Field& f : t.fields()) {
-    if (f.name != params.inner_key) keep.push_back(f.name);
-  }
-  return t.ProjectTuple(keep);
+  return t.WithoutField(params.inner_key);
 }
 
 Status CheckOperands(const Value& outer, const Value& inner,
@@ -185,11 +181,7 @@ Result<Value> UnnestJoinNest(const Value& outer, const Value& inner,
   order.reserve(xs.size());
   std::unordered_map<Value, const Value*, ValueHash> originals;
   for (const Value& x : xs) {
-    std::vector<std::string> rest;
-    for (const Field& f : x.fields()) {
-      if (f.name != params.set_attr) rest.push_back(f.name);
-    }
-    Value key = x.ProjectTuple(rest);
+    Value key = x.WithoutField(params.set_attr);
     auto [it, inserted] = originals.try_emplace(key, &x);
     (void)it;
     if (inserted && keep_dangling) order.push_back(&x);
@@ -219,11 +211,7 @@ Result<Value> UnnestJoinNest(const Value& outer, const Value& inner,
   std::vector<Value> out;
   out.reserve(order.size());
   for (const Value* x : order) {
-    std::vector<std::string> rest;
-    for (const Field& f : x->fields()) {
-      if (f.name != params.set_attr) rest.push_back(f.name);
-    }
-    Value key = x->ProjectTuple(rest);
+    Value key = x->WithoutField(params.set_attr);
     auto it = groups.find(key);
     std::vector<Value> members =
         it == groups.end() ? std::vector<Value>() : it->second;

@@ -120,13 +120,7 @@ std::unique_ptr<Database> CloneReduced(
       if (name == drop_table && i >= drop_begin && i < drop_end) continue;
       Value row = t->rows()[i];
       if (name == set_table && i == set_row && row.is_tuple()) {
-        std::vector<Field> fields;
-        for (const Field& f : row.fields()) {
-          fields.emplace_back(f.name, f.name == set_field
-                                          ? Value::EmptySet()
-                                          : f.val());
-        }
-        row = Value::Tuple(std::move(fields));
+        row = row.ExceptUpdate({Field(set_field, Value::EmptySet())});
       }
       N2J_CHECK(clone->Insert(name, std::move(row)).ok());
     }
@@ -213,10 +207,12 @@ ShrinkResult ShrinkFailure(const Database& db, const std::string& query,
       for (size_t i = 0; i < t->size(); ++i) {
         const Value& row = t->rows()[i];
         if (!row.is_tuple()) continue;
-        for (const Field& f : row.fields()) {
-          if (!f.val().is_set() || f.val().set_size() == 0) continue;
+        for (size_t fi = 0; fi < row.tuple_size(); ++fi) {
+          const Value& fv = row.field_value(fi);
+          if (!fv.is_set() || fv.set_size() == 0) continue;
           if (++steps > max_steps) break;
-          auto cand = CloneReduced(*result.db, "", 0, 0, name, i, f.name);
+          auto cand =
+              CloneReduced(*result.db, "", 0, 0, name, i, row.field_name(fi));
           if (still_fails(*cand, result.query)) {
             result.db = std::move(cand);
             ++result.accepted_steps;

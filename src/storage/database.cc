@@ -41,11 +41,18 @@ Result<Oid> Database::NewObject(const std::string& class_name, Value attrs) {
   uint64_t seq = next_seq_[cls->class_id]++;
   Oid oid = MakeOid(cls->class_id, seq);
 
-  std::vector<Field> fields;
-  fields.reserve(attrs.fields().size() + 1);
-  fields.emplace_back(cls->oid_field, Value::MakeOidValue(oid));
-  for (const Field& f : attrs.fields()) fields.push_back(f);
-  Value object = Value::Tuple(std::move(fields));
+  std::vector<std::string> names;
+  names.reserve(attrs.tuple_size() + 1);
+  names.push_back(cls->oid_field);
+  names.insert(names.end(), attrs.tuple_shape()->names().begin(),
+               attrs.tuple_shape()->names().end());
+  std::vector<Value> values;
+  values.reserve(attrs.tuple_size() + 1);
+  values.push_back(Value::MakeOidValue(oid));
+  values.insert(values.end(), attrs.tuple_values().begin(),
+                attrs.tuple_values().end());
+  Value object = Value::TupleFromShape(TupleShape::Intern(std::move(names)),
+                                       std::move(values));
 
   N2J_RETURN_IF_ERROR(store_.Put(oid, object));
   tables_.at(cls->extent).Append(std::move(object));

@@ -122,7 +122,7 @@ TEST_F(PnhlFastPathTest, SameNamedKeysGetNaturalJoinSemantics) {
   const Value& items = *v.elements()[0].FindField("items");
   ASSERT_EQ(items.set_size(), 1u);
   // (k2 = 3) ∘ (w = 30) with k2 once.
-  EXPECT_EQ(items.elements()[0].fields().size(), 2u);
+  EXPECT_EQ(items.elements()[0].tuple_size(), 2u);
   EXPECT_EQ(items.elements()[0].FindField("w")->int_value(), 30);
 }
 

@@ -60,7 +60,7 @@ TEST(PnhlTest, JoinsSetElementsWithInnerTable) {
       for (const Value& e : parts.elements()) {
         EXPECT_NE(e.FindField("w"), nullptr);
         EXPECT_NE(e.FindField("pid"), nullptr);
-        EXPECT_EQ(e.fields().size(), 2u);
+        EXPECT_EQ(e.tuple_size(), 2u);
       }
     }
     if (id == 2) EXPECT_EQ(parts.set_size(), 0u);

@@ -41,14 +41,14 @@ TEST(ValueTest, TupleFieldAccess) {
 TEST(ValueTest, TupleProjectPreservesRequestedOrder) {
   Value t = T2("a", 1, "b", 2);
   Value p = t.ProjectTuple({"b", "a"});
-  EXPECT_EQ(p.fields()[0].name, "b");
-  EXPECT_EQ(p.fields()[1].name, "a");
+  EXPECT_EQ(p.field_name(0), "b");
+  EXPECT_EQ(p.field_name(1), "a");
 }
 
 TEST(ValueTest, TupleConcat) {
   Value t = T2("a", 1, "b", 2).ConcatTuple(
       Value::Tuple({Field("c", Value::Int(3))}));
-  EXPECT_EQ(t.fields().size(), 3u);
+  EXPECT_EQ(t.tuple_size(), 3u);
   EXPECT_EQ(t.FindField("c")->int_value(), 3);
 }
 
