@@ -15,6 +15,7 @@ namespace n2j {
 namespace {
 
 using bench::MustEval;
+using bench::MustEvalModesAgree;
 using bench::MustRewrite;
 using bench::Section;
 using bench::TimeMs;
@@ -80,8 +81,8 @@ void Sweep(bench::Trajectory* traj) {
     ExprPtr q = Fig1Query();
     ExprPtr plan = MustRewrite(*db, q).expr;
     EvalStats sn, sj;
-    Value a = MustEval(*db, q, EvalOptions(), &sn);
-    Value b = MustEval(*db, plan, EvalOptions(), &sj);
+    Value a = MustEvalModesAgree(*db, q, EvalOptions(), &sn);
+    Value b = MustEvalModesAgree(*db, plan, EvalOptions(), &sj);
     N2J_CHECK(a == b);
     double nested_ms = TimeMs([&] { MustEval(*db, q); }, 40);
     double nj_ms = TimeMs([&] { MustEval(*db, plan); }, 40);

@@ -16,6 +16,7 @@ namespace n2j {
 namespace {
 
 using bench::MustEval;
+using bench::MustEvalModesAgree;
 using bench::Section;
 using bench::TimeMs;
 
@@ -59,16 +60,18 @@ void SweepAlgorithms(const char* title, const ExprPtr& plan,
     auto db = MakeDb(n, 47);
     EvalOptions nested;
     nested.use_hash_joins = false;
-    // Verify all agree first (and capture each algorithm's counters).
+    // Verify all algorithms and both engines agree first (and capture
+    // each algorithm's counters).
     EvalStats s_nested;
-    Value expected = MustEval(*db, plan, nested, &s_nested);
+    Value expected = MustEvalModesAgree(*db, plan, nested, &s_nested);
     const JoinAlgorithm algos[3] = {JoinAlgorithm::kHash,
                                     JoinAlgorithm::kSortMerge,
                                     JoinAlgorithm::kIndex};
     const char* names[3] = {"hash", "sortmerge", "index"};
     EvalStats s_algo[3];
     for (int i = 0; i < 3; ++i) {
-      N2J_CHECK(MustEval(*db, plan, Algo(algos[i]), &s_algo[i]) == expected);
+      N2J_CHECK(MustEvalModesAgree(*db, plan, Algo(algos[i]), &s_algo[i]) ==
+                expected);
     }
     double t_nl = n > 1024 ? -1.0
                            : TimeMs([&] { MustEval(*db, plan, nested); }, 30);
@@ -101,14 +104,14 @@ void SweepThreads(const char* title, const ExprPtr& plan,
               "4t (ms)", "8t (ms)", "4t-speedup");
   for (int n : {1024, 4096}) {
     auto db = MakeDb(n, 47);
-    Value expected = MustEval(*db, plan, Algo(JoinAlgorithm::kHash));
+    Value expected = MustEvalModesAgree(*db, plan, Algo(JoinAlgorithm::kHash));
     double times[4];
     int threads[4] = {1, 2, 4, 8};
     for (int i = 0; i < 4; ++i) {
       EvalOptions opts = Algo(JoinAlgorithm::kHash);
       opts.num_threads = threads[i];
       EvalStats stats;
-      N2J_CHECK(MustEval(*db, plan, opts, &stats) == expected);
+      N2J_CHECK(MustEvalModesAgree(*db, plan, opts, &stats) == expected);
       times[i] = TimeMs([&] { MustEval(*db, plan, opts); }, 30);
       traj->Add(sweep, "hash-" + std::to_string(threads[i]) + "t", n,
                 times[i], stats);

@@ -43,10 +43,25 @@ inline double TimeMs(const std::function<void()>& fn, double min_ms = 50.0) {
   }
 }
 
+/// Engine selection for every timed loop: --mode=compiled (the default)
+/// runs lambdas on the bytecode VM, --mode=interp pins the tree
+/// interpreter. A process-wide toggle so the same binary measures both
+/// engines on identical plans.
+inline bool& BenchCompiledMode() {
+  static bool compiled = true;
+  return compiled;
+}
+
+inline const char* BenchModeName() {
+  return BenchCompiledMode() ? "compiled" : "interp";
+}
+
 /// Evaluates `e` against `db`, aborting on error (bench inputs are fixed).
+/// The engine is forced to the process-wide --mode selection.
 inline Value MustEval(const Database& db, const ExprPtr& e,
                       EvalOptions opts = EvalOptions(),
                       EvalStats* stats = nullptr) {
+  opts.compiled = BenchCompiledMode();
   Evaluator ev(db, opts);
   Result<Value> r = ev.Eval(e);
   if (!r.ok()) {
@@ -56,6 +71,41 @@ inline Value MustEval(const Database& db, const ExprPtr& e,
   }
   if (stats != nullptr) *stats = ev.stats();
   return *r;
+}
+
+/// Cross-engine equivalence gate: evaluates `e` under both the bytecode
+/// VM and the tree interpreter and aborts unless the results agree.
+/// Benches call this once per (plan, options) cell before timing, so the
+/// timed loops stay single-engine. Returns the selected mode's result
+/// and (optionally) its counters.
+inline Value MustEvalModesAgree(const Database& db, const ExprPtr& e,
+                                EvalOptions opts = EvalOptions(),
+                                EvalStats* stats = nullptr) {
+  EvalOptions compiled_opts = opts;
+  compiled_opts.compiled = true;
+  EvalOptions interp_opts = opts;
+  interp_opts.compiled = false;
+  Evaluator compiled_ev(db, compiled_opts);
+  Evaluator interp_ev(db, interp_opts);
+  Result<Value> compiled_r = compiled_ev.Eval(e);
+  Result<Value> interp_r = interp_ev.Eval(e);
+  if (!compiled_r.ok() || !interp_r.ok()) {
+    std::fprintf(stderr,
+                 "bench eval failed (compiled: %s / interp: %s)\nexpr: %s\n",
+                 compiled_r.status().ToString().c_str(),
+                 interp_r.status().ToString().c_str(), AlgebraStr(e).c_str());
+    std::abort();
+  }
+  if (*compiled_r != *interp_r) {
+    std::fprintf(stderr, "compiled and interpreted results differ\nexpr: %s\n",
+                 AlgebraStr(e).c_str());
+    std::abort();
+  }
+  if (stats != nullptr) {
+    *stats = BenchCompiledMode() ? compiled_ev.stats() : interp_ev.stats();
+  }
+  return BenchCompiledMode() ? std::move(compiled_r).value()
+                             : std::move(interp_r).value();
 }
 
 /// Rewrites with options, aborting on error.
@@ -106,8 +156,9 @@ struct TrajectoryPoint {
 /// Without the flag, recording is kept but nothing is written.
 class Trajectory {
  public:
-  /// Scans argv for --json=<path> and strips the flag so that
-  /// google-benchmark's own argument parser never sees it.
+  /// Scans argv for --json=<path> and --mode=compiled|interp and strips
+  /// both flags so that google-benchmark's own argument parser never
+  /// sees them.
   Trajectory(std::string bench_name, int* argc, char** argv)
       : bench_(std::move(bench_name)) {
     int kept = 1;
@@ -115,6 +166,16 @@ class Trajectory {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--json=", 7) == 0) {
         path_ = arg + 7;
+      } else if (std::strncmp(arg, "--mode=", 7) == 0) {
+        if (std::strcmp(arg + 7, "compiled") == 0) {
+          BenchCompiledMode() = true;
+        } else if (std::strcmp(arg + 7, "interp") == 0) {
+          BenchCompiledMode() = false;
+        } else {
+          std::fprintf(stderr, "unknown --mode=%s (compiled|interp)\n",
+                       arg + 7);
+          std::abort();
+        }
       } else {
         argv[kept++] = argv[i];
       }
@@ -136,8 +197,9 @@ class Trajectory {
       std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
       std::abort();
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"points\": [\n",
-                 bench_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n"
+                 "  \"points\": [\n",
+                 bench_.c_str(), BenchModeName());
     for (size_t i = 0; i < points_.size(); ++i) {
       const TrajectoryPoint& p = points_[i];
       const EvalStats& s = p.stats;
@@ -148,7 +210,8 @@ class Trajectory {
           "\"predicate_evals\": %llu, \"hash_inserts\": %llu, "
           "\"hash_probes\": %llu, \"rows_sorted\": %llu, "
           "\"index_probes\": %llu, \"pnhl_partitions\": %llu, "
-          "\"derefs\": %llu, \"nodes_evaluated\": %llu}}%s\n",
+          "\"derefs\": %llu, \"nodes_evaluated\": %llu, "
+          "\"compiled_evals\": %llu, \"interp_fallback_evals\": %llu}}%s\n",
           p.sweep.c_str(), p.variant.c_str(), p.n, p.ms,
           static_cast<unsigned long long>(s.tuples_scanned),
           static_cast<unsigned long long>(s.predicate_evals),
@@ -159,6 +222,8 @@ class Trajectory {
           static_cast<unsigned long long>(s.pnhl_partitions),
           static_cast<unsigned long long>(s.derefs),
           static_cast<unsigned long long>(s.nodes_evaluated),
+          static_cast<unsigned long long>(s.compiled_evals),
+          static_cast<unsigned long long>(s.interp_fallback_evals),
           i + 1 < points_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -5,6 +5,8 @@
 //   \explain <query> show translation, optimization trace and plan
 //   \nestedloop      toggle the rewriter off/on (to feel the difference)
 //   \threads N       set worker threads for the parallel operators
+//   \compiled        toggle bytecode-compiled lambda evaluation
+//   \stats           print the last query's execution counters
 //   \quit            exit
 //
 //   $ ./build/examples/oosql_shell
@@ -52,11 +54,15 @@ int main() {
   std::unique_ptr<Database> db = MakeSupplierPartDatabase(config);
 
   bool rewrites_enabled = true;
+  bool compiled_enabled = true;
   int num_threads = 1;
+  EvalStats last_stats;
+  bool have_stats = false;
   std::printf(
       "nested-to-join OOSQL shell — supplier-part database loaded\n"
       "(|SUPPLIER| = %zu, |PART| = %zu, |DELIVERY| = %zu)\n"
-      "end queries with ';'. try: \\schema, \\tables, \\explain, \\quit\n",
+      "end queries with ';'. try: \\schema, \\tables, \\explain, \\stats, "
+      "\\quit\n",
       db->FindTable("SUPPLIER")->size(), db->FindTable("PART")->size(),
       db->FindTable("DELIVERY")->size());
 
@@ -89,6 +95,16 @@ int main() {
                       num_threads == 1 ? " (serial)" : "");
         } else {
           std::printf("usage: \\threads N   (N >= 1)\n");
+        }
+      } else if (cmd == "\\compiled") {
+        compiled_enabled = !compiled_enabled;
+        std::printf("compiled evaluation %s\n",
+                    compiled_enabled ? "ON" : "OFF");
+      } else if (cmd == "\\stats") {
+        if (have_stats) {
+          std::printf("[%s]\n", last_stats.ToString().c_str());
+        } else {
+          std::printf("no query has run yet\n");
         }
       } else if (cmd == "\\explain") {
         std::string rest;
@@ -127,13 +143,16 @@ int main() {
     }
     EvalOptions eval_opts;
     eval_opts.num_threads = num_threads;
+    eval_opts.compiled = compiled_enabled;
     QueryEngine engine(db.get(), opts, eval_opts);
     Result<QueryReport> r = engine.Run(buffer);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
     } else {
       PrintResult(r->result);
-      std::printf("[%s]\n", r->exec_stats.ToString().c_str());
+      last_stats = r->exec_stats;
+      have_stats = true;
+      std::printf("[%s]\n", last_stats.ToString().c_str());
     }
     buffer.clear();
     std::printf("oosql> ");

@@ -35,11 +35,8 @@ EquiJoinKeys ExtractEquiKeys(const ExprPtr& pred, const std::string& lvar,
   return out;
 }
 
-namespace {
-
-// Interned "k0","k1",...,"k<n-1>" shape for composite join keys, cached
-// per arity so the per-row path never rebuilds name strings.
-const TupleShape* KeyShape(size_t n) {
+// Cached per arity so the per-row path never rebuilds name strings.
+const TupleShape* JoinKeyShape(size_t n) {
   constexpr size_t kMaxCached = 16;
   static std::array<std::atomic<const TupleShape*>, kMaxCached> cache{};
   if (n < kMaxCached) {
@@ -54,11 +51,9 @@ const TupleShape* KeyShape(size_t n) {
   return s;
 }
 
-}  // namespace
-
 Value JoinKeyFromParts(std::vector<Value> parts) {
   if (parts.size() == 1) return std::move(parts[0]);
-  const TupleShape* shape = KeyShape(parts.size());
+  const TupleShape* shape = JoinKeyShape(parts.size());
   return Value::TupleFromShape(shape, std::move(parts));
 }
 

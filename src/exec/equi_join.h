@@ -39,6 +39,11 @@ EquiJoinKeys ExtractEquiKeys(const ExprPtr& pred, const std::string& lvar,
 /// share one interned "k0","k1",... shape per arity.
 Value JoinKeyFromParts(std::vector<Value> parts);
 
+/// The interned "k0","k1",...,"k<n-1>" shape composite join keys use,
+/// cached per arity. Exposed so the bytecode compiler can lower key
+/// construction to the exact tuple JoinKeyFromParts would build.
+const TupleShape* JoinKeyShape(size_t n);
+
 }  // namespace n2j
 
 #endif  // N2J_EXEC_EQUI_JOIN_H_

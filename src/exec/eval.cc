@@ -3,8 +3,24 @@
 #include <unordered_map>
 
 #include "common/str_util.h"
+#include "exec/bytecode.h"
+#include "exec/compile.h"
 
 namespace n2j {
+
+namespace {
+
+// Index-gather tuple projection for per-shape cached index vectors.
+Value GatherTuple(const TupleShape* target, const std::vector<int>& idx,
+                  const Value& x) {
+  std::vector<Value> vals;
+  vals.reserve(idx.size());
+  const std::vector<Value>& src = x.tuple_values();
+  for (int i : idx) vals.push_back(src[static_cast<size_t>(i)]);
+  return Value::TupleFromShape(target, std::move(vals));
+}
+
+}  // namespace
 
 void EvalStats::Merge(const EvalStats& other) {
   tuples_scanned += other.tuples_scanned;
@@ -16,12 +32,14 @@ void EvalStats::Merge(const EvalStats& other) {
   pnhl_partitions += other.pnhl_partitions;
   derefs += other.derefs;
   nodes_evaluated += other.nodes_evaluated;
+  compiled_evals += other.compiled_evals;
+  interp_fallback_evals += other.interp_fallback_evals;
 }
 
 std::string EvalStats::ToString() const {
   return StrFormat(
       "scanned=%llu preds=%llu h_ins=%llu h_probe=%llu sorted=%llu "
-      "idx=%llu derefs=%llu nodes=%llu",
+      "idx=%llu derefs=%llu nodes=%llu compiled=%llu fallback=%llu",
       static_cast<unsigned long long>(tuples_scanned),
       static_cast<unsigned long long>(predicate_evals),
       static_cast<unsigned long long>(hash_inserts),
@@ -29,7 +47,9 @@ std::string EvalStats::ToString() const {
       static_cast<unsigned long long>(rows_sorted),
       static_cast<unsigned long long>(index_probes),
       static_cast<unsigned long long>(derefs),
-      static_cast<unsigned long long>(nodes_evaluated));
+      static_cast<unsigned long long>(nodes_evaluated),
+      static_cast<unsigned long long>(compiled_evals),
+      static_cast<unsigned long long>(interp_fallback_evals));
 }
 
 Result<Value> Evaluator::Eval(const ExprPtr& e) {
@@ -42,25 +62,7 @@ Result<Value> Evaluator::Eval(const ExprPtr& e, Environment& env) {
 }
 
 Result<Value> Evaluator::ConcatTuples(const Value& l, const Value& r) {
-  if (!l.is_tuple() || !r.is_tuple()) {
-    return Status::RuntimeError("tuple concatenation on non-tuples");
-  }
-  const TupleShape* combined = l.tuple_shape()->ConcatWith(r.tuple_shape());
-  if (combined == nullptr) {
-    for (const std::string& n : r.tuple_shape()->names()) {
-      if (l.FindField(n) != nullptr) {
-        return Status::RuntimeError("attribute naming conflict: " + n);
-      }
-    }
-    return Status::RuntimeError("attribute naming conflict");
-  }
-  std::vector<Value> values;
-  values.reserve(l.tuple_size() + r.tuple_size());
-  values.insert(values.end(), l.tuple_values().begin(),
-                l.tuple_values().end());
-  values.insert(values.end(), r.tuple_values().begin(),
-                r.tuple_values().end());
-  return Value::TupleFromShape(combined, std::move(values));
+  return ConcatTuplesChecked(l, r);
 }
 
 ThreadPool& Evaluator::pool() {
@@ -97,6 +99,17 @@ Result<Value> Evaluator::ParallelMapSelect(const Expr& e, const Value& in,
   const int num_workers = tp.num_workers();
   std::vector<std::unique_ptr<Evaluator>> workers = ForkWorkers(num_workers);
   std::vector<Environment> envs(static_cast<size_t>(num_workers), env);
+  // One compiled frame per worker: programs own mutable register files
+  // and inline caches, so workers never share one.
+  std::vector<CompiledLambda> lambdas(static_cast<size_t>(num_workers));
+  if (opts_.compiled && n > 0) {
+    const TupleShape* shape0 = FirstElemShape(in);
+    for (int w = 0; w < num_workers; ++w) {
+      lambdas[static_cast<size_t>(w)].Compile(
+          *workers[static_cast<size_t>(w)], *e.child(1), {e.var()},
+          envs[static_cast<size_t>(w)], shape0);
+    }
+  }
 
   size_t morsel_size = PickMorselSize(n, num_workers);
   std::vector<Value> out(n);   // map results, slot per input element
@@ -105,10 +118,26 @@ Result<Value> Evaluator::ParallelMapSelect(const Expr& e, const Value& in,
       NumMorsels(n, morsel_size), [&](int w, size_t m) -> Status {
         Evaluator& ev = *workers[static_cast<size_t>(w)];
         Environment& wenv = envs[static_cast<size_t>(w)];
+        CompiledLambda& cl = lambdas[static_cast<size_t>(w)];
         MorselRange range = MorselAt(n, morsel_size, m);
         for (size_t i = range.begin; i < range.end; ++i) {
           ++ev.stats_.tuples_scanned;
           if (is_select) ++ev.stats_.predicate_evals;
+          if (cl.ok()) {
+            Value* r = cl.Run(xs[i]);
+            if (r == nullptr) return cl.status();
+            if (is_select) {
+              if (!r->is_bool()) {
+                return Status::RuntimeError(
+                    "selection predicate not boolean");
+              }
+              keep[i] = r->bool_value() ? 1 : 0;
+            } else {
+              out[i] = std::move(*r);
+            }
+            continue;
+          }
+          if (cl.fallback()) ++ev.stats_.interp_fallback_evals;
           wenv.Push(e.var(), xs[i]);
           Result<Value> r = ev.EvalNode(*e.child(1), wenv);
           wenv.Pop();
@@ -256,23 +285,7 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
 
     case ExprKind::kUnary: {
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
-      switch (e.un_op()) {
-        case UnOp::kNot:
-          if (!in.is_bool()) {
-            return Status::RuntimeError("not on non-bool");
-          }
-          return Value::Bool(!in.bool_value());
-        case UnOp::kNeg:
-          if (in.is_int()) return Value::Int(-in.int_value());
-          if (in.is_double()) return Value::Double(-in.double_value());
-          return Status::RuntimeError("negation on non-numeric");
-        case UnOp::kIsEmpty:
-          if (!in.is_set()) {
-            return Status::RuntimeError("isempty on non-set");
-          }
-          return Value::Bool(in.set_size() == 0);
-      }
-      return Status::Internal("bad unary op");
+      return ApplyUnOp(e.un_op(), in);
     }
 
     case ExprKind::kBinary:
@@ -297,10 +310,25 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
       if (opts_.num_threads > 1 && in.set_size() > 1) {
         return ParallelMapSelect(e, in, env, /*is_select=*/false);
       }
+      CompiledLambda body;
+      if (opts_.compiled && in.set_size() > 0) {
+        body.Compile(*this, *e.child(1), {e.var()}, env,
+                     FirstElemShape(in));
+      }
       std::vector<Value> out;
       out.reserve(in.set_size());
+      if (body.ok()) {
+        for (const Value& x : in.elements()) {
+          ++stats_.tuples_scanned;
+          Value* r = body.Run(x);
+          if (r == nullptr) return body.status();
+          out.push_back(std::move(*r));
+        }
+        return Value::Set(std::move(out));
+      }
       for (const Value& x : in.elements()) {
         ++stats_.tuples_scanned;
+        if (body.fallback()) ++stats_.interp_fallback_evals;
         env.Push(e.var(), x);
         Result<Value> r = EvalNode(*e.child(1), env);
         env.Pop();
@@ -316,10 +344,29 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
       if (opts_.num_threads > 1 && in.set_size() > 1) {
         return ParallelMapSelect(e, in, env, /*is_select=*/true);
       }
+      CompiledLambda pred;
+      if (opts_.compiled && in.set_size() > 0) {
+        pred.Compile(*this, *e.child(1), {e.var()}, env,
+                     FirstElemShape(in));
+      }
       std::vector<Value> out;
+      if (pred.ok()) {
+        for (const Value& x : in.elements()) {
+          ++stats_.tuples_scanned;
+          ++stats_.predicate_evals;
+          Value* r = pred.Run(x);
+          if (r == nullptr) return pred.status();
+          if (!r->is_bool()) {
+            return Status::RuntimeError("selection predicate not boolean");
+          }
+          if (r->bool_value()) out.push_back(x);
+        }
+        return Value::SetFromCanonical(std::move(out));
+      }
       for (const Value& x : in.elements()) {
         ++stats_.tuples_scanned;
         ++stats_.predicate_evals;
+        if (pred.fallback()) ++stats_.interp_fallback_evals;
         env.Push(e.var(), x);
         Result<Value> r = EvalNode(*e.child(1), env);
         env.Pop();
@@ -337,18 +384,36 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
       if (!in.is_set()) return Status::RuntimeError("project over non-set");
       std::vector<Value> out;
       out.reserve(in.set_size());
+      // Per-shape projection cache: the name list resolves to source
+      // indices once per observed input shape, not per row. Semantics
+      // (including the identity fast path and the first-missing-field
+      // error) mirror the per-row FindField + ProjectTuple loop.
+      const TupleShape* target = nullptr;
+      const TupleShape* last_shape = nullptr;
+      std::vector<int> idx;
       for (const Value& x : in.elements()) {
         ++stats_.tuples_scanned;
         if (!x.is_tuple()) {
           return Status::RuntimeError("projection element not a tuple");
         }
-        for (const std::string& n : e.names()) {
-          if (x.FindField(n) == nullptr) {
-            return Status::RuntimeError("no field '" + n +
-                                        "' in projection input");
+        if (x.tuple_shape() != last_shape) {
+          last_shape = x.tuple_shape();
+          if (target == nullptr) target = TupleShape::Intern(e.names());
+          idx.clear();
+          for (const std::string& n : e.names()) {
+            int i = last_shape->IndexOf(n);
+            if (i < 0) {
+              return Status::RuntimeError("no field '" + n +
+                                          "' in projection input");
+            }
+            idx.push_back(i);
           }
         }
-        out.push_back(x.ProjectTuple(e.names()));
+        if (last_shape == target) {
+          out.push_back(x);
+        } else {
+          out.push_back(GatherTuple(target, idx, x));
+        }
       }
       return Value::Set(std::move(out));
     }
@@ -443,94 +508,9 @@ Result<Value> Evaluator::EvalBinary(const Expr& e, Environment& env) {
 
   N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
   N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
-
-  switch (op) {
-    case BinOp::kAdd:
-    case BinOp::kSub:
-    case BinOp::kMul:
-    case BinOp::kDiv:
-    case BinOp::kMod: {
-      if (!l.is_numeric() || !r.is_numeric()) {
-        return Status::RuntimeError("arithmetic on non-numeric values");
-      }
-      if (l.is_int() && r.is_int()) {
-        int64_t a = l.int_value(), b = r.int_value();
-        switch (op) {
-          case BinOp::kAdd: return Value::Int(a + b);
-          case BinOp::kSub: return Value::Int(a - b);
-          case BinOp::kMul: return Value::Int(a * b);
-          case BinOp::kDiv:
-            if (b == 0) return Status::RuntimeError("division by zero");
-            return Value::Int(a / b);
-          case BinOp::kMod:
-            if (b == 0) return Status::RuntimeError("modulo by zero");
-            return Value::Int(a % b);
-          default: break;
-        }
-      }
-      double a = l.as_double(), b = r.as_double();
-      switch (op) {
-        case BinOp::kAdd: return Value::Double(a + b);
-        case BinOp::kSub: return Value::Double(a - b);
-        case BinOp::kMul: return Value::Double(a * b);
-        case BinOp::kDiv:
-          if (b == 0.0) return Status::RuntimeError("division by zero");
-          return Value::Double(a / b);
-        case BinOp::kMod:
-          return Status::RuntimeError("modulo on non-integers");
-        default: break;
-      }
-      return Status::Internal("bad arithmetic op");
-    }
-
-    case BinOp::kEq: return Value::Bool(l == r);
-    case BinOp::kNe: return Value::Bool(l != r);
-    case BinOp::kLt: return Value::Bool(l.Compare(r) < 0);
-    case BinOp::kLe: return Value::Bool(l.Compare(r) <= 0);
-    case BinOp::kGt: return Value::Bool(l.Compare(r) > 0);
-    case BinOp::kGe: return Value::Bool(l.Compare(r) >= 0);
-
-    case BinOp::kIn:
-      if (!r.is_set()) return Status::RuntimeError("in: rhs not a set");
-      return Value::Bool(r.SetContains(l));
-    case BinOp::kContains:
-      if (!l.is_set()) {
-        return Status::RuntimeError("contains: lhs not a set");
-      }
-      return Value::Bool(l.SetContains(r));
-    case BinOp::kSubset:
-    case BinOp::kSubsetEq:
-    case BinOp::kSupset:
-    case BinOp::kSupsetEq: {
-      if (!l.is_set() || !r.is_set()) {
-        return Status::RuntimeError("set comparison on non-sets");
-      }
-      switch (op) {
-        case BinOp::kSubset: return Value::Bool(l.IsSubsetOf(r, true));
-        case BinOp::kSubsetEq: return Value::Bool(l.IsSubsetOf(r, false));
-        case BinOp::kSupset: return Value::Bool(r.IsSubsetOf(l, true));
-        case BinOp::kSupsetEq: return Value::Bool(r.IsSubsetOf(l, false));
-        default: break;
-      }
-      return Status::Internal("bad set comparison");
-    }
-
-    case BinOp::kUnionOp:
-    case BinOp::kIntersectOp:
-    case BinOp::kDifferenceOp: {
-      if (!l.is_set() || !r.is_set()) {
-        return Status::RuntimeError("set operator on non-sets");
-      }
-      if (op == BinOp::kUnionOp) return l.SetUnion(r);
-      if (op == BinOp::kIntersectOp) return l.SetIntersect(r);
-      return l.SetDifference(r);
-    }
-
-    case BinOp::kAnd:
-    case BinOp::kOr:
-      break;  // handled above
-  }
-  return Status::Internal("unhandled binary op");
+  // Shared with the bytecode VM (bytecode.cc) so both engines agree
+  // bit-for-bit on results and error strings.
+  return ApplyBinOp(op, l, r);
 }
 
 Result<Value> Evaluator::EvalQuantifier(const Expr& e, Environment& env) {
@@ -539,9 +519,28 @@ Result<Value> Evaluator::EvalQuantifier(const Expr& e, Environment& env) {
     return Status::RuntimeError("quantifier range not a set");
   }
   bool exists = e.quant_kind() == QuantKind::kExists;
+  CompiledLambda pred;
+  if (opts_.compiled && range.set_size() > 0) {
+    pred.Compile(*this, *e.child(1), {e.var()}, env, FirstElemShape(range));
+  }
+  if (pred.ok()) {
+    for (const Value& x : range.elements()) {
+      ++stats_.tuples_scanned;
+      ++stats_.predicate_evals;
+      Value* r = pred.Run(x);
+      if (r == nullptr) return pred.status();
+      if (!r->is_bool()) {
+        return Status::RuntimeError("quantifier predicate not boolean");
+      }
+      if (exists && r->bool_value()) return Value::Bool(true);
+      if (!exists && !r->bool_value()) return Value::Bool(false);
+    }
+    return Value::Bool(!exists);
+  }
   for (const Value& x : range.elements()) {
     ++stats_.tuples_scanned;
     ++stats_.predicate_evals;
+    if (pred.fallback()) ++stats_.interp_fallback_evals;
     env.Push(e.var(), x);
     Result<Value> r = EvalNode(*e.child(1), env);
     env.Pop();
@@ -559,44 +558,9 @@ Result<Value> Evaluator::EvalQuantifier(const Expr& e, Environment& env) {
 
 Result<Value> Evaluator::EvalAggregate(const Expr& e, Environment& env) {
   N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
-  if (!in.is_set()) return Status::RuntimeError("aggregate over non-set");
-  const std::vector<Value>& es = in.elements();
-  switch (e.agg_kind()) {
-    case AggKind::kCount:
-      return Value::Int(static_cast<int64_t>(es.size()));
-    case AggKind::kSum: {
-      bool any_double = false;
-      int64_t isum = 0;
-      double dsum = 0;
-      for (const Value& v : es) {
-        if (!v.is_numeric()) {
-          return Status::RuntimeError("sum over non-numeric set");
-        }
-        if (v.is_double()) any_double = true;
-        dsum += v.as_double();
-        if (v.is_int()) isum += v.int_value();
-      }
-      return any_double ? Value::Double(dsum) : Value::Int(isum);
-    }
-    case AggKind::kAvg: {
-      if (es.empty()) return Value::Null();
-      double dsum = 0;
-      for (const Value& v : es) {
-        if (!v.is_numeric()) {
-          return Status::RuntimeError("avg over non-numeric set");
-        }
-        dsum += v.as_double();
-      }
-      return Value::Double(dsum / static_cast<double>(es.size()));
-    }
-    case AggKind::kMin:
-    case AggKind::kMax: {
-      if (es.empty()) return Value::Null();
-      // Canonical sets are sorted, so min/max are the endpoints.
-      return e.agg_kind() == AggKind::kMin ? es.front() : es.back();
-    }
-  }
-  return Status::Internal("bad aggregate kind");
+  // Shared with the bytecode VM (bytecode.cc), including the
+  // "aggregate over non-set" check.
+  return ApplyAggregate(e.agg_kind(), in);
 }
 
 Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
@@ -608,9 +572,14 @@ Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
   groups.reserve(in.set_size());
   std::vector<Value> group_order;  // deterministic output
   // Rows of one input almost always share one interned shape, so the
-  // "rest" attribute split is computed once per shape, not per row.
+  // "rest" attribute split — and the source index gathers for both
+  // projections — are computed once per shape, not per row.
   const TupleShape* last_shape = nullptr;
+  const TupleShape* grouped_target = TupleShape::Intern(grouped);
+  const TupleShape* rest_target = nullptr;
   std::vector<std::string> rest;
+  std::vector<int> rest_idx;
+  std::vector<int> grouped_idx;
   for (const Value& x : in.elements()) {
     ++stats_.tuples_scanned;
     if (!x.is_tuple()) return Status::RuntimeError("nest element not tuple");
@@ -632,9 +601,22 @@ Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
           return Status::RuntimeError("nest: no attribute '" + g + "'");
         }
       }
+      rest_target = TupleShape::Intern(rest);
+      rest_idx.clear();
+      for (const std::string& n : rest) {
+        rest_idx.push_back(last_shape->IndexOf(n));
+      }
+      grouped_idx.clear();
+      for (const std::string& g : grouped) {
+        grouped_idx.push_back(last_shape->IndexOf(g));
+      }
     }
-    Value key = x.ProjectTuple(rest);
-    Value proj = x.ProjectTuple(grouped);
+    Value key = (rest_target == last_shape)
+                    ? x
+                    : GatherTuple(rest_target, rest_idx, x);
+    Value proj = (grouped_target == last_shape)
+                     ? x
+                     : GatherTuple(grouped_target, grouped_idx, x);
     ++stats_.hash_inserts;
     auto [it, inserted] = groups.try_emplace(key);
     if (inserted) group_order.push_back(key);
@@ -781,12 +763,99 @@ Result<Value> Evaluator::EvalJoinLike(const Expr& e, Environment& env) {
 Result<Value> Evaluator::NestedLoopJoin(const Expr& e, const Value& l,
                                         const Value& r, Environment& env) {
   std::vector<Value> out;
+  CompiledLambda pred_cl;
+  CompiledLambda inner_cl;
+  if (opts_.compiled && l.set_size() > 0 && r.set_size() > 0) {
+    pred_cl.Compile(*this, *e.pred(), {e.var(), e.var2()}, env,
+                    FirstElemShape(l));
+    if (e.kind() == ExprKind::kNestJoin) {
+      inner_cl.Compile(*this, *e.inner(), {e.var(), e.var2()}, env,
+                       FirstElemShape(l));
+    }
+  }
+  // Per-left-tuple result assembly, shared by both engines.
+  auto finish_row = [&](const Value& x, bool matched,
+                        std::vector<Value>&& group) -> Status {
+    switch (e.kind()) {
+      case ExprKind::kSemiJoin:
+        if (matched) out.push_back(x);
+        break;
+      case ExprKind::kAntiJoin:
+        if (!matched) out.push_back(x);
+        break;
+      case ExprKind::kNestJoin: {
+        if (!x.is_tuple()) {
+          return Status::RuntimeError("nestjoin element not a tuple");
+        }
+        if (x.FindField(e.name()) != nullptr) {
+          return Status::RuntimeError("nestjoin result attribute '" +
+                                      e.name() + "' collides");
+        }
+        const TupleShape* shape = x.tuple_shape()->ExtendedWith(e.name());
+        std::vector<Value> values = x.tuple_values();
+        values.push_back(Value::Set(std::move(group)));
+        out.push_back(Value::TupleFromShape(shape, std::move(values)));
+        break;
+      }
+      default:
+        break;
+    }
+    return Status();
+  };
+  if (pred_cl.ok()) {
+    for (const Value& x : l.elements()) {
+      ++stats_.tuples_scanned;
+      bool matched = false;
+      std::vector<Value> group;  // nestjoin inner results
+      for (const Value& y : r.elements()) {
+        ++stats_.predicate_evals;
+        Value* p = pred_cl.Run(x, y);
+        if (p == nullptr) return pred_cl.status();
+        if (!p->is_bool()) {
+          return Status::RuntimeError("join predicate not boolean");
+        }
+        if (p->bool_value()) {
+          switch (e.kind()) {
+            case ExprKind::kJoin: {
+              N2J_ASSIGN_OR_RETURN(Value combined, ConcatTuples(x, y));
+              out.push_back(std::move(combined));
+              break;
+            }
+            case ExprKind::kNestJoin: {
+              if (inner_cl.ok()) {
+                Value* iv = inner_cl.Run(x, y);
+                if (iv == nullptr) return inner_cl.status();
+                group.push_back(std::move(*iv));
+              } else {
+                if (inner_cl.fallback()) ++stats_.interp_fallback_evals;
+                env.Push(e.var(), x);
+                env.Push(e.var2(), y);
+                Result<Value> iv = EvalNode(*e.inner(), env);
+                env.Pop();
+                env.Pop();
+                if (!iv.ok()) return iv.status();
+                group.push_back(std::move(iv).value());
+              }
+              break;
+            }
+            default:
+              matched = true;
+              break;
+          }
+        }
+        if (matched && e.kind() == ExprKind::kSemiJoin) break;
+      }
+      N2J_RETURN_IF_ERROR(finish_row(x, matched, std::move(group)));
+    }
+    return Value::Set(std::move(out));
+  }
   for (const Value& x : l.elements()) {
     ++stats_.tuples_scanned;
     bool matched = false;
     std::vector<Value> group;  // nestjoin inner results
     for (const Value& y : r.elements()) {
       ++stats_.predicate_evals;
+      if (pred_cl.fallback()) ++stats_.interp_fallback_evals;
       env.Push(e.var(), x);
       env.Push(e.var2(), y);
       Result<Value> p = EvalNode(*e.pred(), env);
@@ -825,30 +894,7 @@ Result<Value> Evaluator::NestedLoopJoin(const Expr& e, const Value& l,
       }
       if (matched && e.kind() == ExprKind::kSemiJoin) break;
     }
-    switch (e.kind()) {
-      case ExprKind::kSemiJoin:
-        if (matched) out.push_back(x);
-        break;
-      case ExprKind::kAntiJoin:
-        if (!matched) out.push_back(x);
-        break;
-      case ExprKind::kNestJoin: {
-        if (!x.is_tuple()) {
-          return Status::RuntimeError("nestjoin element not a tuple");
-        }
-        if (x.FindField(e.name()) != nullptr) {
-          return Status::RuntimeError("nestjoin result attribute '" +
-                                      e.name() + "' collides");
-        }
-        const TupleShape* shape = x.tuple_shape()->ExtendedWith(e.name());
-        std::vector<Value> values = x.tuple_values();
-        values.push_back(Value::Set(std::move(group)));
-        out.push_back(Value::TupleFromShape(shape, std::move(values)));
-        break;
-      }
-      default:
-        break;
-    }
+    N2J_RETURN_IF_ERROR(finish_row(x, matched, std::move(group)));
   }
   return Value::Set(std::move(out));
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +18,9 @@
 
 namespace n2j {
 
+class CompiledLambda;
+struct JoinLambdas;
+
 /// Operator cost counters. The benchmarks use these (in addition to wall
 /// time) to show *why* set-oriented plans win: nested-loop plans evaluate
 /// predicates |X|·|Y| times while hash-based joins probe once per tuple.
@@ -29,7 +33,12 @@ struct EvalStats {
   uint64_t index_probes = 0;     // pre-built index lookups
   uint64_t pnhl_partitions = 0;  // PNHL fast-path segments (0 = unused)
   uint64_t derefs = 0;           // oid dereferences
-  uint64_t nodes_evaluated = 0;  // expression nodes evaluated
+  uint64_t nodes_evaluated = 0;  // expression nodes evaluated (interp)
+  uint64_t compiled_evals = 0;   // bytecode program runs (one per tuple)
+  // Per-tuple interpreter evaluations taken because a lambda's compile
+  // fell back (EvalOptions::compiled on, body not covered). Always 0
+  // when compiled evaluation is off.
+  uint64_t interp_fallback_evals = 0;
 
   void Reset() { *this = EvalStats(); }
   /// Adds another (per-worker) counter set into this one. Parallel
@@ -75,6 +84,13 @@ struct EvalOptions {
   /// (merged per-worker) EvalStats. Morsels are merged in input order,
   /// so output is deterministic regardless of scheduling.
   int num_threads = 1;
+  /// Compile lambda bodies (map/select/quantifier predicates, join keys
+  /// and residuals, nestjoin inner functions) to bytecode once per
+  /// operator invocation and evaluate tuples through the VM
+  /// (bytecode.h). Bodies the compiler does not cover automatically
+  /// fall back to the tree interpreter per operator; results and errors
+  /// are identical either way (the differential fuzzer pins this).
+  bool compiled = true;
 };
 
 /// Variable bindings during evaluation, innermost last.
@@ -153,6 +169,13 @@ class Evaluator {
 
   const Database& db() const { return db_; }
 
+  /// Resolves a base table through the per-query cache. Used by the
+  /// bytecode compiler (compile.cc) to capture table extents into a
+  /// program's constant pool at compile time.
+  Result<Value> ResolveTable(const std::string& name) {
+    return TableValue(name);
+  }
+
  private:
   Result<Value> EvalNode(const Expr& e, Environment& env);
   Result<Value> EvalBinary(const Expr& e, Environment& env);
@@ -211,20 +234,27 @@ class Evaluator {
                                  const Value& r, Environment& env,
                                  const struct EquiJoinKeys& keys);
   /// Parallel probe morsels for the membership join (build stays
-  /// serial; the probe side dominates).
+  /// serial; the probe side dominates). `compile_worker` populates one
+  /// JoinLambdas per worker frame (compiled via that worker's evaluator
+  /// and environment) before the morsels run; `probe_one` receives the
+  /// worker's frame.
   Result<Value> ParallelMembershipProbe(
       const Expr& e, const Value& l, Environment& env,
+      const std::function<void(Evaluator& worker, Environment& wenv,
+                               JoinLambdas* jl)>& compile_worker,
       const std::function<Status(Evaluator& worker, Environment& wenv,
-                                 const Value& x,
+                                 const Value& x, JoinLambdas& jl,
                                  std::vector<const Value*>* matches)>&
           probe_one);
 
   /// Shared per-left-tuple result assembly for the join family: given
   /// the matching right tuples (post-residual), appends the appropriate
-  /// output to `out`. Used by the hash/sort-merge/index variants.
+  /// output to `out`. Used by the hash/sort-merge/index variants. The
+  /// nestjoin inner function runs compiled when `inner` is ok.
   Status EmitJoinResult(const Expr& e, const Value& x,
                         const std::vector<const Value*>& matches,
-                        Environment& env, std::vector<Value>* out);
+                        Environment& env, std::vector<Value>* out,
+                        CompiledLambda* inner = nullptr);
 
   Result<Value> TableValue(const std::string& name);
 

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "adl/analysis.h"
+#include "exec/compile.h"
 #include "exec/equi_join.h"
 #include "exec/eval.h"
 #include "storage/index.h"
@@ -17,7 +18,8 @@ namespace n2j {
 
 Status Evaluator::EmitJoinResult(const Expr& e, const Value& x,
                                  const std::vector<const Value*>& matches,
-                                 Environment& env, std::vector<Value>* out) {
+                                 Environment& env, std::vector<Value>* out,
+                                 CompiledLambda* inner) {
   switch (e.kind()) {
     case ExprKind::kJoin:
       for (const Value* y : matches) {
@@ -41,18 +43,28 @@ Status Evaluator::EmitJoinResult(const Expr& e, const Value& x,
       }
       std::vector<Value> group;
       group.reserve(matches.size());
-      env.Push(e.var(), x);
-      for (const Value* y : matches) {
-        env.Push(e.var2(), *y);
-        Result<Value> iv = EvalNode(*e.inner(), env);
-        env.Pop();
-        if (!iv.ok()) {
-          env.Pop();
-          return iv.status();
+      if (inner != nullptr && inner->ok()) {
+        for (const Value* y : matches) {
+          Value* iv = inner->Run(x, *y);
+          if (iv == nullptr) return inner->status();
+          group.push_back(std::move(*iv));
         }
-        group.push_back(std::move(iv).value());
+      } else {
+        bool count_fallback = inner != nullptr && inner->fallback();
+        env.Push(e.var(), x);
+        for (const Value* y : matches) {
+          if (count_fallback) ++stats_.interp_fallback_evals;
+          env.Push(e.var2(), *y);
+          Result<Value> iv = EvalNode(*e.inner(), env);
+          env.Pop();
+          if (!iv.ok()) {
+            env.Pop();
+            return iv.status();
+          }
+          group.push_back(std::move(iv).value());
+        }
+        env.Pop();
       }
-      env.Pop();
       const TupleShape* shape = x.tuple_shape()->ExtendedWith(e.name());
       std::vector<Value> values = x.tuple_values();
       values.push_back(Value::Set(std::move(group)));
@@ -97,36 +109,91 @@ Result<Value> Evaluator::HashJoin(const Expr& e, const Value& l,
     return ParallelHashJoin(e, l, r, env, keys);
   }
 
+  ExprPtr residual = Expr::AndAll(keys.residual);
+  bool trivial_residual = keys.residual.empty();
+  JoinLambdas jl;
+  if (opts_.compiled) {
+    if (r.set_size() > 0) {
+      jl.right_key.CompileKey(*this, keys.right_keys, e.var2(), env,
+                              FirstElemShape(r));
+    }
+    if (l.set_size() > 0) {
+      jl.left_key.CompileKey(*this, keys.left_keys, e.var(), env,
+                             FirstElemShape(l));
+      if (!trivial_residual) {
+        jl.residual.Compile(*this, *residual, {e.var(), e.var2()}, env,
+                            FirstElemShape(l));
+      }
+      if (e.kind() == ExprKind::kNestJoin) {
+        jl.inner.Compile(*this, *e.inner(), {e.var(), e.var2()}, env,
+                         FirstElemShape(l));
+      }
+    }
+  }
+
   // Build phase over the right operand.
   std::unordered_map<Value, std::vector<const Value*>, ValueHash> table;
   table.reserve(r.set_size());
   for (const Value& y : r.elements()) {
     ++stats_.tuples_scanned;
-    N2J_ASSIGN_OR_RETURN(
-        Value key, EvalKeyTuple(this, keys.right_keys, e.var2(), y, env));
+    Value key;
+    if (jl.right_key.ok()) {
+      Value* k = jl.right_key.Run(y);
+      if (k == nullptr) return jl.right_key.status();
+      key = std::move(*k);
+    } else {
+      if (jl.right_key.fallback()) ++stats_.interp_fallback_evals;
+      N2J_ASSIGN_OR_RETURN(
+          key, EvalKeyTuple(this, keys.right_keys, e.var2(), y, env));
+    }
     ++stats_.hash_inserts;
     table[std::move(key)].push_back(&y);
   }
 
-  // Probe phase over the left operand.
+  // Probe phase over the left operand. When the residual is trivial the
+  // bucket is passed to EmitJoinResult by pointer — no per-probe copy of
+  // the match vector.
   std::vector<Value> out;
-  ExprPtr residual = Expr::AndAll(keys.residual);
-  bool trivial_residual = keys.residual.empty();
+  const std::vector<const Value*> no_matches;
+  std::vector<const Value*> filtered;
   for (const Value& x : l.elements()) {
     ++stats_.tuples_scanned;
-    N2J_ASSIGN_OR_RETURN(
-        Value key, EvalKeyTuple(this, keys.left_keys, e.var(), x, env));
+    Value key;
+    if (jl.left_key.ok()) {
+      Value* k = jl.left_key.Run(x);
+      if (k == nullptr) return jl.left_key.status();
+      key = std::move(*k);
+    } else {
+      if (jl.left_key.fallback()) ++stats_.interp_fallback_evals;
+      N2J_ASSIGN_OR_RETURN(
+          key, EvalKeyTuple(this, keys.left_keys, e.var(), x, env));
+    }
     ++stats_.hash_probes;
     auto it = table.find(key);
 
-    std::vector<const Value*> matches;
+    const std::vector<const Value*>* matches = &no_matches;
     if (it != table.end()) {
       if (trivial_residual) {
-        matches = it->second;
+        matches = &it->second;
+      } else if (jl.residual.ok()) {
+        filtered.clear();
+        for (const Value* y : it->second) {
+          ++stats_.predicate_evals;
+          Value* p = jl.residual.Run(x, *y);
+          if (p == nullptr) return jl.residual.status();
+          if (!p->is_bool()) {
+            return Status::RuntimeError("join residual not boolean");
+          }
+          if (p->bool_value()) filtered.push_back(y);
+        }
+        matches = &filtered;
       } else {
+        filtered.clear();
+        bool count_fallback = jl.residual.fallback();
         env.Push(e.var(), x);
         for (const Value* y : it->second) {
           ++stats_.predicate_evals;
+          if (count_fallback) ++stats_.interp_fallback_evals;
           env.Push(e.var2(), *y);
           Result<Value> p = EvalNode(*residual, env);
           env.Pop();
@@ -138,12 +205,14 @@ Result<Value> Evaluator::HashJoin(const Expr& e, const Value& l,
             env.Pop();
             return Status::RuntimeError("join residual not boolean");
           }
-          if (p->bool_value()) matches.push_back(y);
+          if (p->bool_value()) filtered.push_back(y);
         }
         env.Pop();
+        matches = &filtered;
       }
     }
-    N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out));
+    N2J_RETURN_IF_ERROR(
+        EmitJoinResult(e, x, *matches, env, &out, &jl.inner));
   }
   return Value::Set(std::move(out));
 }
@@ -172,6 +241,37 @@ Result<Value> Evaluator::ParallelHashJoin(const Expr& e, const Value& l,
   std::vector<std::unique_ptr<Evaluator>> workers = ForkWorkers(num_workers);
   std::vector<Environment> envs(static_cast<size_t>(num_workers), env);
 
+  // One JoinLambdas per worker frame: programs own mutable register
+  // frames and inline caches, so they are never shared across threads.
+  // Compilation happens on the coordinating thread before any morsel
+  // runs (compile touches the worker's table cache).
+  ExprPtr residual = Expr::AndAll(keys.residual);
+  bool trivial_residual = keys.residual.empty();
+  std::vector<JoinLambdas> jls(static_cast<size_t>(num_workers));
+  if (opts_.compiled) {
+    for (int w = 0; w < num_workers; ++w) {
+      JoinLambdas& jl = jls[static_cast<size_t>(w)];
+      Evaluator& ev = *workers[static_cast<size_t>(w)];
+      Environment& wenv = envs[static_cast<size_t>(w)];
+      if (r.set_size() > 0) {
+        jl.right_key.CompileKey(ev, keys.right_keys, e.var2(), wenv,
+                                FirstElemShape(r));
+      }
+      if (l.set_size() > 0) {
+        jl.left_key.CompileKey(ev, keys.left_keys, e.var(), wenv,
+                               FirstElemShape(l));
+        if (!trivial_residual) {
+          jl.residual.Compile(ev, *residual, {e.var(), e.var2()}, wenv,
+                              FirstElemShape(l));
+        }
+        if (e.kind() == ExprKind::kNestJoin) {
+          jl.inner.Compile(ev, *e.inner(), {e.var(), e.var2()}, wenv,
+                           FirstElemShape(l));
+        }
+      }
+    }
+  }
+
   // Pass 1: evaluate build keys (and their partitions) slot-per-element.
   const size_t num_partitions = static_cast<size_t>(num_workers);
   std::vector<Value> build_keys(build.size());
@@ -181,14 +281,24 @@ Result<Value> Evaluator::ParallelHashJoin(const Expr& e, const Value& l,
       NumMorsels(build.size(), build_morsel), [&](int w, size_t m) -> Status {
         Evaluator& ev = *workers[static_cast<size_t>(w)];
         Environment& wenv = envs[static_cast<size_t>(w)];
+        JoinLambdas& jl = jls[static_cast<size_t>(w)];
         MorselRange range = MorselAt(build.size(), build_morsel, m);
         for (size_t i = range.begin; i < range.end; ++i) {
           ++ev.stats_.tuples_scanned;
-          Result<Value> key = EvalKeyTuple(&ev, keys.right_keys, e.var2(),
-                                           build[i], wenv);
-          if (!key.ok()) return key.status();
-          partition_of[i] = key->Hash() % num_partitions;
-          build_keys[i] = std::move(*key);
+          Value key;
+          if (jl.right_key.ok()) {
+            Value* k = jl.right_key.Run(build[i]);
+            if (k == nullptr) return jl.right_key.status();
+            key = std::move(*k);
+          } else {
+            if (jl.right_key.fallback()) ++ev.stats_.interp_fallback_evals;
+            Result<Value> kr = EvalKeyTuple(&ev, keys.right_keys, e.var2(),
+                                            build[i], wenv);
+            if (!kr.ok()) return kr.status();
+            key = std::move(*kr);
+          }
+          partition_of[i] = key.Hash() % num_partitions;
+          build_keys[i] = std::move(key);
         }
         return Status::OK();
       });
@@ -217,33 +327,57 @@ Result<Value> Evaluator::ParallelHashJoin(const Expr& e, const Value& l,
   }
 
   // Pass 3: probe morsels, each with its own output slot.
-  ExprPtr residual = Expr::AndAll(keys.residual);
-  bool trivial_residual = keys.residual.empty();
   size_t probe_morsel = PickMorselSize(probe.size(), num_workers);
   size_t num_morsels = NumMorsels(probe.size(), probe_morsel);
   std::vector<std::vector<Value>> outs(num_morsels);
   s = tp.RunMorsels(num_morsels, [&](int w, size_t m) -> Status {
     Evaluator& ev = *workers[static_cast<size_t>(w)];
     Environment& wenv = envs[static_cast<size_t>(w)];
+    JoinLambdas& jl = jls[static_cast<size_t>(w)];
     MorselRange range = MorselAt(probe.size(), probe_morsel, m);
+    const std::vector<const Value*> no_matches;
+    std::vector<const Value*> filtered;
     for (size_t i = range.begin; i < range.end; ++i) {
       const Value& x = probe[i];
       ++ev.stats_.tuples_scanned;
-      Result<Value> key =
-          EvalKeyTuple(&ev, keys.left_keys, e.var(), x, wenv);
-      if (!key.ok()) return key.status();
+      Value key;
+      if (jl.left_key.ok()) {
+        Value* k = jl.left_key.Run(x);
+        if (k == nullptr) return jl.left_key.status();
+        key = std::move(*k);
+      } else {
+        if (jl.left_key.fallback()) ++ev.stats_.interp_fallback_evals;
+        Result<Value> kr = EvalKeyTuple(&ev, keys.left_keys, e.var(), x, wenv);
+        if (!kr.ok()) return kr.status();
+        key = std::move(*kr);
+      }
       ++ev.stats_.hash_probes;
-      const auto& table = tables[key->Hash() % num_partitions];
-      auto it = table.find(*key);
+      const auto& table = tables[key.Hash() % num_partitions];
+      auto it = table.find(key);
 
-      std::vector<const Value*> matches;
+      const std::vector<const Value*>* matches = &no_matches;
       if (it != table.end()) {
         if (trivial_residual) {
-          matches = it->second;
+          matches = &it->second;
+        } else if (jl.residual.ok()) {
+          filtered.clear();
+          for (const Value* y : it->second) {
+            ++ev.stats_.predicate_evals;
+            Value* p = jl.residual.Run(x, *y);
+            if (p == nullptr) return jl.residual.status();
+            if (!p->is_bool()) {
+              return Status::RuntimeError("join residual not boolean");
+            }
+            if (p->bool_value()) filtered.push_back(y);
+          }
+          matches = &filtered;
         } else {
+          filtered.clear();
+          bool count_fallback = jl.residual.fallback();
           wenv.Push(e.var(), x);
           for (const Value* y : it->second) {
             ++ev.stats_.predicate_evals;
+            if (count_fallback) ++ev.stats_.interp_fallback_evals;
             wenv.Push(e.var2(), *y);
             Result<Value> p = ev.EvalNode(*residual, wenv);
             wenv.Pop();
@@ -255,12 +389,14 @@ Result<Value> Evaluator::ParallelHashJoin(const Expr& e, const Value& l,
               wenv.Pop();
               return Status::RuntimeError("join residual not boolean");
             }
-            if (p->bool_value()) matches.push_back(y);
+            if (p->bool_value()) filtered.push_back(y);
           }
           wenv.Pop();
+          matches = &filtered;
         }
       }
-      N2J_RETURN_IF_ERROR(ev.EmitJoinResult(e, x, matches, wenv, &outs[m]));
+      N2J_RETURN_IF_ERROR(
+          ev.EmitJoinResult(e, x, *matches, wenv, &outs[m], &jl.inner));
     }
     return Status::OK();
   });
@@ -307,40 +443,67 @@ Result<Value> Evaluator::IndexJoin(const Expr& e, const Value& l,
   std::vector<Value> out;
   ExprPtr residual = Expr::AndAll(keys.residual);
   bool trivial_residual = keys.residual.empty();
+  JoinLambdas jl;
+  if (opts_.compiled && l.set_size() > 0) {
+    jl.left_key.CompileKey(*this, keys.left_keys, e.var(), env,
+                           FirstElemShape(l));
+    if (!trivial_residual) {
+      jl.residual.Compile(*this, *residual, {e.var(), e.var2()}, env,
+                          FirstElemShape(l));
+    }
+    if (e.kind() == ExprKind::kNestJoin) {
+      jl.inner.Compile(*this, *e.inner(), {e.var(), e.var2()}, env,
+                       FirstElemShape(l));
+    }
+  }
   for (const Value& x : l.elements()) {
     ++stats_.tuples_scanned;
-    env.Push(e.var(), x);
-    Result<Value> key = EvalNode(*keys.left_keys[0], env);
-    if (!key.ok()) {
+    Value key;
+    if (jl.left_key.ok()) {
+      Value* k = jl.left_key.Run(x);
+      if (k == nullptr) return jl.left_key.status();
+      key = std::move(*k);
+    } else {
+      if (jl.left_key.fallback()) ++stats_.interp_fallback_evals;
+      env.Push(e.var(), x);
+      Result<Value> kr = EvalNode(*keys.left_keys[0], env);
       env.Pop();
-      return key.status();
+      if (!kr.ok()) return kr.status();
+      key = std::move(*kr);
     }
     ++stats_.index_probes;
-    const std::vector<size_t>* rows = index->Lookup(*key);
+    const std::vector<size_t>* rows = index->Lookup(key);
     std::vector<const Value*> matches;
     if (rows != nullptr) {
       for (size_t row : *rows) {
         const Value& y = table->rows()[row];
         if (!trivial_residual) {
           ++stats_.predicate_evals;
-          env.Push(e.var2(), y);
-          Result<Value> p = EvalNode(*residual, env);
-          env.Pop();
-          if (!p.ok()) {
+          if (jl.residual.ok()) {
+            Value* p = jl.residual.Run(x, y);
+            if (p == nullptr) return jl.residual.status();
+            if (!p->is_bool()) {
+              return Status::RuntimeError("join residual not boolean");
+            }
+            if (!p->bool_value()) continue;
+          } else {
+            if (jl.residual.fallback()) ++stats_.interp_fallback_evals;
+            env.Push(e.var(), x);
+            env.Push(e.var2(), y);
+            Result<Value> p = EvalNode(*residual, env);
             env.Pop();
-            return p.status();
-          }
-          if (!p->is_bool()) {
             env.Pop();
-            return Status::RuntimeError("join residual not boolean");
+            if (!p.ok()) return p.status();
+            if (!p->is_bool()) {
+              return Status::RuntimeError("join residual not boolean");
+            }
+            if (!p->bool_value()) continue;
           }
-          if (!p->bool_value()) continue;
         }
         matches.push_back(&y);
       }
     }
-    env.Pop();
-    N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out));
+    N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out, &jl.inner));
   }
   return Value::Set(std::move(out));
 }

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "adl/analysis.h"
+#include "exec/compile.h"
 #include "exec/eval.h"
 
 namespace n2j {
@@ -98,27 +99,72 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
     return Status::Unsupported("no membership conjunct");
   }
 
-  // Build: f(y) → matching right tuples.
+  // Build: f(y) → matching right tuples. The build side runs on this
+  // evaluator (serial even under morsel parallelism).
+  CompiledLambda build_key;
+  if (opts_.compiled && r.set_size() > 0) {
+    build_key.Compile(*this, *key.right_key, {e.var2()}, env,
+                      FirstElemShape(r));
+  }
   std::unordered_map<Value, std::vector<const Value*>, ValueHash> table;
   table.reserve(r.set_size());
   for (const Value& y : r.elements()) {
     ++stats_.tuples_scanned;
-    env.Push(e.var2(), y);
-    Result<Value> kv = EvalNode(*key.right_key, env);
-    env.Pop();
-    if (!kv.ok()) return kv.status();
+    Value kv;
+    if (build_key.ok()) {
+      Value* k = build_key.Run(y);
+      if (k == nullptr) return build_key.status();
+      kv = std::move(*k);
+    } else {
+      if (build_key.fallback()) ++stats_.interp_fallback_evals;
+      env.Push(e.var2(), y);
+      Result<Value> kr = EvalNode(*key.right_key, env);
+      env.Pop();
+      if (!kr.ok()) return kr.status();
+      kv = std::move(*kr);
+    }
     ++stats_.hash_inserts;
-    table[std::move(*kv)].push_back(&y);
+    table[std::move(kv)].push_back(&y);
   }
 
   ExprPtr residual = Expr::AndAll(residual_conjuncts);
   bool trivial_residual = residual_conjuncts.empty();
+
+  // Probe-side element shape: the elements of the first left tuple's
+  // set attribute seed the element-key program's inline caches.
+  const TupleShape* elem_shape = nullptr;
+  if (l.set_size() > 0) {
+    const Value& x0 = l.elements()[0];
+    if (x0.is_tuple()) {
+      const Value* a = x0.FindField(key.attr);
+      if (a != nullptr && a->is_set()) elem_shape = FirstElemShape(*a);
+    }
+  }
+  // Compiles one worker frame's probe-side lambdas; also invoked for
+  // the serial path (with this evaluator as the single "worker").
+  auto compile_probe = [&](Evaluator& ev, Environment& wenv,
+                           JoinLambdas* jl) {
+    if (!opts_.compiled || l.set_size() == 0) return;
+    if (key.elem_key != nullptr) {
+      jl->elem_key.Compile(ev, *key.elem_key, {key.elem_var}, wenv,
+                           elem_shape);
+    }
+    if (!trivial_residual) {
+      jl->residual.Compile(ev, *residual, {e.var(), e.var2()}, wenv,
+                           FirstElemShape(l));
+    }
+    if (e.kind() == ExprKind::kNestJoin) {
+      jl->inner.Compile(ev, *e.inner(), {e.var(), e.var2()}, wenv,
+                        FirstElemShape(l));
+    }
+  };
 
   // Matches for one left tuple: probe the (shared, read-only) table once
   // per set element under the given worker evaluator. With an element
   // key k(v), two distinct elements can share a key, so right tuples are
   // deduplicated.
   auto probe_one = [&](Evaluator& ev, Environment& wenv, const Value& x,
+                       JoinLambdas& jl,
                        std::vector<const Value*>* matches) -> Status {
     if (!x.is_tuple()) {
       return Status::RuntimeError("join element not a tuple");
@@ -134,14 +180,24 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
       ++ev.stats_.hash_probes;
       Value probe = elem;
       if (key.elem_key != nullptr) {
-        wenv.Push(key.elem_var, elem);
-        Result<Value> kv = ev.EvalNode(*key.elem_key, wenv);
-        wenv.Pop();
-        if (!kv.ok()) {
+        if (jl.elem_key.ok()) {
+          Value* kv = jl.elem_key.Run(elem);
+          if (kv == nullptr) {
+            wenv.Pop();
+            return jl.elem_key.status();
+          }
+          probe = std::move(*kv);
+        } else {
+          if (jl.elem_key.fallback()) ++ev.stats_.interp_fallback_evals;
+          wenv.Push(key.elem_var, elem);
+          Result<Value> kv = ev.EvalNode(*key.elem_key, wenv);
           wenv.Pop();
-          return kv.status();
+          if (!kv.ok()) {
+            wenv.Pop();
+            return kv.status();
+          }
+          probe = std::move(*kv);
         }
-        probe = std::move(*kv);
       }
       auto it = table.find(probe);
       if (it == table.end()) continue;
@@ -152,18 +208,32 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
         }
         if (!trivial_residual) {
           ++ev.stats_.predicate_evals;
-          wenv.Push(e.var2(), *y);
-          Result<Value> p = ev.EvalNode(*residual, wenv);
-          wenv.Pop();
-          if (!p.ok()) {
+          if (jl.residual.ok()) {
+            Value* p = jl.residual.Run(x, *y);
+            if (p == nullptr) {
+              wenv.Pop();
+              return jl.residual.status();
+            }
+            if (!p->is_bool()) {
+              wenv.Pop();
+              return Status::RuntimeError("join residual not boolean");
+            }
+            if (!p->bool_value()) continue;
+          } else {
+            if (jl.residual.fallback()) ++ev.stats_.interp_fallback_evals;
+            wenv.Push(e.var2(), *y);
+            Result<Value> p = ev.EvalNode(*residual, wenv);
             wenv.Pop();
-            return p.status();
+            if (!p.ok()) {
+              wenv.Pop();
+              return p.status();
+            }
+            if (!p->is_bool()) {
+              wenv.Pop();
+              return Status::RuntimeError("join residual not boolean");
+            }
+            if (!p->bool_value()) continue;
           }
-          if (!p->is_bool()) {
-            wenv.Pop();
-            return Status::RuntimeError("join residual not boolean");
-          }
-          if (!p->bool_value()) continue;
         }
         matches->push_back(y);
       }
@@ -173,15 +243,17 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
   };
 
   if (opts_.num_threads > 1 && l.set_size() > 1) {
-    return ParallelMembershipProbe(e, l, env, probe_one);
+    return ParallelMembershipProbe(e, l, env, compile_probe, probe_one);
   }
 
+  JoinLambdas jl;
+  compile_probe(*this, env, &jl);
   std::vector<Value> out;
   for (const Value& x : l.elements()) {
     ++stats_.tuples_scanned;
     std::vector<const Value*> matches;
-    N2J_RETURN_IF_ERROR(probe_one(*this, env, x, &matches));
-    N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out));
+    N2J_RETURN_IF_ERROR(probe_one(*this, env, x, jl, &matches));
+    N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out, &jl.inner));
   }
   return Value::Set(std::move(out));
 }
@@ -191,8 +263,10 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
 // and emits into its own output slot, concatenated in morsel order.
 Result<Value> Evaluator::ParallelMembershipProbe(
     const Expr& e, const Value& l, Environment& env,
+    const std::function<void(Evaluator& worker, Environment& wenv,
+                             JoinLambdas* jl)>& compile_worker,
     const std::function<Status(Evaluator& worker, Environment& wenv,
-                               const Value& x,
+                               const Value& x, JoinLambdas& jl,
                                std::vector<const Value*>* matches)>&
         probe_one) {
   const std::vector<Value>& probe = l.elements();
@@ -200,6 +274,14 @@ Result<Value> Evaluator::ParallelMembershipProbe(
   const int num_workers = tp.num_workers();
   std::vector<std::unique_ptr<Evaluator>> workers = ForkWorkers(num_workers);
   std::vector<Environment> envs(static_cast<size_t>(num_workers), env);
+  // Per-worker compiled frames (register frames and inline caches are
+  // single-consumer), built on the coordinating thread.
+  std::vector<JoinLambdas> jls(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    compile_worker(*workers[static_cast<size_t>(w)],
+                   envs[static_cast<size_t>(w)],
+                   &jls[static_cast<size_t>(w)]);
+  }
 
   size_t morsel_size = PickMorselSize(probe.size(), num_workers);
   size_t num_morsels = NumMorsels(probe.size(), morsel_size);
@@ -207,13 +289,15 @@ Result<Value> Evaluator::ParallelMembershipProbe(
   Status s = tp.RunMorsels(num_morsels, [&](int w, size_t m) -> Status {
     Evaluator& ev = *workers[static_cast<size_t>(w)];
     Environment& wenv = envs[static_cast<size_t>(w)];
+    JoinLambdas& jl = jls[static_cast<size_t>(w)];
     MorselRange range = MorselAt(probe.size(), morsel_size, m);
     for (size_t i = range.begin; i < range.end; ++i) {
       const Value& x = probe[i];
       ++ev.stats_.tuples_scanned;
       std::vector<const Value*> matches;
-      N2J_RETURN_IF_ERROR(probe_one(ev, wenv, x, &matches));
-      N2J_RETURN_IF_ERROR(ev.EmitJoinResult(e, x, matches, wenv, &outs[m]));
+      N2J_RETURN_IF_ERROR(probe_one(ev, wenv, x, jl, &matches));
+      N2J_RETURN_IF_ERROR(
+          ev.EmitJoinResult(e, x, matches, wenv, &outs[m], &jl.inner));
     }
     return Status::OK();
   });

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "adl/analysis.h"
+#include "exec/compile.h"
 #include "exec/equi_join.h"
 #include "exec/eval.h"
 
@@ -29,12 +30,42 @@ Result<Value> Evaluator::SortMergeJoin(const Expr& e, const Value& l,
     return Status::Unsupported("no equi keys in join predicate");
   }
 
+  ExprPtr residual = Expr::AndAll(keys.residual);
+  bool trivial_residual = keys.residual.empty();
+  JoinLambdas jl;
+  if (opts_.compiled) {
+    if (r.set_size() > 0) {
+      jl.right_key.CompileKey(*this, keys.right_keys, e.var2(), env,
+                              FirstElemShape(r));
+    }
+    if (l.set_size() > 0) {
+      jl.left_key.CompileKey(*this, keys.left_keys, e.var(), env,
+                             FirstElemShape(l));
+      if (!trivial_residual) {
+        jl.residual.Compile(*this, *residual, {e.var(), e.var2()}, env,
+                            FirstElemShape(l));
+      }
+      if (e.kind() == ExprKind::kNestJoin) {
+        jl.inner.Compile(*this, *e.inner(), {e.var(), e.var2()}, env,
+                         FirstElemShape(l));
+      }
+    }
+  }
+
   auto build_keyed = [&](const Value& operand, const std::string& var,
                          const std::vector<ExprPtr>& key_exprs,
+                         CompiledLambda& key_cl,
                          std::vector<Keyed>* out) -> Status {
     out->reserve(operand.set_size());
     for (const Value& row : operand.elements()) {
       ++stats_.tuples_scanned;
+      if (key_cl.ok()) {
+        Value* k = key_cl.Run(row);
+        if (k == nullptr) return key_cl.status();
+        out->push_back({std::move(*k), &row});
+        continue;
+      }
+      if (key_cl.fallback()) ++stats_.interp_fallback_evals;
       env.Push(var, row);
       std::vector<Value> parts;
       parts.reserve(key_exprs.size());
@@ -59,11 +90,10 @@ Result<Value> Evaluator::SortMergeJoin(const Expr& e, const Value& l,
 
   std::vector<Keyed> left;
   std::vector<Keyed> right;
-  N2J_RETURN_IF_ERROR(build_keyed(l, e.var(), keys.left_keys, &left));
-  N2J_RETURN_IF_ERROR(build_keyed(r, e.var2(), keys.right_keys, &right));
-
-  ExprPtr residual = Expr::AndAll(keys.residual);
-  bool trivial_residual = keys.residual.empty();
+  N2J_RETURN_IF_ERROR(
+      build_keyed(l, e.var(), keys.left_keys, jl.left_key, &left));
+  N2J_RETURN_IF_ERROR(
+      build_keyed(r, e.var2(), keys.right_keys, jl.right_key, &right));
 
   std::vector<Value> out;
   size_t i = 0;
@@ -93,10 +123,22 @@ Result<Value> Evaluator::SortMergeJoin(const Expr& e, const Value& l,
           for (size_t k = j; k < run_end; ++k) {
             matches.push_back(right[k].row);
           }
+        } else if (jl.residual.ok()) {
+          for (size_t k = j; k < run_end; ++k) {
+            ++stats_.predicate_evals;
+            Value* p = jl.residual.Run(x, *right[k].row);
+            if (p == nullptr) return jl.residual.status();
+            if (!p->is_bool()) {
+              return Status::RuntimeError("join residual not boolean");
+            }
+            if (p->bool_value()) matches.push_back(right[k].row);
+          }
         } else {
+          bool count_fallback = jl.residual.fallback();
           env.Push(e.var(), x);
           for (size_t k = j; k < run_end; ++k) {
             ++stats_.predicate_evals;
+            if (count_fallback) ++stats_.interp_fallback_evals;
             env.Push(e.var2(), *right[k].row);
             Result<Value> p = EvalNode(*residual, env);
             env.Pop();
@@ -113,7 +155,7 @@ Result<Value> Evaluator::SortMergeJoin(const Expr& e, const Value& l,
           env.Pop();
         }
       }
-      N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out));
+      N2J_RETURN_IF_ERROR(EmitJoinResult(e, x, matches, env, &out, &jl.inner));
       ++i;
     }
     j = run_end;

@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "exec/bytecode.h"
 
 namespace n2j {
 
@@ -81,10 +82,17 @@ Result<Value> PnhlJoin(const Value& outer, const Value& inner,
   auto run_segment = [&](size_t s) -> Status {
     const auto& [seg_begin, seg_end] = segments[s];
     PnhlStats& sst = seg_stats[s];
+    // One-entry field caches (bytecode.h): rows of one operand share an
+    // interned shape, so the name lookup resolves to an index once per
+    // shape instead of once per row. Per-segment, so each parallel task
+    // owns its cursors.
+    FieldCursor inner_key_at;
+    FieldCursor set_attr_at;
+    FieldCursor elem_key_at;
     std::unordered_map<Value, std::vector<size_t>, ValueHash> table;
     table.reserve(seg_end - seg_begin);
     for (size_t i = seg_begin; i < seg_end; ++i) {
-      const Value* key = build[i].FindField(params.inner_key);
+      const Value* key = inner_key_at.Find(build[i], params.inner_key);
       if (key == nullptr) {
         return Status::InvalidArgument("inner tuples need key field '" +
                                        params.inner_key + "'");
@@ -96,13 +104,13 @@ Result<Value> PnhlJoin(const Value& outer, const Value& inner,
     // segment, producing partial results that are merged positionally.
     for (size_t xi = 0; xi < xs.size(); ++xi) {
       ++sst.probe_tuples;
-      const Value& attr = *xs[xi].FindField(params.set_attr);
+      const Value& attr = *set_attr_at.Find(xs[xi], params.set_attr);
       for (const Value& e : attr.elements()) {
         ++sst.probe_elements;
         if (!e.is_tuple()) {
           return Status::InvalidArgument("set element is not a tuple");
         }
-        const Value* key = e.FindField(params.elem_key);
+        const Value* key = elem_key_at.Find(e, params.elem_key);
         if (key == nullptr) {
           return Status::InvalidArgument("set elements need key field '" +
                                          params.elem_key + "'");
@@ -230,19 +238,22 @@ Result<Value> NestedLoopSetJoin(const Value& outer, const Value& inner,
 
   std::vector<Value> out;
   out.reserve(outer.set_size());
+  FieldCursor set_attr_at;
+  FieldCursor elem_key_at;
+  FieldCursor inner_key_at;
   for (const Value& x : outer.elements()) {
     ++st.probe_tuples;
-    const Value& attr = *x.FindField(params.set_attr);
+    const Value& attr = *set_attr_at.Find(x, params.set_attr);
     std::vector<Value> joined;
     for (const Value& e : attr.elements()) {
       ++st.probe_elements;
-      const Value* ekey = e.FindField(params.elem_key);
+      const Value* ekey = elem_key_at.Find(e, params.elem_key);
       if (ekey == nullptr) {
         return Status::InvalidArgument("set elements need key field '" +
                                        params.elem_key + "'");
       }
       for (const Value& t : inner.elements()) {
-        const Value* tkey = t.FindField(params.inner_key);
+        const Value* tkey = inner_key_at.Find(t, params.inner_key);
         if (tkey == nullptr) {
           return Status::InvalidArgument("inner tuples need key field '" +
                                          params.inner_key + "'");

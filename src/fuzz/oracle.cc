@@ -123,6 +123,27 @@ std::vector<OracleConfig> DefaultConfigMatrix() {
     m.push_back(c);
   }
 
+  // The legacy cells above pin the tree interpreter so the compiled
+  // axis stays independently diffable; the cells below turn the
+  // bytecode engine on (EvalOptions default) and must agree with the
+  // interpreter-only oracle bit-for-bit, including error parity.
+  for (OracleConfig& c : m) c.eval.compiled = false;
+  {
+    OracleConfig c = Cell("compiled");
+    m.push_back(c);
+  }
+  {
+    OracleConfig c = Cell("compiled-mt4");
+    c.eval.num_threads = 4;
+    m.push_back(c);
+  }
+  {
+    // Compiled lambdas above a multi-segment PNHL fast path.
+    OracleConfig c = Cell("compiled-pnhl-tight-budget");
+    c.eval.pnhl_memory_budget = 256;
+    m.push_back(c);
+  }
+
   return m;
 }
 
@@ -177,10 +198,12 @@ OracleReport RunDifferentialOracle(const Database& db,
   }
   const ExprPtr& naive = typed->expr;
 
-  // The oracle: pure nested-loop evaluation of the naive translation.
+  // The oracle: pure nested-loop tree-interpreter evaluation of the
+  // naive translation — no physical joins, no PNHL, no bytecode.
   EvalOptions reference_opts;
   reference_opts.use_hash_joins = false;
   reference_opts.enable_pnhl = false;
+  reference_opts.compiled = false;
   Evaluator reference(db, reference_opts);
   Result<Value> expected = reference.Eval(naive);
 

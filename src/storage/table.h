@@ -1,6 +1,7 @@
 #ifndef N2J_STORAGE_TABLE_H_
 #define N2J_STORAGE_TABLE_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,12 @@ class Table {
   Table() = default;
   Table(std::string name, TypePtr row_type)
       : name_(std::move(name)), row_type_(std::move(row_type)) {}
+  // Movable (the Database map needs it at insertion); the memoized
+  // canonical set and its mutex stay behind.
+  Table(Table&& other) noexcept
+      : name_(std::move(other.name_)),
+        row_type_(std::move(other.row_type_)),
+        rows_(std::move(other.rows_)) {}
 
   const std::string& name() const { return name_; }
   const TypePtr& row_type() const { return row_type_; }
@@ -27,15 +34,36 @@ class Table {
 
   /// Appends a row. The caller is responsible for type conformance
   /// (Database::Insert checks it).
-  void Append(Value row) { rows_.push_back(std::move(row)); }
+  void Append(Value row) {
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      canonical_set_ = Value();
+      has_canonical_set_ = false;
+    }
+    rows_.push_back(std::move(row));
+  }
 
-  /// All rows as a canonical set Value (sorted, deduplicated).
-  Value AsSetValue() const { return Value::Set(rows_); }
+  /// All rows as a canonical set Value (sorted, deduplicated). Memoized:
+  /// the sort runs once per load, not once per query — the returned
+  /// Value shares the cached payload. Guarded by a mutex because
+  /// concurrent read-only queries (one Evaluator per worker) resolve
+  /// tables through here.
+  Value AsSetValue() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!has_canonical_set_) {
+      canonical_set_ = Value::Set(rows_);
+      has_canonical_set_ = true;
+    }
+    return canonical_set_;
+  }
 
  private:
   std::string name_;
   TypePtr row_type_;
   std::vector<Value> rows_;
+  mutable std::mutex cache_mu_;
+  mutable Value canonical_set_;
+  mutable bool has_canonical_set_ = false;
 };
 
 }  // namespace n2j

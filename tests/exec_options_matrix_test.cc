@@ -56,16 +56,19 @@ TEST_P(ExecOptionsMatrixTest, AllOptionCombinationsAgree) {
       for (bool pnhl : {false, true}) {
         for (size_t budget : {SIZE_MAX, size_t{512}}) {
           for (int threads : {1, 4}) {
-            EvalOptions opts;
-            opts.join_algorithm = algo;
-            opts.enable_pnhl = pnhl;
-            opts.pnhl_memory_budget = budget;
-            opts.num_threads = threads;
-            Value actual = EvalExpr(*db, plan, opts);
-            ASSERT_EQ(expected, actual)
-                << q << "\nalgo=" << static_cast<int>(algo)
-                << " pnhl=" << pnhl << " budget=" << budget
-                << " threads=" << threads;
+            for (bool compiled : {false, true}) {
+              EvalOptions opts;
+              opts.join_algorithm = algo;
+              opts.enable_pnhl = pnhl;
+              opts.pnhl_memory_budget = budget;
+              opts.num_threads = threads;
+              opts.compiled = compiled;
+              Value actual = EvalExpr(*db, plan, opts);
+              ASSERT_EQ(expected, actual)
+                  << q << "\nalgo=" << static_cast<int>(algo)
+                  << " pnhl=" << pnhl << " budget=" << budget
+                  << " threads=" << threads << " compiled=" << compiled;
+            }
           }
         }
       }
@@ -88,21 +91,26 @@ TEST_P(ExecOptionsMatrixTest, ParallelStatsMatchSerial) {
     ExprPtr naive = TranslateOrDie(*db, q);
     ExprPtr plan = RewriteExpr(*db, naive).expr;
 
-    EvalOptions serial_opts;
-    Evaluator serial(*db, serial_opts);
-    Result<Value> sv = serial.Eval(plan);
-    ASSERT_TRUE(sv.ok()) << q;
+    for (bool compiled : {false, true}) {
+      EvalOptions serial_opts;
+      serial_opts.compiled = compiled;
+      Evaluator serial(*db, serial_opts);
+      Result<Value> sv = serial.Eval(plan);
+      ASSERT_TRUE(sv.ok()) << q;
 
-    EvalOptions mt_opts;
-    mt_opts.num_threads = 4;
-    Evaluator mt(*db, mt_opts);
-    Result<Value> mv = mt.Eval(plan);
-    ASSERT_TRUE(mv.ok()) << q;
+      EvalOptions mt_opts;
+      mt_opts.num_threads = 4;
+      mt_opts.compiled = compiled;
+      Evaluator mt(*db, mt_opts);
+      Result<Value> mv = mt.Eval(plan);
+      ASSERT_TRUE(mv.ok()) << q;
 
-    ASSERT_EQ(*sv, *mv) << q;
-    EXPECT_EQ(serial.stats(), mt.stats())
-        << q << "\nserial: " << serial.stats().ToString()
-        << "\n4-thread: " << mt.stats().ToString();
+      ASSERT_EQ(*sv, *mv) << q;
+      EXPECT_EQ(serial.stats(), mt.stats())
+          << q << " compiled=" << compiled
+          << "\nserial: " << serial.stats().ToString()
+          << "\n4-thread: " << mt.stats().ToString();
+    }
   }
 }
 
