@@ -98,6 +98,20 @@ void Sweep(bench::Trajectory* traj) {
       "the nestjoin builds one hash table on Y and probes each x once.\n");
 }
 
+// Trace-on pass for the JSON operator profile (the timed loops above
+// stay untraced). The 4-thread nestjoin plan also emits the Chrome
+// trace when --trace=<path> was given.
+void ProfileRuns(bench::Trajectory* traj) {
+  auto db = MakeDb(800, 5);
+  ExprPtr q = Fig1Query();
+  ExprPtr plan = MustRewrite(*db, q).expr;
+  bench::ProfileOnce(traj, *db, q, "fig1-profile", "nested", 800);
+  EvalOptions mt;
+  mt.num_threads = 4;
+  bench::ProfileOnce(traj, *db, plan, "fig1-profile", "nestjoin-4t", 800,
+                     mt, /*write_chrome_trace=*/true);
+}
+
 void BM_Fig1NestedLoop(benchmark::State& state) {
   auto db = MakeDb(static_cast<int>(state.range(0)), 5);
   ExprPtr q = Fig1Query();
@@ -119,6 +133,7 @@ int main(int argc, char** argv) {
   n2j::bench::Trajectory traj("fig1_nested_query", &argc, argv);
   n2j::Walkthrough();
   n2j::Sweep(&traj);
+  n2j::ProfileRuns(&traj);
   traj.WriteIfRequested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -121,6 +121,27 @@ void SweepThreads(const char* title, const ExprPtr& plan,
   }
 }
 
+// Separate trace-on pass: one profiled evaluation per algorithm, so the
+// JSON trajectory carries a per-operator time breakdown next to the
+// (trace-off) headline timings above. The 4-thread hash nestjoin run
+// also emits the Chrome trace when --trace=<path> was given — its
+// morsel timelines are the interesting part.
+void ProfileRuns(bench::Trajectory* traj) {
+  auto db = MakeDb(1024, 47);
+  const JoinAlgorithm algos[3] = {JoinAlgorithm::kHash,
+                                  JoinAlgorithm::kSortMerge,
+                                  JoinAlgorithm::kIndex};
+  const char* names[3] = {"hash", "sortmerge", "index"};
+  for (int i = 0; i < 3; ++i) {
+    bench::ProfileOnce(traj, *db, SemiJoinPlan(), "semijoin-profile",
+                       names[i], 1024, Algo(algos[i]));
+  }
+  EvalOptions mt = Algo(JoinAlgorithm::kHash);
+  mt.num_threads = 4;
+  bench::ProfileOnce(traj, *db, NestJoinPlan(), "nestjoin-profile",
+                     "hash-4t", 1024, mt, /*write_chrome_trace=*/true);
+}
+
 void BM_SemiJoin(benchmark::State& state) {
   auto db = MakeDb(512, 47);
   ExprPtr plan = SemiJoinPlan();
@@ -149,6 +170,7 @@ int main(int argc, char** argv) {
   n2j::SweepThreads(
       "Morsel-driven parallel hash nestjoin: threads 1/2/4/8",
       n2j::NestJoinPlan(), "nestjoin-threads", &traj);
+  n2j::ProfileRuns(&traj);
   std::printf(
       "\nThe index variant skips the build phase entirely (the index was\n"
       "built at load time); sort-merge pays n·log n but would win on\n"

@@ -17,6 +17,8 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "exec/eval.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
 #include "rewrite/rewriter.h"
 #include "storage/datagen.h"
 
@@ -150,15 +152,31 @@ struct TrajectoryPoint {
   EvalStats stats;
 };
 
+/// One aggregated operator line of a traced (profiled) evaluation: all
+/// spans sharing (op, detail) within one cell. Time is the *exclusive*
+/// wall time — the sum over the cell's operator lines is the cell's
+/// whole evaluation. Collected from a separate trace-on run; the
+/// trace-off wall time in TrajectoryPoint stays the headline number.
+struct OperatorProfileEntry {
+  std::string sweep;
+  std::string variant;
+  int n = 0;
+  std::string op;  // "antijoin [hash keys=1]"
+  uint64_t count = 0;
+  double exclusive_ms = 0.0;
+  uint64_t rows_out = 0;
+};
+
 /// Collects sweep points and, when the binary was invoked with
 /// --json=<path>, writes them out as a JSON document — the machine-
 /// readable trajectory CI archives next to the human-readable tables.
 /// Without the flag, recording is kept but nothing is written.
 class Trajectory {
  public:
-  /// Scans argv for --json=<path> and --mode=compiled|interp and strips
-  /// both flags so that google-benchmark's own argument parser never
-  /// sees them.
+  /// Scans argv for --json=<path>, --trace=<path> (Chrome-trace output
+  /// of the bench's representative profiled run) and
+  /// --mode=compiled|interp, stripping all three so google-benchmark's
+  /// own argument parser never sees them.
   Trajectory(std::string bench_name, int* argc, char** argv)
       : bench_(std::move(bench_name)) {
     int kept = 1;
@@ -166,6 +184,8 @@ class Trajectory {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--json=", 7) == 0) {
         path_ = arg + 7;
+      } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+        trace_path_ = arg + 8;
       } else if (std::strncmp(arg, "--mode=", 7) == 0) {
         if (std::strcmp(arg + 7, "compiled") == 0) {
           BenchCompiledMode() = true;
@@ -186,6 +206,39 @@ class Trajectory {
   void Add(const std::string& sweep, const std::string& variant, int n,
            double ms, const EvalStats& stats = EvalStats()) {
     points_.push_back(TrajectoryPoint{sweep, variant, n, ms, stats});
+  }
+
+  /// Where --trace=<path> asked the Chrome trace to go (empty = off).
+  const std::string& chrome_trace_path() const { return trace_path_; }
+
+  /// Folds one traced evaluation's span tree into per-operator lines:
+  /// spans sharing (op, detail) aggregate into count / exclusive-ms /
+  /// rows-out, first-seen order. The entries ride along in the JSON
+  /// document under "operator_profile".
+  void AddOperatorProfile(const std::string& sweep,
+                          const std::string& variant, int n,
+                          const TraceCollector& tc) {
+    std::vector<OperatorProfileEntry> local;
+    for (const TraceSpan& s : tc.spans()) {
+      std::string label = s.op;
+      if (!s.detail.empty()) label += " [" + s.detail + "]";
+      OperatorProfileEntry* entry = nullptr;
+      for (OperatorProfileEntry& e : local) {
+        if (e.op == label) {
+          entry = &e;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        local.push_back(OperatorProfileEntry{sweep, variant, n, label, 0,
+                                             0.0, 0});
+        entry = &local.back();
+      }
+      ++entry->count;
+      entry->exclusive_ms += static_cast<double>(s.exclusive_ns()) / 1e6;
+      entry->rows_out += s.rows_out;
+    }
+    profile_.insert(profile_.end(), local.begin(), local.end());
   }
 
   /// Writes the JSON file when --json=<path> was given. Aborts on I/O
@@ -211,7 +264,10 @@ class Trajectory {
           "\"hash_probes\": %llu, \"rows_sorted\": %llu, "
           "\"index_probes\": %llu, \"pnhl_partitions\": %llu, "
           "\"derefs\": %llu, \"nodes_evaluated\": %llu, "
-          "\"compiled_evals\": %llu, \"interp_fallback_evals\": %llu}}%s\n",
+          "\"compiled_evals\": %llu, \"interp_fallback_evals\": %llu, "
+          "\"joins_nested_loop\": %llu, \"joins_hash\": %llu, "
+          "\"joins_sortmerge\": %llu, \"joins_index\": %llu, "
+          "\"joins_membership\": %llu}}%s\n",
           p.sweep.c_str(), p.variant.c_str(), p.n, p.ms,
           static_cast<unsigned long long>(s.tuples_scanned),
           static_cast<unsigned long long>(s.predicate_evals),
@@ -224,19 +280,67 @@ class Trajectory {
           static_cast<unsigned long long>(s.nodes_evaluated),
           static_cast<unsigned long long>(s.compiled_evals),
           static_cast<unsigned long long>(s.interp_fallback_evals),
+          static_cast<unsigned long long>(s.joins_nested_loop),
+          static_cast<unsigned long long>(s.joins_hash),
+          static_cast<unsigned long long>(s.joins_sortmerge),
+          static_cast<unsigned long long>(s.joins_index),
+          static_cast<unsigned long long>(s.joins_membership),
           i + 1 < points_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"operator_profile\": [\n");
+    for (size_t i = 0; i < profile_.size(); ++i) {
+      const OperatorProfileEntry& e = profile_[i];
+      std::fprintf(
+          f,
+          "    {\"sweep\": \"%s\", \"variant\": \"%s\", \"n\": %d, "
+          "\"op\": \"%s\", \"count\": %llu, \"exclusive_ms\": %.6f, "
+          "\"rows_out\": %llu}%s\n",
+          e.sweep.c_str(), e.variant.c_str(), e.n, e.op.c_str(),
+          static_cast<unsigned long long>(e.count), e.exclusive_ms,
+          static_cast<unsigned long long>(e.rows_out),
+          i + 1 < profile_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
-    std::printf("\nwrote %zu trajectory points to %s\n", points_.size(),
-                path_.c_str());
+    std::printf("\nwrote %zu trajectory points (%zu profiled operator "
+                "lines) to %s\n",
+                points_.size(), profile_.size(), path_.c_str());
   }
 
  private:
   std::string bench_;
   std::string path_;
+  std::string trace_path_;
   std::vector<TrajectoryPoint> points_;
+  std::vector<OperatorProfileEntry> profile_;
 };
+
+/// Runs one *traced* evaluation of `e` — outside any timed loop, so the
+/// trace-off wall times stay the headline numbers — and folds its span
+/// tree into the trajectory's operator profile. With
+/// `write_chrome_trace` and a --trace=<path> flag, also writes the span
+/// tree and worker timelines as a Chrome trace (chrome://tracing,
+/// Perfetto).
+inline void ProfileOnce(Trajectory* traj, const Database& db,
+                        const ExprPtr& e, const std::string& sweep,
+                        const std::string& variant, int n,
+                        EvalOptions opts = EvalOptions(),
+                        bool write_chrome_trace = false) {
+  TraceCollector tc;
+  opts.trace = &tc;
+  MustEval(db, e, opts);
+  traj->AddOperatorProfile(sweep, variant, n, tc);
+  if (write_chrome_trace && !traj->chrome_trace_path().empty()) {
+    Status st = WriteChromeTrace(tc, traj->chrome_trace_path());
+    if (!st.ok()) {
+      std::fprintf(stderr, "chrome trace write failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+    std::printf("wrote chrome trace to %s\n",
+                traj->chrome_trace_path().c_str());
+  }
+}
 
 }  // namespace bench
 }  // namespace n2j

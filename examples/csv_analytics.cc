@@ -48,7 +48,7 @@ void Run(const QueryEngine& engine, const char* label,
   for (const Value& row : r->result.elements()) {
     std::printf("  %s\n", row.ToString().c_str());
   }
-  std::printf("stats: %s\n\n", r->exec_stats.ToString().c_str());
+  std::printf("stats: %s\n\n", r->exec_stats.Compact().c_str());
 }
 
 }  // namespace

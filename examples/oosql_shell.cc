@@ -3,10 +3,18 @@
 //   \schema          print the schema
 //   \tables          list tables and sizes
 //   \explain <query> show translation, optimization trace and plan
+//                    (with \profile on, also the profiled span tree)
 //   \nestedloop      toggle the rewriter off/on (to feel the difference)
-//   \threads N       set worker threads for the parallel operators
-//   \compiled        toggle bytecode-compiled lambda evaluation
+//   \threads [N]     set worker threads (no argument: show the setting)
+//   \compiled [on|off] toggle/set bytecode-compiled lambda evaluation
+//                    (no argument: show the setting)
+//   \profile on|off  per-operator tracing; each query prints its span
+//                    tree (wall time, cardinalities, stats deltas)
+//   \trace <f.json>  write a Chrome trace (chrome://tracing, Perfetto)
+//                    of each query to f.json; \trace off disables
+//   \timing on|off   print each query's wall time
 //   \stats           print the last query's execution counters
+//   \metrics         print the process-wide metrics registry
 //   \quit            exit
 //
 //   $ ./build/examples/oosql_shell
@@ -18,7 +26,11 @@
 #include <string>
 
 #include "adl/printer.h"
+#include "common/thread_pool.h"
 #include "core/engine.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/datagen.h"
 
 using namespace n2j;  // NOLINT — example code
@@ -41,6 +53,24 @@ void PrintResult(const Value& v, size_t limit = 20) {
   std::printf("(%zu tuples)\n", v.set_size());
 }
 
+/// Parses the "on"/"off" argument style shared by \profile, \timing and
+/// \compiled. Returns false (and prints usage) on anything else.
+bool ParseOnOff(std::istringstream& iss, const char* cmd, bool* out) {
+  std::string arg;
+  if (iss >> arg) {
+    if (arg == "on") {
+      *out = true;
+      return true;
+    }
+    if (arg == "off") {
+      *out = false;
+      return true;
+    }
+  }
+  std::printf("usage: %s on|off\n", cmd);
+  return false;
+}
+
 }  // namespace
 
 int main() {
@@ -55,16 +85,49 @@ int main() {
 
   bool rewrites_enabled = true;
   bool compiled_enabled = true;
+  bool profile_on = false;
+  bool timing_on = false;
   int num_threads = 1;
+  std::string trace_path;      // Chrome-trace output, empty = off
+  TraceCollector collector;    // reused across queries (engine clears it)
   EvalStats last_stats;
   bool have_stats = false;
   std::printf(
       "nested-to-join OOSQL shell — supplier-part database loaded\n"
       "(|SUPPLIER| = %zu, |PART| = %zu, |DELIVERY| = %zu)\n"
-      "end queries with ';'. try: \\schema, \\tables, \\explain, \\stats, "
-      "\\quit\n",
+      "end queries with ';'. try: \\schema, \\tables, \\explain, \\profile, "
+      "\\stats, \\quit\n",
       db->FindTable("SUPPLIER")->size(), db->FindTable("PART")->size(),
       db->FindTable("DELIVERY")->size());
+
+  auto make_engine = [&]() {
+    RewriteOptions opts;
+    if (!rewrites_enabled) {
+      opts.enable_setcmp = false;
+      opts.enable_quantifier = false;
+      opts.enable_map_join = false;
+      opts.enable_unnest_attr = false;
+      opts.enable_hoist = false;
+      opts.grouping = GroupingMode::kNone;
+    }
+    EvalOptions eval_opts;
+    eval_opts.num_threads = num_threads;
+    eval_opts.compiled = compiled_enabled;
+    if (profile_on || !trace_path.empty()) {
+      eval_opts.trace = &collector;
+    }
+    return QueryEngine(db.get(), opts, eval_opts);
+  };
+
+  auto write_chrome_trace = [&]() {
+    if (trace_path.empty()) return;
+    Status st = WriteChromeTrace(collector, trace_path);
+    if (st.ok()) {
+      std::printf("chrome trace written to %s\n", trace_path.c_str());
+    } else {
+      std::printf("trace write failed: %s\n", st.ToString().c_str());
+    }
+  };
 
   std::string buffer;
   std::string line;
@@ -89,33 +152,71 @@ int main() {
         std::printf("rewrites %s\n", rewrites_enabled ? "ON" : "OFF");
       } else if (cmd == "\\threads") {
         int n = 0;
-        if (iss >> n && n >= 1) {
-          num_threads = n;
-          std::printf("worker threads: %d%s\n", num_threads,
-                      num_threads == 1 ? " (serial)" : "");
-        } else {
-          std::printf("usage: \\threads N   (N >= 1)\n");
+        if (iss >> n) {
+          if (n >= 1) {
+            num_threads = n;
+          } else {
+            std::printf("usage: \\threads [N]   (N >= 1)\n");
+          }
         }
+        std::printf("worker threads: %d%s\n", num_threads,
+                    num_threads == 1 ? " (serial)" : "");
       } else if (cmd == "\\compiled") {
-        compiled_enabled = !compiled_enabled;
+        std::string arg;
+        if (iss >> arg) {
+          if (arg == "on") {
+            compiled_enabled = true;
+          } else if (arg == "off") {
+            compiled_enabled = false;
+          } else {
+            std::printf("usage: \\compiled [on|off]\n");
+          }
+        } else {
+          compiled_enabled = !compiled_enabled;
+        }
         std::printf("compiled evaluation %s\n",
                     compiled_enabled ? "ON" : "OFF");
+      } else if (cmd == "\\profile") {
+        if (ParseOnOff(iss, "\\profile", &profile_on)) {
+          std::printf("profiling %s\n", profile_on ? "ON" : "OFF");
+        }
+      } else if (cmd == "\\timing") {
+        if (ParseOnOff(iss, "\\timing", &timing_on)) {
+          std::printf("timing %s\n", timing_on ? "ON" : "OFF");
+        }
+      } else if (cmd == "\\trace") {
+        std::string arg;
+        if (iss >> arg) {
+          if (arg == "off") {
+            trace_path.clear();
+            std::printf("chrome tracing OFF\n");
+          } else {
+            trace_path = arg;
+            std::printf("chrome trace of each query -> %s\n",
+                        trace_path.c_str());
+          }
+        } else {
+          std::printf("usage: \\trace <file.json> | \\trace off\n");
+        }
       } else if (cmd == "\\stats") {
         if (have_stats) {
-          std::printf("[%s]\n", last_stats.ToString().c_str());
+          std::printf("%s", last_stats.ToString().c_str());
         } else {
           std::printf("no query has run yet\n");
         }
+      } else if (cmd == "\\metrics") {
+        std::printf("%s", obs::MetricsRegistry::Global().Render().c_str());
       } else if (cmd == "\\explain") {
         std::string rest;
         std::getline(iss, rest);
         if (!rest.empty() && rest.back() == ';') rest.pop_back();
-        QueryEngine engine(db.get());
+        QueryEngine engine = make_engine();
         Result<QueryReport> r = engine.Run(rest);
         if (!r.ok()) {
           std::printf("error: %s\n", r.status().ToString().c_str());
         } else {
           std::printf("%s", r->Explain().c_str());
+          write_chrome_trace();
         }
       } else {
         std::printf("unknown command %s\n", cmd.c_str());
@@ -132,27 +233,27 @@ int main() {
       continue;
     }
 
-    RewriteOptions opts;
-    if (!rewrites_enabled) {
-      opts.enable_setcmp = false;
-      opts.enable_quantifier = false;
-      opts.enable_map_join = false;
-      opts.enable_unnest_attr = false;
-      opts.enable_hoist = false;
-      opts.grouping = GroupingMode::kNone;
-    }
-    EvalOptions eval_opts;
-    eval_opts.num_threads = num_threads;
-    eval_opts.compiled = compiled_enabled;
-    QueryEngine engine(db.get(), opts, eval_opts);
+    QueryEngine engine = make_engine();
+    int64_t t0 = MonotonicNanos();
     Result<QueryReport> r = engine.Run(buffer);
+    double elapsed_ms =
+        static_cast<double>(MonotonicNanos() - t0) / 1e6;
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
     } else {
       PrintResult(r->result);
       last_stats = r->exec_stats;
       have_stats = true;
-      std::printf("[%s]\n", last_stats.ToString().c_str());
+      std::string compact = last_stats.Compact();
+      std::printf("[%s]\n", compact.empty() ? "no work counted"
+                                            : compact.c_str());
+      if (profile_on && r->profile != nullptr) {
+        std::printf("%s", r->profile->Render().c_str());
+      }
+      write_chrome_trace();
+    }
+    if (timing_on) {
+      std::printf("time: %.3f ms\n", elapsed_ms);
     }
     buffer.clear();
     std::printf("oosql> ");

@@ -85,6 +85,6 @@ int main() {
     std::printf("  [%s]\n", rule.rule.c_str());
   }
   std::printf("result:     %s\n", report->result.ToString().c_str());
-  std::printf("stats:      %s\n", report->exec_stats.ToString().c_str());
+  std::printf("stats:      %s\n", report->exec_stats.Compact().c_str());
   return 0;
 }

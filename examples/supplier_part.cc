@@ -40,7 +40,7 @@ void RunAndReport(const QueryEngine& engine, const char* label,
       std::printf("  %s\n", v.ToString().c_str());
     }
   }
-  std::printf("exec stats:  %s\n\n", report->exec_stats.ToString().c_str());
+  std::printf("exec stats:  %s\n\n", report->exec_stats.Compact().c_str());
 }
 
 }  // namespace

@@ -1,8 +1,15 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 
 namespace n2j {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 ThreadPool::ThreadPool(int num_workers) {
   if (num_workers < 1) num_workers = 1;
@@ -78,6 +85,7 @@ Status ThreadPool::RunMorsels(
       for (;;) {
         size_t m = next.fetch_add(1, std::memory_order_relaxed);
         if (m >= num_morsels) return;
+        int64_t t0 = morsel_sink_ ? MonotonicNanos() : 0;
         try {
           statuses[m] = body(static_cast<int>(w), m);
         } catch (const std::exception& ex) {
@@ -85,6 +93,10 @@ Status ThreadPool::RunMorsels(
                                          ex.what());
         } catch (...) {
           statuses[m] = Status::Internal("morsel threw a non-exception");
+        }
+        if (morsel_sink_) {
+          morsel_sink_(static_cast<int>(w), m, morsel_phase_, t0,
+                       MonotonicNanos());
         }
       }
     });

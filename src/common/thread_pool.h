@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -13,6 +14,16 @@
 #include "common/status.h"
 
 namespace n2j {
+
+/// Nanoseconds on the process-wide monotonic clock. Only differences are
+/// meaningful; all trace timestamps use this clock.
+int64_t MonotonicNanos();
+
+/// Receives one timestamped morsel execution from RunMorsels. `phase` is
+/// the string literal set via set_morsel_phase (it outlives the call).
+using MorselSink = std::function<void(int worker, size_t morsel,
+                                      const char* phase, int64_t start_ns,
+                                      int64_t end_ns)>;
 
 /// A small fixed-size thread pool with one shared FIFO task queue — no
 /// work stealing. Built for morsel-driven query execution, where tasks
@@ -54,6 +65,15 @@ class ThreadPool {
       size_t num_morsels,
       const std::function<Status(int worker, size_t morsel)>& body);
 
+  /// Installs (or clears, with nullptr semantics via an empty function)
+  /// a sink that receives per-morsel timestamps from RunMorsels. Set
+  /// from the coordinating thread while the pool is idle; the sink is
+  /// invoked concurrently from workers and must be thread-safe.
+  void set_morsel_sink(MorselSink sink) { morsel_sink_ = std::move(sink); }
+  /// Labels subsequent RunMorsels calls for the sink. Must be a string
+  /// literal (stored by pointer).
+  void set_morsel_phase(const char* phase) { morsel_phase_ = phase; }
+
  private:
   void WorkerLoop();
 
@@ -65,6 +85,8 @@ class ThreadPool {
   size_t in_flight_ = 0;  // queued + currently running
   bool shutdown_ = false;
   std::exception_ptr first_exception_;
+  MorselSink morsel_sink_;
+  const char* morsel_phase_ = "morsel";
 };
 
 /// Half-open element range of one morsel.

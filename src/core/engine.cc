@@ -1,9 +1,40 @@
 #include "core/engine.h"
 
 #include "adl/printer.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "oosql/translate.h"
 
 namespace n2j {
+
+namespace {
+
+double MsSince(int64_t t0_ns) {
+  return static_cast<double>(MonotonicNanos() - t0_ns) / 1e6;
+}
+
+/// Records one finished query (success or error) into the process-wide
+/// registry. The per-algorithm join counters are fed with Add(0) too, so
+/// every instrument exists after the first query and Render() output is
+/// stable across workloads.
+void RecordQueryOutcome(const Result<QueryReport>& r, int64_t t_start_ns) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("n2j_queries_total").Add();
+  reg.GetHistogram("n2j_query_ms").Observe(MsSince(t_start_ns));
+  if (!r.ok()) {
+    reg.GetCounter("n2j_query_errors_total").Add();
+    return;
+  }
+  const EvalStats& s = r->exec_stats;
+  reg.GetCounter("n2j_joins_nested_loop_total").Add(s.joins_nested_loop);
+  reg.GetCounter("n2j_joins_hash_total").Add(s.joins_hash);
+  reg.GetCounter("n2j_joins_sortmerge_total").Add(s.joins_sortmerge);
+  reg.GetCounter("n2j_joins_index_total").Add(s.joins_index);
+  reg.GetCounter("n2j_joins_membership_total").Add(s.joins_membership);
+}
+
+}  // namespace
 
 std::string QueryReport::Explain() const {
   std::string out;
@@ -28,7 +59,11 @@ std::string QueryReport::Explain() const {
       out += "  [" + a.rule + "] " + a.detail + "\n";
     }
   }
-  out += "stats:      " + exec_stats.ToString() + "\n";
+  std::string compact = exec_stats.Compact();
+  out += "stats:      " + (compact.empty() ? "(none)" : compact) + "\n";
+  if (profile != nullptr && !profile->spans().empty()) {
+    out += "profile:\n" + profile->Render();
+  }
   return out;
 }
 
@@ -44,31 +79,57 @@ Result<QueryReport> QueryEngine::Translate(const std::string& oosql) const {
 
 Result<RewriteResult> QueryEngine::Optimize(const ExprPtr& adl) const {
   Rewriter rewriter(db_->schema(), db_, rewrite_options_);
-  return rewriter.Rewrite(adl);
+  int64_t t0 = MonotonicNanos();
+  Result<RewriteResult> r = rewriter.Rewrite(adl);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("n2j_rewrite_ms")
+      .Observe(MsSince(t0));
+  return r;
+}
+
+Status QueryEngine::Execute(QueryReport* report) const {
+  if (eval_options_.trace != nullptr) {
+    eval_options_.trace->Clear();
+  }
+  Evaluator ev(*db_, eval_options_);
+  int64_t t0 = MonotonicNanos();
+  N2J_ASSIGN_OR_RETURN(report->result, ev.Eval(report->optimized));
+  obs::MetricsRegistry::Global()
+      .GetHistogram("n2j_eval_ms")
+      .Observe(MsSince(t0));
+  report->exec_stats = ev.stats();
+  report->profile = eval_options_.trace;
+  return Status::OK();
 }
 
 Result<QueryReport> QueryEngine::Run(const std::string& oosql) const {
-  N2J_ASSIGN_OR_RETURN(QueryReport report, Translate(oosql));
-  N2J_ASSIGN_OR_RETURN(RewriteResult rewritten,
-                       Optimize(report.translated));
-  report.optimized = rewritten.expr;
-  report.trace = std::move(rewritten.trace);
-  Evaluator ev(*db_, eval_options_);
-  N2J_ASSIGN_OR_RETURN(report.result, ev.Eval(report.optimized));
-  report.exec_stats = ev.stats();
-  return report;
+  int64_t t_start = MonotonicNanos();
+  Result<QueryReport> out = [&]() -> Result<QueryReport> {
+    N2J_ASSIGN_OR_RETURN(QueryReport report, Translate(oosql));
+    N2J_ASSIGN_OR_RETURN(RewriteResult rewritten,
+                         Optimize(report.translated));
+    report.optimized = rewritten.expr;
+    report.trace = std::move(rewritten.trace);
+    N2J_RETURN_IF_ERROR(Execute(&report));
+    return report;
+  }();
+  RecordQueryOutcome(out, t_start);
+  return out;
 }
 
 Result<QueryReport> QueryEngine::RunAdl(const ExprPtr& adl) const {
-  QueryReport report;
-  report.translated = adl;
-  N2J_ASSIGN_OR_RETURN(RewriteResult rewritten, Optimize(adl));
-  report.optimized = rewritten.expr;
-  report.trace = std::move(rewritten.trace);
-  Evaluator ev(*db_, eval_options_);
-  N2J_ASSIGN_OR_RETURN(report.result, ev.Eval(report.optimized));
-  report.exec_stats = ev.stats();
-  return report;
+  int64_t t_start = MonotonicNanos();
+  Result<QueryReport> out = [&]() -> Result<QueryReport> {
+    QueryReport report;
+    report.translated = adl;
+    N2J_ASSIGN_OR_RETURN(RewriteResult rewritten, Optimize(adl));
+    report.optimized = rewritten.expr;
+    report.trace = std::move(rewritten.trace);
+    N2J_RETURN_IF_ERROR(Execute(&report));
+    return report;
+  }();
+  RecordQueryOutcome(out, t_start);
+  return out;
 }
 
 }  // namespace n2j

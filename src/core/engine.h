@@ -13,6 +13,8 @@
 
 namespace n2j {
 
+class TraceCollector;
+
 /// Everything the engine knows about one executed query, for explain
 /// output and experiments.
 struct QueryReport {
@@ -23,6 +25,11 @@ struct QueryReport {
   std::vector<RuleApplication> trace;  // fired rules
   Value result;               // query result
   EvalStats exec_stats;       // operator counters of the final execution
+  /// Operator span tree of the execution (borrowed from the engine's
+  /// EvalOptions::trace collector; null when tracing was off). Makes
+  /// Explain() an EXPLAIN ANALYZE: per-operator wall time,
+  /// cardinalities, and stats deltas.
+  const TraceCollector* profile = nullptr;
 
   /// Human-readable explain block.
   std::string Explain() const;
@@ -56,6 +63,11 @@ class QueryEngine {
   EvalOptions& eval_options() { return eval_options_; }
 
  private:
+  /// Shared back half of Run/RunAdl: clears the trace collector (if one
+  /// is configured), evaluates the optimized plan, and fills
+  /// result/exec_stats/profile. Also feeds the eval-latency histogram.
+  Status Execute(QueryReport* report) const;
+
   const Database* db_;
   RewriteOptions rewrite_options_;
   EvalOptions eval_options_;

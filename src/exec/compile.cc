@@ -3,13 +3,39 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "exec/equi_join.h"
 #include "exec/eval.h"
+#include "obs/metrics.h"
 
 namespace n2j {
 namespace {
 
 constexpr uint32_t kNoReg = 0xffffffffu;
+
+/// RAII metrics probe around one lambda compilation. References into the
+/// process-wide registry are resolved once (instruments live forever).
+class CompileProbe {
+ public:
+  explicit CompileProbe(const CompiledLambda& lambda)
+      : lambda_(lambda), t0_ns_(MonotonicNanos()) {}
+  ~CompileProbe() {
+    static obs::Counter& compiles =
+        obs::MetricsRegistry::Global().GetCounter("n2j_lambda_compiles_total");
+    static obs::Counter& fallbacks =
+        obs::MetricsRegistry::Global().GetCounter(
+            "n2j_lambda_compile_fallbacks_total");
+    static obs::Histogram& latency =
+        obs::MetricsRegistry::Global().GetHistogram("n2j_lambda_compile_ms");
+    compiles.Add();
+    if (lambda_.fallback()) fallbacks.Add();
+    latency.Observe(static_cast<double>(MonotonicNanos() - t0_ns_) / 1e6);
+  }
+
+ private:
+  const CompiledLambda& lambda_;
+  int64_t t0_ns_;
+};
 
 class Compiler {
  public:
@@ -344,6 +370,7 @@ void CompiledLambda::Compile(Evaluator& ev, const Expr& body,
                              const std::vector<std::string>& params,
                              const Environment& env,
                              const TupleShape* param0_shape) {
+  CompileProbe probe(*this);
   Compiler c(ev, env);
   for (size_t i = 0; i < params.size(); ++i) {
     c.AddParam(params[i], i == 0 ? param0_shape : nullptr);
@@ -361,6 +388,7 @@ void CompiledLambda::CompileKey(Evaluator& ev,
                                 const std::string& var,
                                 const Environment& env,
                                 const TupleShape* param0_shape) {
+  CompileProbe probe(*this);
   Compiler c(ev, env);
   c.AddParam(var, param0_shape);
   std::vector<uint32_t> parts;

@@ -4,8 +4,17 @@
 #include <atomic>
 
 #include "adl/analysis.h"
+#include "common/str_util.h"
 
 namespace n2j {
+
+std::string EquiJoinKeys::Describe() const {
+  std::string out = StrFormat("keys=%zu", left_keys.size());
+  if (!residual.empty()) {
+    out += StrFormat(" residual=%zu", residual.size());
+  }
+  return out;
+}
 
 EquiJoinKeys ExtractEquiKeys(const ExprPtr& pred, const std::string& lvar,
                              const std::string& rvar) {

@@ -24,6 +24,10 @@ struct EquiJoinKeys {
 
   /// True when at least one equi-key pair was extracted.
   bool usable() const { return !left_keys.empty(); }
+
+  /// Short annotation for trace spans: "keys=2 residual=1" (the residual
+  /// part is omitted when empty).
+  std::string Describe() const;
 };
 
 /// Analyzes `pred` (with bound variables `lvar`, `rvar`). A conjunct

@@ -1,10 +1,13 @@
 #include "exec/eval.h"
 
+#include <algorithm>
+#include <cstring>
 #include <unordered_map>
 
 #include "common/str_util.h"
 #include "exec/bytecode.h"
 #include "exec/compile.h"
+#include "obs/trace.h"
 
 namespace n2j {
 
@@ -20,36 +23,70 @@ Value GatherTuple(const TupleShape* target, const std::vector<int>& idx,
   return Value::TupleFromShape(target, std::move(vals));
 }
 
+// One row per EvalStats counter, in declaration order. Merge, Subtract,
+// ToString, and Compact all iterate this table so a counter added here
+// is automatically merged, diffed, and printed.
+struct StatField {
+  const char* name;        // declaration name, for the aligned table
+  const char* short_name;  // compact key, for one-line contexts
+  uint64_t EvalStats::*member;
+};
+constexpr StatField kStatFields[] = {
+    {"tuples_scanned", "scanned", &EvalStats::tuples_scanned},
+    {"predicate_evals", "preds", &EvalStats::predicate_evals},
+    {"hash_inserts", "h_ins", &EvalStats::hash_inserts},
+    {"hash_probes", "h_probe", &EvalStats::hash_probes},
+    {"rows_sorted", "sorted", &EvalStats::rows_sorted},
+    {"index_probes", "idx", &EvalStats::index_probes},
+    {"pnhl_partitions", "pnhl", &EvalStats::pnhl_partitions},
+    {"derefs", "derefs", &EvalStats::derefs},
+    {"nodes_evaluated", "nodes", &EvalStats::nodes_evaluated},
+    {"compiled_evals", "compiled", &EvalStats::compiled_evals},
+    {"interp_fallback_evals", "fallback", &EvalStats::interp_fallback_evals},
+    {"joins_nested_loop", "nl_joins", &EvalStats::joins_nested_loop},
+    {"joins_hash", "hash_joins", &EvalStats::joins_hash},
+    {"joins_sortmerge", "sm_joins", &EvalStats::joins_sortmerge},
+    {"joins_index", "idx_joins", &EvalStats::joins_index},
+    {"joins_membership", "mem_joins", &EvalStats::joins_membership},
+};
+
 }  // namespace
 
 void EvalStats::Merge(const EvalStats& other) {
-  tuples_scanned += other.tuples_scanned;
-  predicate_evals += other.predicate_evals;
-  hash_inserts += other.hash_inserts;
-  hash_probes += other.hash_probes;
-  rows_sorted += other.rows_sorted;
-  index_probes += other.index_probes;
-  pnhl_partitions += other.pnhl_partitions;
-  derefs += other.derefs;
-  nodes_evaluated += other.nodes_evaluated;
-  compiled_evals += other.compiled_evals;
-  interp_fallback_evals += other.interp_fallback_evals;
+  for (const StatField& f : kStatFields) this->*f.member += other.*f.member;
+}
+
+void EvalStats::Subtract(const EvalStats& other) {
+  for (const StatField& f : kStatFields) this->*f.member -= other.*f.member;
 }
 
 std::string EvalStats::ToString() const {
-  return StrFormat(
-      "scanned=%llu preds=%llu h_ins=%llu h_probe=%llu sorted=%llu "
-      "idx=%llu derefs=%llu nodes=%llu compiled=%llu fallback=%llu",
-      static_cast<unsigned long long>(tuples_scanned),
-      static_cast<unsigned long long>(predicate_evals),
-      static_cast<unsigned long long>(hash_inserts),
-      static_cast<unsigned long long>(hash_probes),
-      static_cast<unsigned long long>(rows_sorted),
-      static_cast<unsigned long long>(index_probes),
-      static_cast<unsigned long long>(derefs),
-      static_cast<unsigned long long>(nodes_evaluated),
-      static_cast<unsigned long long>(compiled_evals),
-      static_cast<unsigned long long>(interp_fallback_evals));
+  size_t width = 0;
+  for (const StatField& f : kStatFields) {
+    if (this->*f.member != 0) width = std::max(width, std::strlen(f.name));
+  }
+  if (width == 0) return "(all counters zero)";
+  std::string out;
+  for (const StatField& f : kStatFields) {
+    uint64_t v = this->*f.member;
+    if (v == 0) continue;
+    out += f.name;
+    out.append(width + 2 - std::strlen(f.name), ' ');
+    out += StrFormat("%llu\n", static_cast<unsigned long long>(v));
+  }
+  return out;
+}
+
+std::string EvalStats::Compact() const {
+  std::string out;
+  for (const StatField& f : kStatFields) {
+    uint64_t v = this->*f.member;
+    if (v == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += StrFormat("%s=%llu", f.short_name,
+                     static_cast<unsigned long long>(v));
+  }
+  return out;
 }
 
 Result<Value> Evaluator::Eval(const ExprPtr& e) {
@@ -58,6 +95,15 @@ Result<Value> Evaluator::Eval(const ExprPtr& e) {
 }
 
 Result<Value> Evaluator::Eval(const ExprPtr& e, Environment& env) {
+  // The root span opens only at the outermost entry — physical join
+  // operators re-enter Eval for key expressions, and those evaluations
+  // belong to the already-open join span.
+  if (opts_.trace != nullptr && !opts_.trace->InSpan()) {
+    OpSpan span(opts_.trace, stats_, "query");
+    Result<Value> r = EvalNode(*e, env);
+    span.RowsOut(r);
+    return r;
+  }
   return EvalNode(*e, env);
 }
 
@@ -68,6 +114,13 @@ Result<Value> Evaluator::ConcatTuples(const Value& l, const Value& r) {
 ThreadPool& Evaluator::pool() {
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+    if (opts_.trace != nullptr) {
+      TraceCollector* tc = opts_.trace;
+      pool_->set_morsel_sink([tc](int w, size_t m, const char* phase,
+                                  int64_t t0, int64_t t1) {
+        tc->AddWorkerSpan(w, m, phase, t0, t1);
+      });
+    }
   }
   return *pool_;
 }
@@ -77,6 +130,10 @@ std::vector<std::unique_ptr<Evaluator>> Evaluator::ForkWorkers(int count) {
   workers.reserve(static_cast<size_t>(count));
   EvalOptions worker_opts = opts_;
   worker_opts.num_threads = 1;  // nested operators stay serial
+  // Workers never record spans: the collector is single-threaded and
+  // their counters reach the coordinator's span via MergeWorkerStats,
+  // which every parallel operator calls before its span closes.
+  worker_opts.trace = nullptr;
   for (int i = 0; i < count; ++i) {
     auto w = std::make_unique<Evaluator>(db_, worker_opts);
     w->table_cache_ = table_cache_;
@@ -96,6 +153,7 @@ Result<Value> Evaluator::ParallelMapSelect(const Expr& e, const Value& in,
   const std::vector<Value>& xs = in.elements();
   const size_t n = xs.size();
   ThreadPool& tp = pool();
+  tp.set_morsel_phase(is_select ? "select" : "map");
   const int num_workers = tp.num_workers();
   std::vector<std::unique_ptr<Evaluator>> workers = ForkWorkers(num_workers);
   std::vector<Environment> envs(static_cast<size_t>(num_workers), env);
@@ -305,83 +363,97 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
           return fast.status();
         }
       }
+      OpSpan span(opts_.trace, stats_, "map");
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("map over non-set");
-      if (opts_.num_threads > 1 && in.set_size() > 1) {
-        return ParallelMapSelect(e, in, env, /*is_select=*/false);
-      }
-      CompiledLambda body;
-      if (opts_.compiled && in.set_size() > 0) {
-        body.Compile(*this, *e.child(1), {e.var()}, env,
-                     FirstElemShape(in));
-      }
-      std::vector<Value> out;
-      out.reserve(in.set_size());
-      if (body.ok()) {
+      span.RowsIn(in.set_size());
+      Result<Value> result = [&]() -> Result<Value> {
+        if (opts_.num_threads > 1 && in.set_size() > 1) {
+          return ParallelMapSelect(e, in, env, /*is_select=*/false);
+        }
+        CompiledLambda body;
+        if (opts_.compiled && in.set_size() > 0) {
+          body.Compile(*this, *e.child(1), {e.var()}, env,
+                       FirstElemShape(in));
+        }
+        std::vector<Value> out;
+        out.reserve(in.set_size());
+        if (body.ok()) {
+          for (const Value& x : in.elements()) {
+            ++stats_.tuples_scanned;
+            Value* r = body.Run(x);
+            if (r == nullptr) return body.status();
+            out.push_back(std::move(*r));
+          }
+          return Value::Set(std::move(out));
+        }
         for (const Value& x : in.elements()) {
           ++stats_.tuples_scanned;
-          Value* r = body.Run(x);
-          if (r == nullptr) return body.status();
-          out.push_back(std::move(*r));
+          if (body.fallback()) ++stats_.interp_fallback_evals;
+          env.Push(e.var(), x);
+          Result<Value> r = EvalNode(*e.child(1), env);
+          env.Pop();
+          if (!r.ok()) return r.status();
+          out.push_back(std::move(r).value());
         }
         return Value::Set(std::move(out));
-      }
-      for (const Value& x : in.elements()) {
-        ++stats_.tuples_scanned;
-        if (body.fallback()) ++stats_.interp_fallback_evals;
-        env.Push(e.var(), x);
-        Result<Value> r = EvalNode(*e.child(1), env);
-        env.Pop();
-        if (!r.ok()) return r.status();
-        out.push_back(std::move(r).value());
-      }
-      return Value::Set(std::move(out));
+      }();
+      span.RowsOut(result);
+      return result;
     }
 
     case ExprKind::kSelect: {
+      OpSpan span(opts_.trace, stats_, "select");
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("select over non-set");
-      if (opts_.num_threads > 1 && in.set_size() > 1) {
-        return ParallelMapSelect(e, in, env, /*is_select=*/true);
-      }
-      CompiledLambda pred;
-      if (opts_.compiled && in.set_size() > 0) {
-        pred.Compile(*this, *e.child(1), {e.var()}, env,
-                     FirstElemShape(in));
-      }
-      std::vector<Value> out;
-      if (pred.ok()) {
+      span.RowsIn(in.set_size());
+      Result<Value> result = [&]() -> Result<Value> {
+        if (opts_.num_threads > 1 && in.set_size() > 1) {
+          return ParallelMapSelect(e, in, env, /*is_select=*/true);
+        }
+        CompiledLambda pred;
+        if (opts_.compiled && in.set_size() > 0) {
+          pred.Compile(*this, *e.child(1), {e.var()}, env,
+                       FirstElemShape(in));
+        }
+        std::vector<Value> out;
+        if (pred.ok()) {
+          for (const Value& x : in.elements()) {
+            ++stats_.tuples_scanned;
+            ++stats_.predicate_evals;
+            Value* r = pred.Run(x);
+            if (r == nullptr) return pred.status();
+            if (!r->is_bool()) {
+              return Status::RuntimeError("selection predicate not boolean");
+            }
+            if (r->bool_value()) out.push_back(x);
+          }
+          return Value::SetFromCanonical(std::move(out));
+        }
         for (const Value& x : in.elements()) {
           ++stats_.tuples_scanned;
           ++stats_.predicate_evals;
-          Value* r = pred.Run(x);
-          if (r == nullptr) return pred.status();
+          if (pred.fallback()) ++stats_.interp_fallback_evals;
+          env.Push(e.var(), x);
+          Result<Value> r = EvalNode(*e.child(1), env);
+          env.Pop();
+          if (!r.ok()) return r.status();
           if (!r->is_bool()) {
             return Status::RuntimeError("selection predicate not boolean");
           }
           if (r->bool_value()) out.push_back(x);
         }
         return Value::SetFromCanonical(std::move(out));
-      }
-      for (const Value& x : in.elements()) {
-        ++stats_.tuples_scanned;
-        ++stats_.predicate_evals;
-        if (pred.fallback()) ++stats_.interp_fallback_evals;
-        env.Push(e.var(), x);
-        Result<Value> r = EvalNode(*e.child(1), env);
-        env.Pop();
-        if (!r.ok()) return r.status();
-        if (!r->is_bool()) {
-          return Status::RuntimeError("selection predicate not boolean");
-        }
-        if (r->bool_value()) out.push_back(x);
-      }
-      return Value::SetFromCanonical(std::move(out));
+      }();
+      span.RowsOut(result);
+      return result;
     }
 
     case ExprKind::kProject: {
+      OpSpan span(opts_.trace, stats_, "project");
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("project over non-set");
+      span.RowsIn(in.set_size());
       std::vector<Value> out;
       out.reserve(in.set_size());
       // Per-shape projection cache: the name list resolves to source
@@ -415,12 +487,15 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
           out.push_back(GatherTuple(target, idx, x));
         }
       }
+      span.RowsOut(static_cast<uint64_t>(out.size()));
       return Value::Set(std::move(out));
     }
 
     case ExprKind::kFlatten: {
+      OpSpan span(opts_.trace, stats_, "flatten");
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("flatten over non-set");
+      span.RowsIn(in.set_size());
       std::vector<Value> out;
       for (const Value& x : in.elements()) {
         ++stats_.tuples_scanned;
@@ -429,6 +504,7 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
         }
         for (const Value& y : x.elements()) out.push_back(y);
       }
+      span.RowsOut(static_cast<uint64_t>(out.size()));
       return Value::Set(std::move(out));
     }
 
@@ -439,11 +515,14 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
       return EvalUnnest(e, env);
 
     case ExprKind::kProduct: {
+      OpSpan span(opts_.trace, stats_, "product");
       N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
       N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
       if (!l.is_set() || !r.is_set()) {
         return Status::RuntimeError("product over non-sets");
       }
+      span.RowsIn(l.set_size());
+      span.RowsBuild(r.set_size());
       std::vector<Value> out;
       out.reserve(l.set_size() * r.set_size());
       for (const Value& x : l.elements()) {
@@ -453,6 +532,7 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
           out.push_back(std::move(combined));
         }
       }
+      span.RowsOut(static_cast<uint64_t>(out.size()));
       return Value::Set(std::move(out));
     }
 
@@ -514,11 +594,13 @@ Result<Value> Evaluator::EvalBinary(const Expr& e, Environment& env) {
 }
 
 Result<Value> Evaluator::EvalQuantifier(const Expr& e, Environment& env) {
+  bool exists = e.quant_kind() == QuantKind::kExists;
+  OpSpan span(opts_.trace, stats_, exists ? "exists" : "forall");
   N2J_ASSIGN_OR_RETURN(Value range, EvalNode(*e.child(0), env));
   if (!range.is_set()) {
     return Status::RuntimeError("quantifier range not a set");
   }
-  bool exists = e.quant_kind() == QuantKind::kExists;
+  span.RowsIn(range.set_size());
   CompiledLambda pred;
   if (opts_.compiled && range.set_size() > 0) {
     pred.Compile(*this, *e.child(1), {e.var()}, env, FirstElemShape(range));
@@ -564,8 +646,10 @@ Result<Value> Evaluator::EvalAggregate(const Expr& e, Environment& env) {
 }
 
 Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
+  OpSpan span(opts_.trace, stats_, "nest");
   N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
   if (!in.is_set()) return Status::RuntimeError("nest over non-set");
+  span.RowsIn(in.set_size());
   // ν_{A→a}: group on B = SCH − A; collect A-projections into `a`.
   const std::vector<std::string>& grouped = e.names();
   std::unordered_map<Value, std::vector<Value>, ValueHash> groups;
@@ -622,6 +706,8 @@ Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
     if (inserted) group_order.push_back(key);
     it->second.push_back(std::move(proj));
   }
+  if (opts_.trace != nullptr) opts_.trace->NotePeakHash(groups.size());
+  span.RowsOut(static_cast<uint64_t>(group_order.size()));
   std::vector<Value> out;
   out.reserve(group_order.size());
   for (const Value& key : group_order) {
@@ -634,8 +720,10 @@ Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
 }
 
 Result<Value> Evaluator::EvalUnnest(const Expr& e, Environment& env) {
+  OpSpan span(opts_.trace, stats_, "unnest");
   N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
   if (!in.is_set()) return Status::RuntimeError("unnest over non-set");
+  span.RowsIn(in.set_size());
   std::vector<Value> out;
   for (const Value& x : in.elements()) {
     ++stats_.tuples_scanned;
@@ -660,15 +748,19 @@ Result<Value> Evaluator::EvalUnnest(const Expr& e, Environment& env) {
       out.push_back(elem.ConcatTuple(rest_tuple));
     }
   }
+  span.RowsOut(static_cast<uint64_t>(out.size()));
   return Value::Set(std::move(out));
 }
 
 Result<Value> Evaluator::EvalDivide(const Expr& e, Environment& env) {
+  OpSpan span(opts_.trace, stats_, "divide");
   N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
   N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
   if (!l.is_set() || !r.is_set()) {
     return Status::RuntimeError("division over non-sets");
   }
+  span.RowsIn(l.set_size());
+  span.RowsBuild(r.set_size());
   if (l.set_size() == 0) return Value::EmptySet();
   if (r.set_size() == 0) {
     // The divisor schema is unknowable from an empty set at runtime;
@@ -700,47 +792,70 @@ Result<Value> Evaluator::EvalDivide(const Expr& e, Environment& env) {
     ++stats_.hash_inserts;
     by_a[x.ProjectTuple(a_attrs)].push_back(x.ProjectTuple(b_attrs));
   }
+  if (opts_.trace != nullptr) opts_.trace->NotePeakHash(by_a.size());
   std::vector<Value> out;
   for (auto& [a, bs] : by_a) {
     Value b_set = Value::Set(bs);
     ++stats_.hash_probes;
     if (r.IsSubsetOf(b_set, false)) out.push_back(a);
   }
+  span.RowsOut(static_cast<uint64_t>(out.size()));
   return Value::Set(std::move(out));
 }
 
 Result<Value> Evaluator::EvalJoinLike(const Expr& e, Environment& env) {
+  const char* op = "join";
+  switch (e.kind()) {
+    case ExprKind::kSemiJoin:
+      op = "semijoin";
+      break;
+    case ExprKind::kAntiJoin:
+      op = "antijoin";
+      break;
+    case ExprKind::kNestJoin:
+      op = "nestjoin";
+      break;
+    default:
+      break;
+  }
+  OpSpan span(opts_.trace, stats_, op);
   N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
   N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
   if (!l.is_set() || !r.is_set()) {
     return Status::RuntimeError("join over non-sets");
   }
+  span.RowsIn(l.set_size());
+  span.RowsBuild(r.set_size());
   if (opts_.use_hash_joins &&
       opts_.join_algorithm != JoinAlgorithm::kNestedLoop) {
     Result<Value> result = Status::Unsupported("");
+    uint64_t* algo_counter = nullptr;
+    const char* algo = "";
     switch (opts_.join_algorithm) {
       case JoinAlgorithm::kAuto:
-        // Prefer a prebuilt index; otherwise hash.
+      case JoinAlgorithm::kIndex:
+        // Prefer a prebuilt index; with no usable index, a hash join is
+        // the next-best set-oriented plan before giving up to nested
+        // loops.
         result = IndexJoin(e, l, env);
+        algo_counter = &stats_.joins_index;
+        algo = "index";
         if (!result.ok() &&
             result.status().code() == StatusCode::kUnsupported) {
           result = HashJoin(e, l, r, env);
+          algo_counter = &stats_.joins_hash;
+          algo = "hash";
         }
         break;
       case JoinAlgorithm::kSortMerge:
         result = SortMergeJoin(e, l, r, env);
-        break;
-      case JoinAlgorithm::kIndex:
-        result = IndexJoin(e, l, env);
-        // No usable index: a hash join is the next-best set-oriented
-        // plan before giving up to nested loops.
-        if (!result.ok() &&
-            result.status().code() == StatusCode::kUnsupported) {
-          result = HashJoin(e, l, r, env);
-        }
+        algo_counter = &stats_.joins_sortmerge;
+        algo = "sort-merge";
         break;
       case JoinAlgorithm::kHash:
         result = HashJoin(e, l, r, env);
+        algo_counter = &stats_.joins_hash;
+        algo = "hash";
         break;
       case JoinAlgorithm::kNestedLoop:
         break;
@@ -750,14 +865,25 @@ Result<Value> Evaluator::EvalJoinLike(const Expr& e, Environment& env) {
       // No equi keys — a membership predicate f(y) ∈ x.c is still
       // hashable (build on f(y), probe with the set elements).
       result = MembershipJoin(e, l, r, env);
+      algo_counter = &stats_.joins_membership;
+      algo = "membership";
     }
-    if (result.ok()) return result;
+    if (result.ok()) {
+      ++*algo_counter;
+      span.Label(algo);
+      span.RowsOut(result);
+      return result;
+    }
     if (result.status().code() != StatusCode::kUnsupported) {
       return result.status();
     }
     // Nothing hashable: fall through to nested loop.
   }
-  return NestedLoopJoin(e, l, r, env);
+  ++stats_.joins_nested_loop;
+  span.Label("nested-loop");
+  Result<Value> result = NestedLoopJoin(e, l, r, env);
+  span.RowsOut(result);
+  return result;
 }
 
 Result<Value> Evaluator::NestedLoopJoin(const Expr& e, const Value& l,

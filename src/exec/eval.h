@@ -20,6 +20,7 @@ namespace n2j {
 
 class CompiledLambda;
 struct JoinLambdas;
+class TraceCollector;
 
 /// Operator cost counters. The benchmarks use these (in addition to wall
 /// time) to show *why* set-oriented plans win: nested-loop plans evaluate
@@ -39,14 +40,31 @@ struct EvalStats {
   // fell back (EvalOptions::compiled on, body not covered). Always 0
   // when compiled evaluation is off.
   uint64_t interp_fallback_evals = 0;
+  // Join-family invocations by the physical algorithm that actually ran
+  // (one bump per EvalJoinLike call, on the coordinating evaluator, so
+  // serial and parallel runs count identically).
+  uint64_t joins_nested_loop = 0;
+  uint64_t joins_hash = 0;
+  uint64_t joins_sortmerge = 0;
+  uint64_t joins_index = 0;
+  uint64_t joins_membership = 0;
 
   void Reset() { *this = EvalStats(); }
   /// Adds another (per-worker) counter set into this one. Parallel
   /// operators give every worker its own EvalStats and merge afterwards,
   /// so totals are exact — equal to a serial run's counters.
   void Merge(const EvalStats& other);
+  /// Subtracts counter-wise (for span deltas: counters-at-end minus
+  /// counters-at-begin). Callers guarantee other <= *this per counter.
+  void Subtract(const EvalStats& other);
   bool operator==(const EvalStats& other) const = default;
+  /// Multi-line aligned table in declaration order, omitting counters
+  /// that are zero. "(all counters zero)" when nothing fired.
   std::string ToString() const;
+  /// One-line short-key form ("scanned=12 preds=4 ..."), zero counters
+  /// omitted; empty string when all are zero. Used for per-span stats in
+  /// profiled explain output and trace files.
+  std::string Compact() const;
 };
 
 /// Physical implementation for the logical join family — "the join can
@@ -91,6 +109,13 @@ struct EvalOptions {
   /// fall back to the tree interpreter per operator; results and errors
   /// are identical either way (the differential fuzzer pins this).
   bool compiled = true;
+  /// When set, the evaluator records one span per operator invocation
+  /// into this collector (see obs/trace.h): wall time, cardinalities,
+  /// and exact per-span EvalStats deltas. Tracing never changes results
+  /// or the global stats; off (nullptr) costs one branch per operator.
+  /// The collector is borrowed, not owned, and must outlive the
+  /// evaluation; worker evaluator clones run with tracing off.
+  TraceCollector* trace = nullptr;
 };
 
 /// Variable bindings during evaluation, innermost last.

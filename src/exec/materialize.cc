@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace n2j {
 
@@ -26,10 +27,15 @@ Result<Value> GetRef(const Value& x, const std::string& ref_attr) {
 Result<Value> Materialize(const Database& db, const Value& input,
                           const std::string& ref_attr,
                           const std::string& result_attr,
-                          MaterializeStrategy strategy, bool drop_dangling) {
+                          MaterializeStrategy strategy, bool drop_dangling,
+                          TraceCollector* trace) {
   if (!input.is_set()) {
     return Status::InvalidArgument("materialize input must be a set");
   }
+  OpSpan span(trace, "materialize");
+  span.Annotate(strategy == MaterializeStrategy::kNaive ? "naive"
+                                                        : "assembly");
+  span.RowsIn(input.set_size());
 
   if (strategy == MaterializeStrategy::kNaive) {
     std::vector<Value> out;
@@ -45,6 +51,7 @@ Result<Value> Materialize(const Database& db, const Value& input,
       }
       out.push_back(x.ExceptUpdate({Field(result_attr, *obj)}));
     }
+    span.RowsOut(static_cast<uint64_t>(out.size()));
     return Value::Set(std::move(out));
   }
 
@@ -79,6 +86,7 @@ Result<Value> Materialize(const Database& db, const Value& input,
     if (it == objects.end()) continue;  // dropped dangling reference
     out.push_back(x.ExceptUpdate({Field(result_attr, it->second)}));
   }
+  span.RowsOut(static_cast<uint64_t>(out.size()));
   return Value::Set(std::move(out));
 }
 

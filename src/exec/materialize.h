@@ -9,6 +9,8 @@
 
 namespace n2j {
 
+class TraceCollector;
+
 /// The materialize operator of [BlMG93] (Section 6.2): explicitly
 /// replaces an oid-valued path attribute by the referenced object, i.e.
 /// follows inter-object references. Two access algorithms:
@@ -26,12 +28,15 @@ enum class MaterializeStrategy { kNaive, kAssembly };
 /// For each tuple x of `input` (a set of tuples), replaces the oid in
 /// attribute `ref_attr` by the dereferenced object, producing
 /// x except (result_attr = object). Dangling references drop the tuple
-/// when `drop_dangling`, else fail.
+/// when `drop_dangling`, else fail. With `trace` set, records one
+/// "materialize" span (wall time and cardinalities; materialize runs
+/// outside an Evaluator, so the span carries no EvalStats delta).
 Result<Value> Materialize(const Database& db, const Value& input,
                           const std::string& ref_attr,
                           const std::string& result_attr,
                           MaterializeStrategy strategy,
-                          bool drop_dangling = false);
+                          bool drop_dangling = false,
+                          TraceCollector* trace = nullptr);
 
 }  // namespace n2j
 

@@ -12,6 +12,7 @@
 #include "exec/compile.h"
 #include "exec/equi_join.h"
 #include "exec/eval.h"
+#include "obs/trace.h"
 #include "storage/index.h"
 
 namespace n2j {
@@ -105,6 +106,9 @@ Result<Value> Evaluator::HashJoin(const Expr& e, const Value& l,
   if (!keys.usable()) {
     return Status::Unsupported("no equi keys in join predicate");
   }
+  // Committed from here on: no kUnsupported return below, so the
+  // dispatcher's span keeps this annotation.
+  if (opts_.trace != nullptr) opts_.trace->AnnotateOpen(keys.Describe());
   if (opts_.num_threads > 1 && (l.set_size() > 1 || r.set_size() > 1)) {
     return ParallelHashJoin(e, l, r, env, keys);
   }
@@ -149,6 +153,7 @@ Result<Value> Evaluator::HashJoin(const Expr& e, const Value& l,
     ++stats_.hash_inserts;
     table[std::move(key)].push_back(&y);
   }
+  if (opts_.trace != nullptr) opts_.trace->NotePeakHash(table.size());
 
   // Probe phase over the left operand. When the residual is trivial the
   // bucket is passed to EmitJoinResult by pointer — no per-probe copy of
@@ -277,6 +282,7 @@ Result<Value> Evaluator::ParallelHashJoin(const Expr& e, const Value& l,
   std::vector<Value> build_keys(build.size());
   std::vector<size_t> partition_of(build.size());
   size_t build_morsel = PickMorselSize(build.size(), num_workers);
+  tp.set_morsel_phase("join/build-keys");
   Status s = tp.RunMorsels(
       NumMorsels(build.size(), build_morsel), [&](int w, size_t m) -> Status {
         Evaluator& ev = *workers[static_cast<size_t>(w)];
@@ -311,6 +317,7 @@ Result<Value> Evaluator::ParallelHashJoin(const Expr& e, const Value& l,
   std::vector<
       std::unordered_map<Value, std::vector<const Value*>, ValueHash>>
       tables(num_partitions);
+  tp.set_morsel_phase("join/partition");
   s = tp.RunMorsels(num_partitions, [&](int, size_t p) -> Status {
     auto& table = tables[p];
     table.reserve(build.size() / num_partitions + 1);
@@ -325,11 +332,19 @@ Result<Value> Evaluator::ParallelHashJoin(const Expr& e, const Value& l,
     MergeWorkerStats(workers);
     return s;
   }
+  if (opts_.trace != nullptr) {
+    // The partitions are resident simultaneously; their combined entry
+    // count is what the serial build would have held.
+    uint64_t entries = 0;
+    for (const auto& t : tables) entries += t.size();
+    opts_.trace->NotePeakHash(entries);
+  }
 
   // Pass 3: probe morsels, each with its own output slot.
   size_t probe_morsel = PickMorselSize(probe.size(), num_workers);
   size_t num_morsels = NumMorsels(probe.size(), probe_morsel);
   std::vector<std::vector<Value>> outs(num_morsels);
+  tp.set_morsel_phase("join/probe");
   s = tp.RunMorsels(num_morsels, [&](int w, size_t m) -> Status {
     Evaluator& ev = *workers[static_cast<size_t>(w)];
     Environment& wenv = envs[static_cast<size_t>(w)];
@@ -439,6 +454,10 @@ Result<Value> Evaluator::IndexJoin(const Expr& e, const Value& l,
   }
   const Table* table = db_.FindTable(right->name());
   N2J_CHECK(table != nullptr);
+  // Committed: every return below is a real result or a real error.
+  if (opts_.trace != nullptr) {
+    opts_.trace->AnnotateOpen("index=" + right->name() + "." + rk->name());
+  }
 
   std::vector<Value> out;
   ExprPtr residual = Expr::AndAll(keys.residual);

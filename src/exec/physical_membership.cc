@@ -15,6 +15,7 @@
 #include "adl/analysis.h"
 #include "exec/compile.h"
 #include "exec/eval.h"
+#include "obs/trace.h"
 
 namespace n2j {
 
@@ -98,6 +99,10 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
   if (!key.found) {
     return Status::Unsupported("no membership conjunct");
   }
+  // Committed: no kUnsupported return past conjunct recognition.
+  if (opts_.trace != nullptr) {
+    opts_.trace->AnnotateOpen("attr=" + key.attr);
+  }
 
   // Build: f(y) → matching right tuples. The build side runs on this
   // evaluator (serial even under morsel parallelism).
@@ -126,6 +131,7 @@ Result<Value> Evaluator::MembershipJoin(const Expr& e, const Value& l,
     ++stats_.hash_inserts;
     table[std::move(kv)].push_back(&y);
   }
+  if (opts_.trace != nullptr) opts_.trace->NotePeakHash(table.size());
 
   ExprPtr residual = Expr::AndAll(residual_conjuncts);
   bool trivial_residual = residual_conjuncts.empty();
@@ -271,6 +277,7 @@ Result<Value> Evaluator::ParallelMembershipProbe(
         probe_one) {
   const std::vector<Value>& probe = l.elements();
   ThreadPool& tp = pool();
+  tp.set_morsel_phase("membership/probe");
   const int num_workers = tp.num_workers();
   std::vector<std::unique_ptr<Evaluator>> workers = ForkWorkers(num_workers);
   std::vector<Environment> envs(static_cast<size_t>(num_workers), env);

@@ -11,6 +11,7 @@
 #include "exec/compile.h"
 #include "exec/equi_join.h"
 #include "exec/eval.h"
+#include "obs/trace.h"
 
 namespace n2j {
 
@@ -29,6 +30,8 @@ Result<Value> Evaluator::SortMergeJoin(const Expr& e, const Value& l,
   if (!keys.usable()) {
     return Status::Unsupported("no equi keys in join predicate");
   }
+  // Committed: no kUnsupported return past the key extraction.
+  if (opts_.trace != nullptr) opts_.trace->AnnotateOpen(keys.Describe());
 
   ExprPtr residual = Expr::AndAll(keys.residual);
   bool trivial_residual = keys.residual.empty();

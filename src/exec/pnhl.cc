@@ -5,6 +5,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "exec/bytecode.h"
+#include "obs/trace.h"
 
 namespace n2j {
 
@@ -100,6 +101,9 @@ Result<Value> PnhlJoin(const Value& outer, const Value& inner,
       ++sst.build_inserts;
       table[*key].push_back(i);
     }
+    if (table.size() > sst.peak_table_entries) {
+      sst.peak_table_entries = table.size();
+    }
     // Probe the outer operand (its clustered set elements) against the
     // segment, producing partial results that are merged positionally.
     for (size_t xi = 0; xi < xs.size(); ++xi) {
@@ -129,12 +133,25 @@ Result<Value> PnhlJoin(const Value& outer, const Value& inner,
 
   if (params.num_threads > 1 && segments.size() > 1) {
     ThreadPool tp(params.num_threads);
+    if (params.trace != nullptr) {
+      TraceCollector* tc = params.trace;
+      tp.set_morsel_sink([tc](int w, size_t m, const char* phase,
+                              int64_t t0, int64_t t1) {
+        tc->AddWorkerSpan(w, m, phase, t0, t1);
+      });
+    }
+    tp.set_morsel_phase("pnhl/segment");
     N2J_RETURN_IF_ERROR(tp.RunMorsels(
         segments.size(),
         [&](int /*worker*/, size_t s) { return run_segment(s); }));
   } else {
     for (size_t s = 0; s < segments.size(); ++s) {
+      int64_t t0 = params.trace != nullptr ? MonotonicNanos() : 0;
       N2J_RETURN_IF_ERROR(run_segment(s));
+      if (params.trace != nullptr) {
+        params.trace->AddWorkerSpan(0, s, "pnhl/segment", t0,
+                                    MonotonicNanos());
+      }
     }
   }
   for (const PnhlStats& sst : seg_stats) {
@@ -142,6 +159,9 @@ Result<Value> PnhlJoin(const Value& outer, const Value& inner,
     st.probe_tuples += sst.probe_tuples;
     st.probe_elements += sst.probe_elements;
     st.matches += sst.matches;
+    if (sst.peak_table_entries > st.peak_table_entries) {
+      st.peak_table_entries = sst.peak_table_entries;
+    }
   }
 
   // Phase 2: merge partial results (in segment order) into the final

@@ -9,6 +9,8 @@
 
 namespace n2j {
 
+class TraceCollector;
+
 /// Statistics of one PNHL execution.
 struct PnhlStats {
   uint32_t partitions = 1;       // number of build-table segments
@@ -16,6 +18,7 @@ struct PnhlStats {
   uint64_t probe_tuples = 0;     // outer tuples probed (per segment pass)
   uint64_t probe_elements = 0;   // set-attribute elements probed
   uint64_t matches = 0;
+  uint64_t peak_table_entries = 0;  // largest single segment table
 };
 
 /// Parameters of the Partitioned Nested-Hashed-Loops algorithm
@@ -50,6 +53,9 @@ struct PnhlParams {
   /// tables are resident at once, so the effective memory ceiling is
   /// num_threads × memory_budget.
   int num_threads = 1;
+  /// Optional trace collector (borrowed): per-segment timestamps are
+  /// recorded as worker spans ("pnhl/segment"), serial and parallel.
+  TraceCollector* trace = nullptr;
 };
 
 /// Runs PNHL over materialized operands. `outer` and `inner` are sets of

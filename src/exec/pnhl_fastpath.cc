@@ -14,8 +14,10 @@
 // natural-join semantics (key kept once), exactly as in the paper.
 
 #include "adl/analysis.h"
+#include "common/str_util.h"
 #include "exec/eval.h"
 #include "exec/pnhl.h"
+#include "obs/trace.h"
 
 namespace n2j {
 
@@ -75,11 +77,20 @@ Result<Value> Evaluator::TryPnhlMap(const Expr& e, Environment& env) {
     return Status::Unsupported("join predicate uses the map variable");
   }
 
+  // Structural checks passed — from here the span records the attempt
+  // even if a runtime shape mismatch sends it back to the generic path
+  // (the span is annotated "fallback" then, and its stats delta is still
+  // exactly the work done).
+  OpSpan span(opts_.trace, stats_, "pnhl");
+  span.Annotate(jr->name() + "." + *inner_key);
+
   N2J_ASSIGN_OR_RETURN(Value outer, EvalNode(*e.child(0), env));
   if (!outer.is_set()) {
     return Status::RuntimeError("map over non-set");
   }
   N2J_ASSIGN_OR_RETURN(Value inner, TableValue(jr->name()));
+  span.RowsIn(outer.set_size());
+  span.RowsBuild(inner.set_size());
 
   PnhlParams params;
   params.set_attr = attr;
@@ -90,18 +101,25 @@ Result<Value> Evaluator::TryPnhlMap(const Expr& e, Environment& env) {
   params.drop_inner_key = *elem_key == *inner_key;
   params.memory_budget = opts_.pnhl_memory_budget;
   params.num_threads = opts_.num_threads;
+  params.trace = opts_.trace;
 
   PnhlStats pnhl_stats;
   Result<Value> out = PnhlJoin(outer, inner, params, &pnhl_stats);
   if (!out.ok()) {
     // Shape mismatches at runtime (e.g. the attribute is not a set of
     // tuples) fall back to the generic evaluation path.
+    span.Annotate("fallback");
     return Status::Unsupported(out.status().message());
   }
   stats_.pnhl_partitions += pnhl_stats.partitions;
   stats_.hash_inserts += pnhl_stats.build_inserts;
   stats_.hash_probes += pnhl_stats.probe_elements;
   stats_.tuples_scanned += pnhl_stats.probe_tuples;
+  if (span.on()) {
+    span.Annotate(StrFormat("segments=%u", pnhl_stats.partitions));
+    opts_.trace->NotePeakHash(pnhl_stats.peak_table_entries);
+    span.RowsOut(out);
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include "adl/printer.h"
 #include "adl/typecheck.h"
+#include "obs/trace.h"
 #include "oosql/translate.h"
 
 namespace n2j {
@@ -143,6 +144,15 @@ std::vector<OracleConfig> DefaultConfigMatrix() {
     c.eval.pnhl_memory_budget = 256;
     m.push_back(c);
   }
+  {
+    // Per-operator tracing as a pure observer under morsel parallelism:
+    // results must still match the oracle, and the span tree's exclusive
+    // stats deltas must sum exactly to the global counters.
+    OracleConfig c = Cell("traced-mt4");
+    c.eval.num_threads = 4;
+    c.trace = true;
+    m.push_back(c);
+  }
 
   return m;
 }
@@ -252,9 +262,28 @@ OracleReport RunDifferentialOracle(const Database& db,
       }
     }
 
-    Evaluator ev(db, config.eval);
+    EvalOptions eval_opts = config.eval;
+    TraceCollector collector;
+    if (config.trace) eval_opts.trace = &collector;
+    Evaluator ev(db, eval_opts);
     Result<Value> actual = ev.Eval(plan);
     ++report.configs_checked;
+
+    if (config.trace) {
+      // Span-sum invariant: the exclusive deltas over the whole span
+      // tree reconstruct the global counters exactly — even when the
+      // evaluation errored out (RAII closes every span on unwind).
+      std::string span_sum = collector.SumExclusiveStats().Compact();
+      std::string global = ev.stats().Compact();
+      if (span_sum != global) {
+        report.status = OracleStatus::kMismatch;
+        report.failing_config = config.name;
+        report.detail = "trace span stats do not sum to global stats\n"
+                        "span sum: " + span_sum + "\nglobal:   " + global +
+                        "\nplan: " + AlgebraStr(plan) + "\n" + trace;
+        return report;
+      }
+    }
 
     if (!expected.ok()) {
       // Reference hit a runtime error (e.g. arithmetic on a null

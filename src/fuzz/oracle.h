@@ -20,6 +20,11 @@ struct OracleConfig {
   /// Skip the rewriter entirely (execute the naive translation). Used by
   /// the sanity cell that must trivially match the reference.
   bool skip_rewrite = false;
+  /// Run this cell with a TraceCollector attached and assert the span
+  /// tree's invariant: the exclusive EvalStats deltas over all spans sum
+  /// exactly to the evaluator's global counters. Tracing must be a pure
+  /// observer — any result or counter divergence is a kMismatch.
+  bool trace = false;
 };
 
 /// The default matrix: ≥ 8 configurations spanning GroupingMode, the

@@ -1,0 +1,137 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "obs/trace.h"
+
+namespace n2j {
+namespace {
+
+// Operator spans live on tid 0 ("evaluator"); worker w's morsels live on
+// tid 1 + w so each worker gets its own track.
+constexpr int kPid = 1;
+constexpr int kEvaluatorTid = 0;
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendMetadata(std::string* out, const char* what, int tid,
+                    const std::string& name) {
+  *out += StrFormat(
+      "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+      "\"args\":{\"name\":\"",
+      what, kPid, tid);
+  AppendEscaped(out, name);
+  *out += "\"}},\n";
+}
+
+// One complete ("X") event. `ts`/`dur` are microseconds; trace_event
+// accepts fractional values, so we keep nanosecond precision.
+void AppendComplete(std::string* out, const std::string& name, int tid,
+                    int64_t start_ns, int64_t end_ns, int64_t base_ns,
+                    const std::string& args_json) {
+  *out += "{\"name\":\"";
+  AppendEscaped(out, name);
+  *out += StrFormat("\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d", kPid, tid);
+  *out += StrFormat(",\"ts\":%.3f",
+                    static_cast<double>(start_ns - base_ns) / 1e3);
+  *out += StrFormat(",\"dur\":%.3f",
+                    static_cast<double>(end_ns - start_ns) / 1e3);
+  if (!args_json.empty()) *out += ",\"args\":{" + args_json + "}";
+  *out += "},\n";
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceCollector& trace) {
+  std::string out = "{\"traceEvents\":[\n";
+  AppendMetadata(&out, "process_name", kEvaluatorTid, "n2j query");
+  AppendMetadata(&out, "thread_name", kEvaluatorTid, "evaluator");
+
+  int max_worker = -1;
+  for (const WorkerSpan& w : trace.worker_spans()) {
+    if (w.worker > max_worker) max_worker = w.worker;
+  }
+  for (int w = 0; w <= max_worker; ++w) {
+    AppendMetadata(&out, "thread_name", 1 + w, StrFormat("worker %d", w));
+  }
+
+  for (const TraceSpan& s : trace.spans()) {
+    std::string name = s.op;
+    if (!s.detail.empty()) name += " [" + s.detail + "]";
+    std::string args = StrFormat(
+        "\"rows_in\":%llu,\"rows_out\":%llu",
+        static_cast<unsigned long long>(s.rows_in),
+        static_cast<unsigned long long>(s.rows_out));
+    if (s.rows_build > 0) {
+      args += StrFormat(",\"rows_build\":%llu",
+                        static_cast<unsigned long long>(s.rows_build));
+    }
+    if (s.peak_hash_size > 0) {
+      args += StrFormat(",\"peak_hash\":%llu",
+                        static_cast<unsigned long long>(s.peak_hash_size));
+    }
+    std::string stats = s.exclusive.Compact();
+    if (!stats.empty()) {
+      args += ",\"stats\":\"";
+      AppendEscaped(&args, stats);
+      args += "\"";
+    }
+    AppendComplete(&out, name, kEvaluatorTid, s.start_ns, s.end_ns,
+                   trace.base_ns(), args);
+  }
+
+  for (const WorkerSpan& w : trace.worker_spans()) {
+    std::string args =
+        StrFormat("\"morsel\":%zu", static_cast<size_t>(w.morsel));
+    AppendComplete(&out, w.phase, 1 + w.worker, w.start_ns, w.end_ns,
+                   trace.base_ns(), args);
+  }
+
+  // Strip the trailing ",\n" so the array is valid JSON.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const TraceCollector& trace,
+                        const std::string& path) {
+  std::string json = ChromeTraceJson(trace);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::RuntimeError("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::RuntimeError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace n2j

@@ -1,0 +1,28 @@
+#ifndef N2J_OBS_CHROME_TRACE_H_
+#define N2J_OBS_CHROME_TRACE_H_
+
+// Chrome trace_event export of a TraceCollector: the operator-span tree
+// renders as nested complete ("X") events on thread 0 and every pool
+// worker's morsel timestamps render as their own named track, so
+// Perfetto / chrome://tracing shows the plan next to what each worker
+// thread actually ran. Timestamps are microseconds relative to the
+// collector's time base.
+
+#include <string>
+
+#include "common/status.h"
+
+namespace n2j {
+
+class TraceCollector;
+
+/// The full trace as a Chrome trace_event JSON document (the
+/// `{"traceEvents": [...]}` object form).
+std::string ChromeTraceJson(const TraceCollector& trace);
+
+/// Serializes and writes the trace to `path`.
+Status WriteChromeTrace(const TraceCollector& trace, const std::string& path);
+
+}  // namespace n2j
+
+#endif  // N2J_OBS_CHROME_TRACE_H_

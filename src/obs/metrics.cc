@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include "common/str_util.h"
+
+namespace n2j {
+namespace obs {
+
+constexpr double Histogram::kBucketBoundsMs[];
+constexpr int Histogram::kNumBuckets;
+
+void Histogram::Observe(double ms) {
+  if (ms < 0) ms = 0;
+  int i = 0;
+  while (i < kNumBuckets - 1 && ms > kBucketBoundsMs[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<uint64_t>(ms * 1e3),
+                    std::memory_order_relaxed);
+}
+
+std::string Histogram::ToString() const {
+  uint64_t n = count();
+  if (n == 0) return "count=0";
+  auto quantile_bound = [&](double q) -> std::string {
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+    if (rank < 1) rank = 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += bucket(i);
+      if (seen >= rank) {
+        if (i == kNumBuckets - 1) return ">1000ms";
+        return StrFormat("<%gms", kBucketBoundsMs[i]);
+      }
+    }
+    return ">1000ms";
+  };
+  return StrFormat("count=%llu sum=%.3fms p50%s p95%s p99%s",
+                   static_cast<unsigned long long>(n), sum_ms(),
+                   quantile_bound(0.50).c_str(),
+                   quantile_bound(0.95).c_str(),
+                   quantile_bound(0.99).c_str());
+}
+
+void Histogram::Reset() {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t width = 0;
+  for (const auto& [name, c] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, h] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name;
+    out.append(width + 2 - name.size(), ' ');
+    out += StrFormat("%llu\n", static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name;
+    out.append(width + 2 - name.size(), ' ');
+    out += h->ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace n2j

@@ -1,0 +1,91 @@
+#ifndef N2J_OBS_METRICS_H_
+#define N2J_OBS_METRICS_H_
+
+// A small process-wide metrics registry: named monotonic counters and
+// fixed-bucket latency histograms. QueryEngine::Run populates it (query
+// latency, rewrite time, per-algorithm join counts) and the bytecode
+// compiler records compile time. Instruments are created on first use
+// and live for the process lifetime, so callers may cache references.
+//
+// Everything is updated with relaxed atomics — counts are exact, but a
+// concurrent Render() may observe a histogram mid-update (count moved,
+// bucket not yet). That is the usual monitoring trade-off; no reader
+// ever blocks a query.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace n2j {
+namespace obs {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Latency histogram over a fixed exponential bucket ladder (upper
+/// bounds in milliseconds, +inf implicit). Fixed buckets keep every
+/// histogram in the registry comparable and mergeable.
+class Histogram {
+ public:
+  static constexpr double kBucketBoundsMs[] = {
+      0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250,
+      1000};
+  static constexpr int kNumBuckets =
+      static_cast<int>(sizeof(kBucketBoundsMs) / sizeof(double)) + 1;
+
+  void Observe(double ms);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_ms() const {
+    return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+           1e3;
+  }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// "count=12 sum=3.4ms p50<0.25ms p95<1ms p99<2.5ms" — bucket upper
+  /// bounds, not interpolations.
+  std::string ToString() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates; returned references stay valid forever.
+  Counter& GetCounter(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// All instruments, one per line, in name order.
+  std::string Render() const;
+
+  /// Zeroes every registered instrument (tests only — instruments stay
+  /// registered so cached references remain valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace n2j
+
+#endif  // N2J_OBS_METRICS_H_

@@ -1,0 +1,268 @@
+// Profiled execution (EXPLAIN ANALYZE): golden span trees for the
+// paper's worked queries, the span-sum invariant (exclusive deltas over
+// the whole trace reconstruct the global EvalStats exactly, serial and
+// parallel), tracing as a pure observer, Chrome-trace structure, and
+// the process-wide metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/datagen.h"
+
+namespace n2j {
+namespace {
+
+// Example Query 4: "suppliers supplying non-existing parts" — the
+// unnest + antijoin plan (paper_queries_test pins the plan shape; here
+// we pin its profile).
+constexpr char kQuery4[] =
+    "select s.eid from s in SUPPLIER where "
+    "exists z in s.parts : not exists p in PART : z.pid = p.pid";
+
+// Example Query 6: select-clause nesting — the nestjoin plan.
+constexpr char kQuery6[] =
+    "select (sname = s.sname, "
+    "        partssuppl = select p from p in PART "
+    "                     where p[pid] in s.parts) "
+    "from s in SUPPLIER";
+
+/// The Figure 1 query σ[x : x.c ⊆ σ[y : x.a = y.a](Y)](X) as ADL.
+ExprPtr Fig1Query() {
+  ExprPtr subq = Expr::Map(
+      "y", Expr::TupleConstruct({"d"}, {Expr::Access(Expr::Var("y"), "e")}),
+      Expr::Select("y",
+                   Expr::Eq(Expr::Access(Expr::Var("x"), "a"),
+                            Expr::Access(Expr::Var("y"), "a")),
+                   Expr::Table("Y")));
+  return Expr::Select(
+      "x",
+      Expr::Bin(BinOp::kSubsetEq, Expr::Access(Expr::Var("x"), "c"), subq),
+      Expr::Table("X"));
+}
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SupplierPartConfig config;
+    config.seed = 21;
+    config.num_parts = 50;
+    config.num_suppliers = 20;
+    config.parts_per_supplier = 6;
+    config.red_fraction = 0.25;
+    config.match_fraction = 0.85;
+    config.num_deliveries = 30;
+    db_ = MakeSupplierPartDatabase(config);
+
+    xy_db_ = std::make_unique<Database>();
+    XYConfig xy;
+    xy.seed = 5;
+    xy.x_rows = 50;
+    xy.y_rows = 50;
+    xy.key_domain = 26;
+    xy.empty_set_prob = 0.2;
+    N2J_CHECK(AddRandomXY(xy_db_.get(), xy).ok());
+  }
+
+  /// Runs `oosql` with tracing attached and returns the deterministic
+  /// (time-masked) rendering of the span tree.
+  std::string Profile(const std::string& oosql, int num_threads = 1) {
+    EvalOptions eval;
+    eval.num_threads = num_threads;
+    eval.trace = &collector_;
+    QueryEngine engine(db_.get(), RewriteOptions(), eval);
+    Result<QueryReport> r = engine.Run(oosql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return "";
+    EXPECT_EQ(r->profile, &collector_);
+    return collector_.Render({.show_time = false});
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Database> xy_db_;
+  TraceCollector collector_;
+};
+
+TEST_F(ExplainAnalyzeTest, GoldenProfileQuery4) {
+  std::string rendered = Profile(kQuery4);
+  EXPECT_EQ(rendered,
+            "query                       in=0 out=11 | nodes=1\n"
+            "  map                       in=19 out=11 | scanned=19 nodes=1"
+            " compiled=19\n"
+            "    antijoin [hash keys=1]  in=117 build=50 out=19 peak_hash=50"
+            " | scanned=167 h_ins=50 h_probe=117 nodes=2 compiled=167"
+            " hash_joins=1\n"
+            "      unnest                in=20 out=117 | scanned=20"
+            " nodes=1\n")
+      << "actual:\n" << rendered;
+}
+
+TEST_F(ExplainAnalyzeTest, GoldenProfileQuery6) {
+  std::string rendered = Profile(kQuery6);
+  EXPECT_EQ(rendered,
+            "query                                 in=0 out=20 | nodes=1\n"
+            "  map                                 in=20 out=20 |"
+            " scanned=20 nodes=1 compiled=20\n"
+            "    nestjoin [membership attr=parts]  in=20 build=50 out=20"
+            " peak_hash=50 | scanned=70 h_ins=50 h_probe=117 nodes=2"
+            " compiled=148 mem_joins=1\n")
+      << "actual:\n" << rendered;
+}
+
+TEST_F(ExplainAnalyzeTest, GoldenProfileFig1NestedQuery) {
+  TraceCollector tc;
+  EvalOptions eval;
+  eval.trace = &tc;
+  QueryEngine engine(xy_db_.get(), RewriteOptions(), eval);
+  Result<QueryReport> r = engine.RunAdl(Fig1Query());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string rendered = tc.Render({.show_time = false});
+  EXPECT_EQ(rendered,
+            "query                         in=0 out=17 | nodes=1\n"
+            "  project                     in=17 out=17 | scanned=17"
+            " nodes=1\n"
+            "    select                    in=44 out=17 | scanned=44"
+            " preds=44 nodes=1 compiled=44\n"
+            "      nestjoin [hash keys=1]  in=44 build=45 out=44"
+            " peak_hash=21 | scanned=89 h_ins=45 h_probe=44 nodes=2"
+            " compiled=176 hash_joins=1\n")
+      << "actual:\n" << rendered;
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainGrowsProfileSectionWhenTraced) {
+  EvalOptions eval;
+  eval.trace = &collector_;
+  QueryEngine engine(db_.get(), RewriteOptions(), eval);
+  Result<QueryReport> r = engine.Run(kQuery4);
+  ASSERT_TRUE(r.ok());
+  std::string explain = r->Explain();
+  EXPECT_NE(explain.find("profile:\n"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("stats:"), std::string::npos);
+  EXPECT_NE(explain.find("antijoin"), std::string::npos) << explain;
+
+  // Untraced engines keep the classic explain: no profile section.
+  QueryEngine plain(db_.get());
+  Result<QueryReport> p = plain.Run(kQuery4);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Explain().find("profile:"), std::string::npos);
+}
+
+// The tentpole invariant: the exclusive EvalStats deltas over the whole
+// span tree sum exactly to the evaluator's global counters — per query,
+// serial and 4-thread, interpreted and compiled.
+TEST_F(ExplainAnalyzeTest, SpanStatsSumToGlobalStats) {
+  const std::vector<std::string> queries = {kQuery4, kQuery6,
+                                            "select s from s in SUPPLIER"};
+  for (const std::string& q : queries) {
+    for (int threads : {1, 4}) {
+      for (bool compiled : {false, true}) {
+        TraceCollector tc;
+        EvalOptions eval;
+        eval.num_threads = threads;
+        eval.compiled = compiled;
+        eval.trace = &tc;
+        QueryEngine engine(db_.get(), RewriteOptions(), eval);
+        Result<QueryReport> r = engine.Run(q);
+        ASSERT_TRUE(r.ok()) << q;
+        EXPECT_EQ(tc.SumExclusiveStats().Compact(),
+                  r->exec_stats.Compact())
+            << q << " threads=" << threads << " compiled=" << compiled
+            << "\n" << tc.Render();
+      }
+    }
+  }
+}
+
+// Tracing must be a pure observer: identical result values and identical
+// global counters with and without a collector attached.
+TEST_F(ExplainAnalyzeTest, TracingChangesNeitherResultsNorStats) {
+  for (int threads : {1, 4}) {
+    EvalOptions plain;
+    plain.num_threads = threads;
+    QueryEngine untraced(db_.get(), RewriteOptions(), plain);
+    Result<QueryReport> base = untraced.Run(kQuery6);
+    ASSERT_TRUE(base.ok());
+
+    TraceCollector tc;
+    EvalOptions traced_opts = plain;
+    traced_opts.trace = &tc;
+    QueryEngine traced(db_.get(), RewriteOptions(), traced_opts);
+    Result<QueryReport> prof = traced.Run(kQuery6);
+    ASSERT_TRUE(prof.ok());
+
+    EXPECT_EQ(base->result, prof->result) << "threads=" << threads;
+    EXPECT_EQ(base->exec_stats.Compact(), prof->exec_stats.Compact())
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ExplainAnalyzeTest, ChromeTraceHasOperatorAndWorkerTracks) {
+  TraceCollector tc;
+  EvalOptions eval;
+  eval.num_threads = 4;
+  eval.trace = &tc;
+  QueryEngine engine(db_.get(), RewriteOptions(), eval);
+  ASSERT_TRUE(engine.Run(kQuery6).ok());
+
+  // 4 worker threads over 20 suppliers: the parallel operators must have
+  // recorded morsel timestamps.
+  ASSERT_FALSE(tc.spans().empty());
+  ASSERT_FALSE(tc.worker_spans().empty());
+
+  std::string json = ChromeTraceJson(tc);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"evaluator\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Every operator span and worker morsel became one complete event.
+  size_t x_events = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++x_events;
+  }
+  EXPECT_EQ(x_events, tc.spans().size() + tc.worker_spans().size());
+  // Worker morsels land on tids 1+w, separate from the evaluator's 0.
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, MetricsRegistryCountsQueries) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+  QueryEngine engine(db_.get());
+  ASSERT_TRUE(engine.Run(kQuery4).ok());
+  ASSERT_TRUE(engine.Run(kQuery6).ok());
+  EXPECT_FALSE(engine.Run("select (").ok());
+
+  EXPECT_EQ(reg.GetCounter("n2j_queries_total").value(), 3u);
+  EXPECT_EQ(reg.GetCounter("n2j_query_errors_total").value(), 1u);
+  // Query 4 runs a hash antijoin; Query 6's nestjoin executes as a
+  // membership join (`p[pid] in s.parts`).
+  EXPECT_GE(reg.GetCounter("n2j_joins_hash_total").value(), 1u);
+  EXPECT_GE(reg.GetCounter("n2j_joins_membership_total").value(), 1u);
+  EXPECT_EQ(reg.GetHistogram("n2j_query_ms").count(), 3u);
+  EXPECT_EQ(reg.GetHistogram("n2j_eval_ms").count(), 2u);
+
+  std::string rendered = reg.Render();
+  EXPECT_NE(rendered.find("n2j_queries_total"), std::string::npos);
+  EXPECT_NE(rendered.find("n2j_query_ms"), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, CollectorClearsBetweenQueries) {
+  EvalOptions eval;
+  eval.trace = &collector_;
+  QueryEngine engine(db_.get(), RewriteOptions(), eval);
+  ASSERT_TRUE(engine.Run(kQuery4).ok());
+  size_t first = collector_.spans().size();
+  ASSERT_TRUE(engine.Run(kQuery4).ok());
+  // The engine clears the collector per query — spans do not accumulate.
+  EXPECT_EQ(collector_.spans().size(), first);
+}
+
+}  // namespace
+}  // namespace n2j
