@@ -6,12 +6,22 @@
 // a mixed workload of the paper's query shapes with each option disabled
 // in turn, reporting total wall time and how many queries end up with
 // residual nested base tables (i.e. nested-loop execution).
+//
+// It also compares the paper's fixed priority strategy against the
+// cost-based planner (opt/optimizer.h): every shape is executed under
+// both strategies, results are asserted bit-identical, and both
+// variants land in the trajectory JSON. --strategy=cost|heuristic pins
+// the strategy for the google-benchmark timed loops (the comparison
+// section always runs both).
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 #include "adl/analysis.h"
 #include "bench/bench_util.h"
 #include "oosql/translate.h"
+#include "opt/optimizer.h"
 
 namespace n2j {
 namespace {
@@ -94,6 +104,106 @@ std::unique_ptr<Database> MakeDb(int n) {
 }
 
 bool HasNestedBaseTable(const ExprPtr& e);  // below
+
+/// Process-wide planner-strategy selection for the timed loops
+/// (--strategy=cost|heuristic; default heuristic, the engine default).
+PlanStrategy& BenchStrategy() {
+  static PlanStrategy strategy = PlanStrategy::kHeuristic;
+  return strategy;
+}
+
+/// Plans `e` with the cost-based planner, aborting on error.
+PhysicalPlan MustPlan(const Database& db, const ExprPtr& e) {
+  PlannerOptions popts;
+  popts.strategy = PlanStrategy::kCost;
+  Planner planner(db, popts);
+  Result<PhysicalPlan> pp = planner.Plan(e);
+  if (!pp.ok()) {
+    std::fprintf(stderr, "bench planning failed: %s\n",
+                 pp.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(pp);
+}
+
+/// Evaluates a pre-planned physical plan (annotation-driven dispatch).
+Value EvalPlanned(const Database& db, const PhysicalPlan& pp,
+                  EvalStats* stats = nullptr) {
+  EvalOptions opts;
+  opts.plan = &pp.annotations;
+  return MustEval(db, pp.root, opts, stats);
+}
+
+// The strategy-comparison workload: the join-heavy shapes where the
+// physical algorithm and join order actually matter. The 3-table chain
+// exercises the Selinger-style reordering DP.
+struct StrategyQuery {
+  const char* tag;
+  const char* oosql;
+};
+
+const StrategyQuery kStrategyWorkload[] = {
+    {"fig1-semijoin",
+     "select x from x in X where exists y in Y : y.a = x.a"},
+    {"antijoin",
+     "select x from x in X where not exists y in Y : y.a = x.a"},
+    {"q4-dangling",
+     "select s.eid from s in SUPPLIER where "
+     "exists z in s.parts : not exists p in PART : z.pid = p.pid"},
+    {"q6-nestjoin",
+     "select x from x in X where x.c subseteq "
+     "(select (d = y.e) from y in Y where y.a = x.a)"},
+    {"chain3-join",
+     "select (xa = x.a, we = w.e) from x in X, y in Y, w in W "
+     "where x.a = y.a and y.e = w.a"},
+};
+
+std::unique_ptr<Database> MakeStrategyDb(int n) {
+  auto db = MakeDb(n);
+  XYConfig zw;
+  zw.seed = 37;
+  zw.x_rows = n / 2;
+  zw.y_rows = n * 2;
+  zw.key_domain = n;
+  zw.value_domain = n;
+  N2J_CHECK(AddRandomXY(db.get(), zw, "Z", "W").ok());
+  return db;
+}
+
+void RunStrategyComparison(bench::Trajectory* traj) {
+  Section("Planner strategy — paper heuristic vs cost-based "
+          "(both recorded in the trajectory)");
+  std::printf("%-16s %6s %14s %12s %8s %10s\n", "query", "n",
+              "heuristic (ms)", "cost (ms)", "ratio", "reordered");
+  for (int n : {256, 1024}) {
+    auto db = MakeStrategyDb(n);
+    Translator tr(db->schema(), db.get());
+    for (const StrategyQuery& q : kStrategyWorkload) {
+      Result<TypedExpr> typed = tr.TranslateString(q.oosql);
+      N2J_CHECK(typed.ok());
+      ExprPtr plan = MustRewrite(*db, typed->expr).expr;
+      PhysicalPlan pp = MustPlan(*db, plan);
+
+      // Correctness gate: the two strategies must agree bit-for-bit.
+      EvalStats h_stats, c_stats;
+      Value heuristic = MustEval(*db, plan, EvalOptions(), &h_stats);
+      Value cost = EvalPlanned(*db, pp, &c_stats);
+      N2J_CHECK(heuristic == cost);
+
+      double h_ms = TimeMs([&] { MustEval(*db, plan); }, 50);
+      double c_ms = TimeMs([&] { EvalPlanned(*db, pp); }, 50);
+      std::printf("%-16s %6d %14.3f %12.3f %7.2fx %10s\n", q.tag, n, h_ms,
+                  c_ms, c_ms / h_ms, pp.reordered ? "yes" : "no");
+      traj->Add(q.tag, "heuristic", n, h_ms, h_stats);
+      traj->Add(q.tag, "cost", n, c_ms, c_stats);
+    }
+  }
+  std::printf(
+      "\n'cost' plans once (outside the timed loop) and executes the\n"
+      "planner's annotated tree; 'heuristic' is the paper's priority\n"
+      "strategy with auto physical dispatch. Results are asserted\n"
+      "bit-identical before timing.\n");
+}
 
 void RunAblation() {
   Section("Section 4 priority strategy — ablation (workload of 8 queries)");
@@ -186,8 +296,22 @@ void BM_FullStrategyWorkload(benchmark::State& state) {
     N2J_CHECK(typed.ok());
     plans.push_back(MustRewrite(*db, typed->expr).expr);
   }
+  // --strategy=cost: plan once up front, time annotation-driven
+  // execution (plan time is BM_RewriterItself's concern, not this loop's).
+  std::vector<PhysicalPlan> physical;
+  if (BenchStrategy() == PlanStrategy::kCost) {
+    for (const ExprPtr& p : plans) physical.push_back(MustPlan(*db, p));
+  }
   for (auto _ : state) {
-    for (const ExprPtr& p : plans) benchmark::DoNotOptimize(MustEval(*db, p));
+    if (BenchStrategy() == PlanStrategy::kCost) {
+      for (const PhysicalPlan& pp : physical) {
+        benchmark::DoNotOptimize(EvalPlanned(*db, pp));
+      }
+    } else {
+      for (const ExprPtr& p : plans) {
+        benchmark::DoNotOptimize(MustEval(*db, p));
+      }
+    }
   }
 }
 BENCHMARK(BM_FullStrategyWorkload)->Arg(128)->Arg(512);
@@ -214,7 +338,30 @@ BENCHMARK(BM_RewriterItself);
 }  // namespace n2j
 
 int main(int argc, char** argv) {
+  n2j::bench::Trajectory traj("strategy_ablation", &argc, argv);
+  // Strip --strategy=cost|heuristic before google-benchmark parses argv.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--strategy=", 11) == 0) {
+      const char* v = argv[i] + 11;
+      if (std::strcmp(v, "cost") == 0) {
+        n2j::BenchStrategy() = n2j::PlanStrategy::kCost;
+      } else if (std::strcmp(v, "heuristic") == 0) {
+        n2j::BenchStrategy() = n2j::PlanStrategy::kHeuristic;
+      } else {
+        std::fprintf(stderr, "unknown --strategy=%s (cost|heuristic)\n", v);
+        return 1;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  std::printf("timed-loop strategy: %s\n",
+              n2j::PlanStrategyName(n2j::BenchStrategy()));
   n2j::RunAblation();
+  n2j::RunStrategyComparison(&traj);
+  traj.WriteIfRequested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

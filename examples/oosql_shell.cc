@@ -14,6 +14,13 @@
 //                    of each query to f.json; \trace off disables
 //   \timing on|off   print each query's wall time
 //   \stats           print the last query's execution counters
+//   \stats <extent>  print the extent's optimizer statistics (row count,
+//                    per-attribute distincts/ranges, set-attr fanout)
+//   \analyze         refresh statistics for every extent (SQL's ANALYZE)
+//   \strategy [cost|heuristic] select the planner strategy: 'cost' runs
+//                    the statistics-driven planner (EXPLAIN then shows
+//                    per-node algorithm + est_rows/est_cost); default is
+//                    the paper's priority strategy
 //   \metrics         print the process-wide metrics registry
 //   \quit            exit
 //
@@ -31,6 +38,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stats/stats.h"
 #include "storage/datagen.h"
 
 using namespace n2j;  // NOLINT — example code
@@ -85,6 +93,7 @@ int main() {
 
   bool rewrites_enabled = true;
   bool compiled_enabled = true;
+  PlanStrategy strategy = PlanStrategy::kHeuristic;
   bool profile_on = false;
   bool timing_on = false;
   int num_threads = 1;
@@ -116,7 +125,9 @@ int main() {
     if (profile_on || !trace_path.empty()) {
       eval_opts.trace = &collector;
     }
-    return QueryEngine(db.get(), opts, eval_opts);
+    PlannerOptions planner_opts;
+    planner_opts.strategy = strategy;
+    return QueryEngine(db.get(), opts, eval_opts, planner_opts);
   };
 
   auto write_chrome_trace = [&]() {
@@ -199,11 +210,39 @@ int main() {
           std::printf("usage: \\trace <file.json> | \\trace off\n");
         }
       } else if (cmd == "\\stats") {
-        if (have_stats) {
+        std::string extent;
+        if (iss >> extent) {
+          const ExtentStats* es = db->stats().Get(*db, extent);
+          if (es == nullptr) {
+            std::printf("no such extent: %s\n", extent.c_str());
+          } else {
+            std::printf("%s", es->ToString().c_str());
+          }
+        } else if (have_stats) {
           std::printf("%s", last_stats.ToString().c_str());
         } else {
           std::printf("no query has run yet\n");
         }
+      } else if (cmd == "\\analyze") {
+        db->stats().Analyze(*db);
+        for (const std::string& name : db->TableNames()) {
+          const ExtentStats* es = db->stats().Get(*db, name);
+          std::printf("  %-12s %zu rows, %zu attrs profiled\n", name.c_str(),
+                      es == nullptr ? 0 : static_cast<size_t>(es->row_count),
+                      es == nullptr ? 0 : es->attrs.size());
+        }
+      } else if (cmd == "\\strategy") {
+        std::string arg;
+        if (iss >> arg) {
+          if (arg == "cost") {
+            strategy = PlanStrategy::kCost;
+          } else if (arg == "heuristic") {
+            strategy = PlanStrategy::kHeuristic;
+          } else {
+            std::printf("usage: \\strategy [cost|heuristic]\n");
+          }
+        }
+        std::printf("planner strategy: %s\n", PlanStrategyName(strategy));
       } else if (cmd == "\\metrics") {
         std::printf("%s", obs::MetricsRegistry::Global().Render().c_str());
       } else if (cmd == "\\explain") {

@@ -53,6 +53,9 @@ std::string QueryReport::Explain() const {
     pretty.pretty = true;
     out += "plan:\n" + ToAlgebraString(optimized, pretty) + "\n";
   }
+  if (plan != nullptr) {
+    out += "planner:    strategy=cost " + plan->Describe();
+  }
   if (!trace.empty()) {
     out += "rules:\n";
     for (const RuleApplication& a : trace) {
@@ -91,9 +94,22 @@ Status QueryEngine::Execute(QueryReport* report) const {
   if (eval_options_.trace != nullptr) {
     eval_options_.trace->Clear();
   }
-  Evaluator ev(*db_, eval_options_);
+  // Under the cost strategy, plan first: the evaluator executes the
+  // planner's (possibly join-reordered) tree and dispatches each
+  // join-family node on its pinned algorithm annotation.
+  ExprPtr to_run = report->optimized;
+  EvalOptions opts = eval_options_;
+  if (planner_options_.strategy == PlanStrategy::kCost) {
+    Planner planner(*db_, planner_options_);
+    N2J_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                         planner.Plan(report->optimized));
+    report->plan = std::make_shared<const PhysicalPlan>(std::move(plan));
+    to_run = report->plan->root;
+    opts.plan = &report->plan->annotations;
+  }
+  Evaluator ev(*db_, opts);
   int64_t t0 = MonotonicNanos();
-  N2J_ASSIGN_OR_RETURN(report->result, ev.Eval(report->optimized));
+  N2J_ASSIGN_OR_RETURN(report->result, ev.Eval(to_run));
   obs::MetricsRegistry::Global()
       .GetHistogram("n2j_eval_ms")
       .Observe(MsSince(t0));

@@ -8,6 +8,7 @@
 #include "adl/type.h"
 #include "common/result.h"
 #include "exec/eval.h"
+#include "opt/optimizer.h"
 #include "rewrite/rewriter.h"
 #include "storage/database.h"
 
@@ -23,6 +24,11 @@ struct QueryReport {
   TypePtr type;               // inferred result type
   ExprPtr optimized;          // after the rewriter
   std::vector<RuleApplication> trace;  // fired rules
+  /// Cost-based physical plan (PlanStrategy::kCost only; null under the
+  /// paper's heuristic strategy). Owns the per-node annotations the
+  /// evaluator dispatched on, plus the executed (possibly join-
+  /// reordered) expression in plan->root.
+  std::shared_ptr<const PhysicalPlan> plan;
   Value result;               // query result
   EvalStats exec_stats;       // operator counters of the final execution
   /// Operator span tree of the execution (borrowed from the engine's
@@ -41,10 +47,12 @@ class QueryEngine {
  public:
   explicit QueryEngine(const Database* db,
                        RewriteOptions rewrite_options = RewriteOptions(),
-                       EvalOptions eval_options = EvalOptions())
+                       EvalOptions eval_options = EvalOptions(),
+                       PlannerOptions planner_options = PlannerOptions())
       : db_(db),
         rewrite_options_(rewrite_options),
-        eval_options_(eval_options) {}
+        eval_options_(eval_options),
+        planner_options_(planner_options) {}
 
   /// Runs an OOSQL query end to end.
   Result<QueryReport> Run(const std::string& oosql) const;
@@ -61,6 +69,7 @@ class QueryEngine {
   const Database& db() const { return *db_; }
   RewriteOptions& rewrite_options() { return rewrite_options_; }
   EvalOptions& eval_options() { return eval_options_; }
+  PlannerOptions& planner_options() { return planner_options_; }
 
  private:
   /// Shared back half of Run/RunAdl: clears the trace collector (if one
@@ -71,6 +80,7 @@ class QueryEngine {
   const Database* db_;
   RewriteOptions rewrite_options_;
   EvalOptions eval_options_;
+  PlannerOptions planner_options_;
 };
 
 }  // namespace n2j

@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "exec/bytecode.h"
 #include "exec/compile.h"
+#include "exec/plan.h"
 #include "obs/trace.h"
 
 namespace n2j {
@@ -364,6 +365,7 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
         }
       }
       OpSpan span(opts_.trace, stats_, "map");
+      AnnotateEstRows(opts_.plan, e, &span);
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("map over non-set");
       span.RowsIn(in.set_size());
@@ -404,6 +406,7 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
 
     case ExprKind::kSelect: {
       OpSpan span(opts_.trace, stats_, "select");
+      AnnotateEstRows(opts_.plan, e, &span);
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("select over non-set");
       span.RowsIn(in.set_size());
@@ -451,6 +454,7 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
 
     case ExprKind::kProject: {
       OpSpan span(opts_.trace, stats_, "project");
+      AnnotateEstRows(opts_.plan, e, &span);
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("project over non-set");
       span.RowsIn(in.set_size());
@@ -493,6 +497,7 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
 
     case ExprKind::kFlatten: {
       OpSpan span(opts_.trace, stats_, "flatten");
+      AnnotateEstRows(opts_.plan, e, &span);
       N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
       if (!in.is_set()) return Status::RuntimeError("flatten over non-set");
       span.RowsIn(in.set_size());
@@ -516,6 +521,7 @@ Result<Value> Evaluator::EvalNode(const Expr& e, Environment& env) {
 
     case ExprKind::kProduct: {
       OpSpan span(opts_.trace, stats_, "product");
+      AnnotateEstRows(opts_.plan, e, &span);
       N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
       N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
       if (!l.is_set() || !r.is_set()) {
@@ -647,6 +653,7 @@ Result<Value> Evaluator::EvalAggregate(const Expr& e, Environment& env) {
 
 Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
   OpSpan span(opts_.trace, stats_, "nest");
+      AnnotateEstRows(opts_.plan, e, &span);
   N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
   if (!in.is_set()) return Status::RuntimeError("nest over non-set");
   span.RowsIn(in.set_size());
@@ -721,6 +728,7 @@ Result<Value> Evaluator::EvalNest(const Expr& e, Environment& env) {
 
 Result<Value> Evaluator::EvalUnnest(const Expr& e, Environment& env) {
   OpSpan span(opts_.trace, stats_, "unnest");
+      AnnotateEstRows(opts_.plan, e, &span);
   N2J_ASSIGN_OR_RETURN(Value in, EvalNode(*e.child(0), env));
   if (!in.is_set()) return Status::RuntimeError("unnest over non-set");
   span.RowsIn(in.set_size());
@@ -754,6 +762,7 @@ Result<Value> Evaluator::EvalUnnest(const Expr& e, Environment& env) {
 
 Result<Value> Evaluator::EvalDivide(const Expr& e, Environment& env) {
   OpSpan span(opts_.trace, stats_, "divide");
+      AnnotateEstRows(opts_.plan, e, &span);
   N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
   N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
   if (!l.is_set() || !r.is_set()) {
@@ -819,6 +828,17 @@ Result<Value> Evaluator::EvalJoinLike(const Expr& e, Environment& env) {
       break;
   }
   OpSpan span(opts_.trace, stats_, op);
+  AnnotateEstRows(opts_.plan, e, &span);
+  // The cost-based planner (opt/optimizer.h) can pin a physical
+  // algorithm on this specific node; kAuto annotations and heuristic
+  // runs keep the engine-wide setting.
+  JoinAlgorithm algorithm = opts_.join_algorithm;
+  if (opts_.plan != nullptr) {
+    const PlanAnnotation* pa = opts_.plan->Find(&e);
+    if (pa != nullptr && pa->algorithm != JoinAlgorithm::kAuto) {
+      algorithm = pa->algorithm;
+    }
+  }
   N2J_ASSIGN_OR_RETURN(Value l, EvalNode(*e.child(0), env));
   N2J_ASSIGN_OR_RETURN(Value r, EvalNode(*e.child(1), env));
   if (!l.is_set() || !r.is_set()) {
@@ -826,12 +846,11 @@ Result<Value> Evaluator::EvalJoinLike(const Expr& e, Environment& env) {
   }
   span.RowsIn(l.set_size());
   span.RowsBuild(r.set_size());
-  if (opts_.use_hash_joins &&
-      opts_.join_algorithm != JoinAlgorithm::kNestedLoop) {
+  if (opts_.use_hash_joins && algorithm != JoinAlgorithm::kNestedLoop) {
     Result<Value> result = Status::Unsupported("");
     uint64_t* algo_counter = nullptr;
     const char* algo = "";
-    switch (opts_.join_algorithm) {
+    switch (algorithm) {
       case JoinAlgorithm::kAuto:
       case JoinAlgorithm::kIndex:
         // Prefer a prebuilt index; with no usable index, a hash join is

@@ -21,6 +21,7 @@ namespace n2j {
 class CompiledLambda;
 struct JoinLambdas;
 class TraceCollector;
+struct PlanAnnotations;
 
 /// Operator cost counters. The benchmarks use these (in addition to wall
 /// time) to show *why* set-oriented plans win: nested-loop plans evaluate
@@ -116,6 +117,14 @@ struct EvalOptions {
   /// The collector is borrowed, not owned, and must outlive the
   /// evaluation; worker evaluator clones run with tracing off.
   TraceCollector* trace = nullptr;
+  /// Per-node physical plan annotations from the cost-based planner
+  /// (exec/plan.h; filled by opt/optimizer.h). When set, a join-family
+  /// node with an annotated algorithm overrides `join_algorithm` for
+  /// that node only, and estimated cardinalities are attached to trace
+  /// spans (EXPLAIN's est-vs-actual column). Borrowed, not owned; must
+  /// outlive the evaluation. nullptr = heuristic dispatch, exactly the
+  /// pre-planner behavior.
+  const PlanAnnotations* plan = nullptr;
 };
 
 /// Variable bindings during evaluation, innermost last.

@@ -4,6 +4,7 @@
 #include "adl/typecheck.h"
 #include "obs/trace.h"
 #include "oosql/translate.h"
+#include "opt/optimizer.h"
 
 namespace n2j {
 namespace fuzz {
@@ -153,6 +154,14 @@ std::vector<OracleConfig> DefaultConfigMatrix() {
     c.trace = true;
     m.push_back(c);
   }
+  {
+    // Cost-based planning: statistics-driven per-node algorithm choice
+    // and join-order DP must be pure plan transformations — bit-exact
+    // against the nested-loop oracle whatever the cost model picks.
+    OracleConfig c = Cell("cost-based");
+    c.cost_based = true;
+    m.push_back(c);
+  }
 
   return m;
 }
@@ -265,6 +274,23 @@ OracleReport RunDifferentialOracle(const Database& db,
     EvalOptions eval_opts = config.eval;
     TraceCollector collector;
     if (config.trace) eval_opts.trace = &collector;
+    PhysicalPlan physical;
+    if (config.cost_based) {
+      PlannerOptions popts;
+      popts.strategy = PlanStrategy::kCost;
+      Planner planner(db, popts);
+      Result<PhysicalPlan> planned = planner.Plan(plan);
+      if (!planned.ok()) {
+        report.status = OracleStatus::kMismatch;
+        report.failing_config = config.name;
+        report.detail = "planner failed: " + planned.status().ToString() +
+                        "\nplan: " + AlgebraStr(plan) + "\n" + trace;
+        return report;
+      }
+      physical = std::move(planned).value();
+      plan = physical.root;
+      eval_opts.plan = &physical.annotations;
+    }
     Evaluator ev(db, eval_opts);
     Result<Value> actual = ev.Eval(plan);
     ++report.configs_checked;

@@ -25,6 +25,11 @@ struct OracleConfig {
   /// exactly to the evaluator's global counters. Tracing must be a pure
   /// observer — any result or counter divergence is a kMismatch.
   bool trace = false;
+  /// Run the cost-based planner (opt/optimizer.h) over the rewritten
+  /// plan and execute its output — per-node algorithm annotations plus
+  /// any join reordering. Must stay bit-exact against the nested-loop
+  /// oracle: a cost model may pick a slow plan, never a wrong one.
+  bool cost_based = false;
 };
 
 /// The default matrix: ≥ 8 configurations spanning GroupingMode, the

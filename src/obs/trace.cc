@@ -133,6 +133,7 @@ std::string TraceCollector::Render(const TraceRenderOptions& opts) const {
         for (const auto& [key, members] : groups) {
           const TraceSpan& first = spans_[static_cast<size_t>(members[0])];
           uint64_t in = 0, build = 0, rows_out = 0, peak = 0;
+          double est = -1.0;
           int64_t ns = 0;
           EvalStats ex;
           for (int id : members) {
@@ -140,6 +141,9 @@ std::string TraceCollector::Render(const TraceRenderOptions& opts) const {
             in += s.rows_in;
             build += s.rows_build;
             rows_out += s.rows_out;
+            if (s.est_rows >= 0.0) {
+              est = (est < 0.0 ? 0.0 : est) + s.est_rows;
+            }
             if (s.peak_hash_size > peak) peak = s.peak_hash_size;
             ns += s.inclusive_ns();
             ex.Merge(s.exclusive);
@@ -159,6 +163,9 @@ std::string TraceCollector::Render(const TraceRenderOptions& opts) const {
           if (build > 0) {
             rest += StrFormat("build=%llu ",
                               static_cast<unsigned long long>(build));
+          }
+          if (est >= 0.0) {
+            rest += StrFormat("est=%.0f ", est);
           }
           rest += StrFormat("out=%llu ",
                             static_cast<unsigned long long>(rows_out));

@@ -49,6 +49,10 @@ struct TraceSpan {
   uint64_t rows_in = 0;         // probe/primary input cardinality
   uint64_t rows_build = 0;      // build/secondary input cardinality
   uint64_t rows_out = 0;
+  /// Planner-estimated output rows (negative = not estimated). Set from
+  /// PlanAnnotations when the evaluator runs a cost-based plan; Render
+  /// prints est= next to out= so EXPLAIN shows estimate vs. actual.
+  double est_rows = -1.0;
   uint64_t peak_hash_size = 0;  // largest resident hash table (entries)
   EvalStats inclusive;
   EvalStats exclusive;
@@ -100,6 +104,7 @@ class TraceCollector {
   void SetRowsIn(int id, uint64_t n) { spans_[size_t(id)].rows_in = n; }
   void SetRowsBuild(int id, uint64_t n) { spans_[size_t(id)].rows_build = n; }
   void SetRowsOut(int id, uint64_t n) { spans_[size_t(id)].rows_out = n; }
+  void SetEstRows(int id, double n) { spans_[size_t(id)].est_rows = n; }
 
   /// Appends to the innermost open span's annotation — how a physical
   /// join implementation describes itself (keys, index, ...) on the
@@ -187,6 +192,10 @@ class OpSpan {
   }
   void RowsOut(uint64_t n) {
     if (tc_ != nullptr) tc_->SetRowsOut(id_, n);
+  }
+  /// Planner-estimated output rows; negative values are ignored.
+  void EstRows(double n) {
+    if (tc_ != nullptr && n >= 0.0) tc_->SetEstRows(id_, n);
   }
   /// Records the result cardinality when `r` holds a set.
   void RowsOut(const Result<Value>& r) {

@@ -1,0 +1,48 @@
+#include "opt/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace n2j {
+
+namespace {
+double Log2Ceil(double n) { return n <= 2.0 ? 1.0 : std::log2(n); }
+}  // namespace
+
+double NestedLoopJoinCost(double l, double r, double out,
+                          const CostConstants& c) {
+  return l * r * c.pred_eval + out * c.emit_row;
+}
+
+double HashJoinCost(double l, double r, double out, const CostConstants& c) {
+  return r * c.hash_build + l * c.hash_probe + out * c.emit_row;
+}
+
+double SortMergeJoinCost(double l, double r, double out,
+                         const CostConstants& c) {
+  double sort = (l * Log2Ceil(l) + r * Log2Ceil(r)) * c.sort_per_cmp;
+  return sort + (l + r) * c.merge_row + out * c.emit_row;
+}
+
+double IndexJoinCost(double l, double matches, double out,
+                     const CostConstants& c) {
+  return l * c.index_probe + matches * c.index_chase + out * c.emit_row;
+}
+
+double MembershipJoinCost(double l_elems, double r, double out,
+                          const CostConstants& c) {
+  return r * c.hash_build + l_elems * c.hash_probe + out * c.emit_row;
+}
+
+double PnhlCost(double l, double r, double out, double build_bytes,
+                size_t budget, const CostConstants& c) {
+  double segments = 1.0;
+  if (budget > 0 && build_bytes > 0) {
+    segments = std::max(1.0, std::ceil(build_bytes /
+                                       static_cast<double>(budget)));
+  }
+  // Build each segment once; rescan the probe side per segment.
+  return r * c.hash_build + segments * l * c.hash_probe + out * c.emit_row;
+}
+
+}  // namespace n2j

@@ -1,0 +1,595 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "adl/analysis.h"
+#include "common/str_util.h"
+#include "exec/equi_join.h"
+#include "stats/cardinality.h"
+#include "stats/stats.h"
+
+namespace n2j {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDefaultRows = 1000.0;
+/// A reorder must beat the original order by this factor to be worth
+/// the field-order-restoring map it needs.
+constexpr double kReorderGain = 0.95;
+constexpr size_t kMaxDpTables = 10;
+
+/// `e` is Access(Var(var), attr) → the attribute name; nullptr else.
+const std::string* PlainAttr(const ExprPtr& e, const std::string& var) {
+  if (e->kind() != ExprKind::kFieldAccess) return nullptr;
+  const ExprPtr& base = e->child(0);
+  if (base->kind() != ExprKind::kVar || base->name() != var) return nullptr;
+  return &e->name();
+}
+
+const char* JoinOpName(ExprKind k) {
+  switch (k) {
+    case ExprKind::kSemiJoin:
+      return "semijoin";
+    case ExprKind::kAntiJoin:
+      return "antijoin";
+    case ExprKind::kNestJoin:
+      return "nestjoin";
+    default:
+      return "join";
+  }
+}
+
+/// Mirrors Evaluator::IndexJoin's preconditions (physical.cc): base
+/// table on the right, exactly one equi key, a plain right attribute,
+/// and an actually prebuilt index.
+bool IndexUsable(const Database& db, const Expr& e,
+                 const EquiJoinKeys& keys) {
+  if (e.right()->kind() != ExprKind::kGetTable) return false;
+  if (keys.left_keys.size() != 1) return false;
+  const std::string* attr = PlainAttr(keys.right_keys[0], e.var2());
+  if (attr == nullptr) return false;
+  return db.FindIndex(e.right()->name(), *attr) != nullptr;
+}
+
+/// Detects the membership-join pattern f(y) ∈ x.c / x.c ∋ f(y) in a
+/// conjunct of `e`'s predicate. Returns true and the container's
+/// average fanout (4.0 when unknown) — the probe volume driver.
+bool MembershipUsable(const Expr& e, const RelEstimate& left,
+                      double* avg_fanout) {
+  for (const ExprPtr& c : SplitConjuncts(e.pred())) {
+    if (c->kind() != ExprKind::kBinary) continue;
+    const ExprPtr* probe = nullptr;
+    const ExprPtr* container = nullptr;
+    if (c->bin_op() == BinOp::kIn) {
+      probe = &c->child(0);
+      container = &c->child(1);
+    } else if (c->bin_op() == BinOp::kContains) {
+      container = &c->child(0);
+      probe = &c->child(1);
+    } else {
+      continue;
+    }
+    const std::string* attr = PlainAttr(*container, e.var());
+    if (attr == nullptr) continue;
+    if (IsFreeIn(e.var(), *probe)) continue;
+    const AttrStats* cs = left.Find(*attr);
+    *avg_fanout = (cs != nullptr && cs->set_valued)
+                      ? std::max(1.0, cs->avg_fanout)
+                      : 4.0;
+    return true;
+  }
+  return false;
+}
+
+struct Choice {
+  JoinAlgorithm algo = JoinAlgorithm::kNestedLoop;
+  const char* label = "nested-loop";
+  double cost = kInf;
+};
+
+/// Prices every available physical alternative for one join-family node
+/// and returns the cheapest.
+Choice ChooseJoin(const Database& db, const PlannerOptions& po,
+                  const Expr& e, const RelEstimate& l, const RelEstimate& r,
+                  double out, double matches) {
+  double lr = l.RowsOr(kDefaultRows);
+  double rr = r.RowsOr(kDefaultRows);
+  const CostConstants& c = po.costs;
+
+  Choice best{JoinAlgorithm::kNestedLoop, "nested-loop",
+              NestedLoopJoinCost(lr, rr, out, c)};
+  auto consider = [&](JoinAlgorithm a, const char* label, double cost) {
+    if (cost < best.cost) best = Choice{a, label, cost};
+  };
+
+  EquiJoinKeys keys = ExtractEquiKeys(e.pred(), e.var(), e.var2());
+  if (keys.usable()) {
+    consider(JoinAlgorithm::kHash, "hash", HashJoinCost(lr, rr, out, c));
+    consider(JoinAlgorithm::kSortMerge, "sort-merge",
+             SortMergeJoinCost(lr, rr, out, c));
+    if (IndexUsable(db, e, keys)) {
+      consider(JoinAlgorithm::kIndex, "index",
+               IndexJoinCost(lr, matches, out, c));
+    }
+  } else {
+    double fanout = 0.0;
+    if (MembershipUsable(e, l, &fanout)) {
+      // Dispatched as kHash: the hash attempt reports kUnsupported (no
+      // equi keys) and the evaluator falls through to MembershipJoin.
+      consider(JoinAlgorithm::kHash, "membership",
+               MembershipJoinCost(lr * fanout, rr, out, c));
+    }
+  }
+  return best;
+}
+
+// ---- Join-order DP over base-table equi-join chains -----------------
+
+struct ChainPred {
+  size_t lt = 0, rt = 0;     // table indexes (lt on the original left)
+  std::string la, ra;        // their attributes
+};
+
+struct Chain {
+  std::vector<std::string> tables;  // original left-to-right order
+  std::vector<ChainPred> preds;
+};
+
+/// Index of the table in [from, to) owning `attr`, or SIZE_MAX.
+size_t OwnerOf(const Database& db, const Chain& ch, size_t from, size_t to,
+               const std::string& attr) {
+  for (size_t i = from; i < to; ++i) {
+    const Table* t = db.FindTable(ch.tables[i]);
+    if (t != nullptr && t->row_type()->is_tuple() &&
+        t->row_type()->FindField(attr) != nullptr) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+/// Flattens a pure equi-join tree over base tables into `ch`. Every
+/// predicate must be a conjunction of attr = attr equalities between
+/// the two sides; anything else (residuals, outer variables, computed
+/// keys) disqualifies the chain.
+bool CollectChain(const Database& db, const ExprPtr& e, Chain* ch) {
+  if (e->kind() == ExprKind::kGetTable) {
+    const Table* t = db.FindTable(e->name());
+    if (t == nullptr || !t->row_type()->is_tuple()) return false;
+    ch->tables.push_back(e->name());
+    return true;
+  }
+  if (e->kind() != ExprKind::kJoin) return false;
+  size_t l0 = ch->tables.size();
+  if (!CollectChain(db, e->left(), ch)) return false;
+  size_t r0 = ch->tables.size();
+  if (!CollectChain(db, e->right(), ch)) return false;
+  for (const ExprPtr& c : SplitConjuncts(e->pred())) {
+    if (c->kind() != ExprKind::kBinary || c->bin_op() != BinOp::kEq) {
+      return false;
+    }
+    const std::string* a0 = PlainAttr(c->child(0), e->var());
+    const std::string* a1 = PlainAttr(c->child(1), e->var2());
+    if (a0 == nullptr || a1 == nullptr) {
+      // Maybe written y.b = x.a.
+      a0 = PlainAttr(c->child(1), e->var());
+      a1 = PlainAttr(c->child(0), e->var2());
+    }
+    if (a0 == nullptr || a1 == nullptr) return false;
+    size_t lt = OwnerOf(db, *ch, l0, r0, *a0);
+    size_t rt = OwnerOf(db, *ch, r0, ch->tables.size(), *a1);
+    if (lt == SIZE_MAX || rt == SIZE_MAX) return false;
+    ch->preds.push_back(ChainPred{lt, rt, *a0, *a1});
+  }
+  return true;
+}
+
+/// All attribute names unique across the chain's tables — required both
+/// for unambiguous predicate resolution and for the original plan to
+/// have evaluated at all (tuple concat rejects duplicates).
+bool AttrsUnique(const Database& db, const Chain& ch) {
+  std::set<std::string> seen;
+  for (const std::string& name : ch.tables) {
+    const Table* t = db.FindTable(name);
+    if (t == nullptr) return false;
+    for (const TypeField& f : t->row_type()->fields()) {
+      if (!seen.insert(f.name).second) return false;
+    }
+  }
+  return true;
+}
+
+struct DpEntry {
+  double cost = kInf;
+  double rows = 0.0;
+  std::vector<size_t> order;
+};
+
+class ChainPlanner {
+ public:
+  ChainPlanner(const Database& db, const PlannerOptions& po, const Chain& ch)
+      : db_(db), po_(po), ch_(ch) {
+    size_t n = ch.tables.size();
+    rows_.resize(n);
+    stats_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      stats_[i] = db.stats().Get(db, ch.tables[i]);
+      rows_[i] = stats_[i] != nullptr
+                     ? static_cast<double>(stats_[i]->row_count)
+                     : kDefaultRows;
+    }
+  }
+
+  /// Cheapest left-deep order, or an empty vector when the join graph
+  /// is not stepwise connected.
+  DpEntry Best() const {
+    size_t n = ch_.tables.size();
+    std::vector<DpEntry> best(size_t(1) << n);
+    for (size_t i = 0; i < n; ++i) {
+      DpEntry& e = best[size_t(1) << i];
+      e.cost = 0.0;
+      e.rows = rows_[i];
+      e.order = {i};
+    }
+    for (size_t mask = 1; mask < best.size(); ++mask) {
+      if ((mask & (mask - 1)) == 0) continue;  // single table
+      for (size_t t = 0; t < n; ++t) {
+        if ((mask & (size_t(1) << t)) == 0) continue;
+        size_t prev = mask ^ (size_t(1) << t);
+        const DpEntry& p = best[prev];
+        if (p.cost == kInf) continue;
+        double step_rows, step_cost;
+        if (!Step(prev, t, p.rows, &step_rows, &step_cost)) continue;
+        double cost = p.cost + step_cost;
+        DpEntry& dst = best[mask];
+        if (cost < dst.cost) {
+          dst.cost = cost;
+          dst.rows = step_rows;
+          dst.order = p.order;
+          dst.order.push_back(t);
+        }
+      }
+    }
+    return best[best.size() - 1];
+  }
+
+  /// Cost of a given left-deep order through the same step model
+  /// (kInf when some step is disconnected).
+  double OrderCost(const std::vector<size_t>& order) const {
+    double cost = 0.0;
+    double rows = rows_[order[0]];
+    size_t mask = size_t(1) << order[0];
+    for (size_t k = 1; k < order.size(); ++k) {
+      double step_rows, step_cost;
+      if (!Step(mask, order[k], rows, &step_rows, &step_cost)) return kInf;
+      cost += step_cost;
+      rows = step_rows;
+      mask |= size_t(1) << order[k];
+    }
+    return cost;
+  }
+
+ private:
+  const AttrStats* AttrOf(size_t table, const std::string& attr) const {
+    return stats_[table] != nullptr ? stats_[table]->Find(attr) : nullptr;
+  }
+
+  /// Prices joining table `t` onto the accumulated set `prev_mask`
+  /// (estimated `prev_rows` rows). False when no predicate connects
+  /// them (cross products are never enumerated).
+  bool Step(size_t prev_mask, size_t t, double prev_rows, double* out_rows,
+            double* out_cost) const {
+    double fan = kInf;
+    size_t npreds = 0;
+    bool index_ok = false;
+    for (const ChainPred& p : ch_.preds) {
+      size_t other;
+      const std::string *oa, *ta;
+      if (p.lt == t && (prev_mask & (size_t(1) << p.rt)) != 0) {
+        other = p.rt;
+        oa = &p.ra;
+        ta = &p.la;
+      } else if (p.rt == t && (prev_mask & (size_t(1) << p.lt)) != 0) {
+        other = p.lt;
+        oa = &p.la;
+        ta = &p.ra;
+      } else {
+        continue;
+      }
+      ++npreds;
+      const AttrStats* ps = AttrOf(other, *oa);
+      const AttrStats* ts = AttrOf(t, *ta);
+      double match = EstimateMatchRate(ps, ts, 0.5);
+      double d_t = ts != nullptr && ts->scalar
+                       ? static_cast<double>(std::max<uint64_t>(1, ts->distinct))
+                       : std::max(1.0, rows_[t]);
+      fan = std::min(fan, match * rows_[t] / d_t);
+      index_ok = npreds == 1 &&
+                 db_.FindIndex(ch_.tables[t], *ta) != nullptr;
+    }
+    if (npreds == 0) return false;
+    *out_rows = prev_rows * fan;
+    const CostConstants& c = po_.costs;
+    double cost =
+        std::min(HashJoinCost(prev_rows, rows_[t], *out_rows, c),
+                 SortMergeJoinCost(prev_rows, rows_[t], *out_rows, c));
+    cost = std::min(cost,
+                    NestedLoopJoinCost(prev_rows, rows_[t], *out_rows, c));
+    if (index_ok) {
+      cost = std::min(cost,
+                      IndexJoinCost(prev_rows, *out_rows, *out_rows, c));
+    }
+    *out_cost = cost;
+    return true;
+  }
+
+  const Database& db_;
+  const PlannerOptions& po_;
+  const Chain& ch_;
+  std::vector<double> rows_;
+  std::vector<const ExtentStats*> stats_;
+};
+
+/// Rebuilds the chain as a left-deep join tree in `order`, wrapped in a
+/// map that restores the original attribute order so the result is
+/// bit-identical to the original plan's.
+ExprPtr RebuildChain(const Database& db, const Chain& ch,
+                     const std::vector<size_t>& order,
+                     const ExprPtr& original) {
+  std::set<std::string> used = AllVars(original);
+  auto fresh = [&used](const std::string& hint) {
+    std::string n = hint;
+    int i = 0;
+    while (used.count(n) > 0) n = hint + std::to_string(++i);
+    used.insert(n);
+    return n;
+  };
+
+  std::vector<bool> placed(ch.preds.size(), false);
+  size_t in_acc_mask = size_t(1) << order[0];
+  ExprPtr acc = Expr::Table(ch.tables[order[0]]);
+  for (size_t k = 1; k < order.size(); ++k) {
+    size_t t = order[k];
+    std::string lv = fresh("jo_l");
+    std::string rv = fresh("jo_r");
+    std::vector<ExprPtr> conjuncts;
+    for (size_t pi = 0; pi < ch.preds.size(); ++pi) {
+      if (placed[pi]) continue;
+      const ChainPred& p = ch.preds[pi];
+      const std::string *acc_attr, *t_attr;
+      if (p.lt == t && (in_acc_mask & (size_t(1) << p.rt)) != 0) {
+        acc_attr = &p.ra;
+        t_attr = &p.la;
+      } else if (p.rt == t && (in_acc_mask & (size_t(1) << p.lt)) != 0) {
+        acc_attr = &p.la;
+        t_attr = &p.ra;
+      } else {
+        continue;
+      }
+      placed[pi] = true;
+      conjuncts.push_back(Expr::Eq(Expr::Access(Expr::Var(lv), *acc_attr),
+                                   Expr::Access(Expr::Var(rv), *t_attr)));
+    }
+    acc = Expr::Join(std::move(acc), Expr::Table(ch.tables[t]), lv, rv,
+                     Expr::AndAll(conjuncts));
+    in_acc_mask |= size_t(1) << t;
+  }
+
+  // Restore the original field order: the original tree's output tuple
+  // is the left-to-right concatenation of the base tables' attributes.
+  std::string z = fresh("jo_z");
+  std::vector<std::string> names;
+  std::vector<ExprPtr> values;
+  for (const std::string& tname : ch.tables) {
+    for (const TypeField& f : db.FindTable(tname)->row_type()->fields()) {
+      names.push_back(f.name);
+      values.push_back(Expr::Access(Expr::Var(z), f.name));
+    }
+  }
+  return Expr::Map(z, Expr::TupleConstruct(std::move(names),
+                                           std::move(values)),
+                   std::move(acc));
+}
+
+/// Runs the DP on one chain root. Returns nullptr to keep the original.
+ExprPtr TryReorder(const Database& db, const PlannerOptions& po,
+                   const ExprPtr& e) {
+  Chain ch;
+  if (!CollectChain(db, e, &ch)) return nullptr;
+  if (ch.tables.size() < 3 || ch.tables.size() > kMaxDpTables) return nullptr;
+  if (!AttrsUnique(db, ch)) return nullptr;
+
+  ChainPlanner cp(db, po, ch);
+  DpEntry best = cp.Best();
+  if (best.cost == kInf) return nullptr;
+
+  std::vector<size_t> identity(ch.tables.size());
+  for (size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  if (best.order == identity) return nullptr;
+  double orig = cp.OrderCost(identity);
+  if (orig != kInf && best.cost >= orig * kReorderGain) return nullptr;
+  return RebuildChain(db, ch, best.order, e);
+}
+
+ExprPtr ReorderTree(const Database& db, const PlannerOptions& po,
+                    const ExprPtr& e, bool* changed) {
+  if (e->kind() == ExprKind::kJoin) {
+    ExprPtr nu = TryReorder(db, po, e);
+    if (nu != nullptr) {
+      *changed = true;
+      return nu;
+    }
+  }
+  std::vector<ExprPtr> kids;
+  kids.reserve(e->num_children());
+  bool any = false;
+  for (const ExprPtr& c : e->children()) {
+    ExprPtr nc = ReorderTree(db, po, c, changed);
+    any |= nc != c;
+    kids.push_back(std::move(nc));
+  }
+  return any ? e->WithChildren(std::move(kids)) : e;
+}
+
+// ---- Annotation walk -------------------------------------------------
+
+class Annotator {
+ public:
+  Annotator(const Database& db, const PlannerOptions& po, PhysicalPlan* plan)
+      : db_(db), po_(po), plan_(plan), est_(db) {}
+
+  void Walk(const ExprPtr& e, int depth) {
+    switch (e->kind()) {
+      case ExprKind::kGetTable:
+        Line(depth, "scan " + e->name(), est_.Estimate(e).rows, -1.0);
+        return;
+      case ExprKind::kJoin:
+      case ExprKind::kSemiJoin:
+      case ExprKind::kAntiJoin:
+      case ExprKind::kNestJoin: {
+        RelEstimate l = est_.Estimate(e->left());
+        RelEstimate r = est_.Estimate(e->right());
+        RelEstimate self = est_.Estimate(e);
+        double out = self.RowsOr(l.RowsOr(kDefaultRows));
+        // A correlated operator (predicate references a variable bound
+        // outside this node, so the evaluator rebuilds it per outer
+        // row) invalidates the static estimates — the bound outer value
+        // turns residual conjuncts into selective filters the runtime
+        // dispatch can exploit. Never pin an algorithm there.
+        std::set<std::string> outer = FreeVars(e->pred());
+        outer.erase(e->var());
+        outer.erase(e->var2());
+        bool correlated = false;
+        for (const std::string& v : outer) {
+          if (db_.FindTable(v) == nullptr) correlated = true;
+        }
+        if (correlated) {
+          PlanAnnotation pa;
+          pa.est_rows = self.rows;
+          plan_->annotations.nodes[e.get()] = pa;
+          Line(depth,
+               std::string(JoinOpName(e->kind())) + "[auto: correlated]",
+               self.rows, -1.0);
+        } else {
+          // Matching rows the algorithm must touch: for join/nestjoin
+          // the full match multiset (l × fanout); semijoin/antijoin
+          // probes short-circuit at the first hit, so the output is the
+          // bound.
+          double matches = out;
+          if (e->kind() == ExprKind::kJoin ||
+              e->kind() == ExprKind::kNestJoin) {
+            JoinSelectivity sel = est_.EstimateJoinSelectivity(*e, l, r);
+            matches = l.RowsOr(kDefaultRows) * sel.fanout;
+          }
+          Choice c = ChooseJoin(db_, po_, *e, l, r, out, matches);
+          PlanAnnotation pa;
+          pa.algorithm = c.algo;
+          pa.est_rows = self.rows;
+          pa.est_cost = c.cost;
+          pa.label = c.label;
+          plan_->annotations.nodes[e.get()] = pa;
+          plan_->est_cost += c.cost;
+          Line(depth,
+               std::string(JoinOpName(e->kind())) + "[" + c.label + "]",
+               self.rows, c.cost);
+        }
+        Walk(e->left(), depth + 1);
+        Walk(e->right(), depth + 1);
+        // Predicate / nestjoin-inner subtrees can hold whole subqueries.
+        for (size_t i = 2; i < e->num_children(); ++i) {
+          Walk(e->child(i), depth + 1);
+        }
+        return;
+      }
+      case ExprKind::kMap:
+      case ExprKind::kSelect:
+      case ExprKind::kProject:
+      case ExprKind::kFlatten:
+      case ExprKind::kNest:
+      case ExprKind::kUnnest:
+      case ExprKind::kProduct:
+      case ExprKind::kDivide:
+      case ExprKind::kUnion:
+      case ExprKind::kIntersect:
+      case ExprKind::kDifference: {
+        const RelEstimate& self = est_.Estimate(e);
+        if (self.known()) {
+          PlanAnnotation pa;
+          pa.est_rows = self.rows;
+          plan_->annotations.nodes[e.get()] = pa;
+        }
+        Line(depth, OpName(e->kind()), self.rows, -1.0);
+        for (const ExprPtr& c : e->children()) Walk(c, depth + 1);
+        return;
+      }
+      default:
+        for (const ExprPtr& c : e->children()) Walk(c, depth);
+        return;
+    }
+  }
+
+ private:
+  static const char* OpName(ExprKind k) {
+    switch (k) {
+      case ExprKind::kMap: return "map";
+      case ExprKind::kSelect: return "select";
+      case ExprKind::kProject: return "project";
+      case ExprKind::kFlatten: return "flatten";
+      case ExprKind::kNest: return "nest";
+      case ExprKind::kUnnest: return "unnest";
+      case ExprKind::kProduct: return "product";
+      case ExprKind::kDivide: return "divide";
+      case ExprKind::kUnion: return "union";
+      case ExprKind::kIntersect: return "intersect";
+      case ExprKind::kDifference: return "difference";
+      default: return "op";
+    }
+  }
+
+  void Line(int depth, const std::string& head, double est_rows,
+            double est_cost) {
+    std::string s(static_cast<size_t>(depth) * 2, ' ');
+    s += head;
+    if (est_rows >= 0.0) s += StrFormat(" est_rows=%.0f", est_rows);
+    if (est_cost >= 0.0) s += StrFormat(" est_cost=%.3fms", est_cost / 1e6);
+    plan_->lines.push_back(std::move(s));
+  }
+
+  const Database& db_;
+  const PlannerOptions& po_;
+  PhysicalPlan* plan_;
+  CardinalityEstimator est_;
+};
+
+}  // namespace
+
+const char* PlanStrategyName(PlanStrategy s) {
+  return s == PlanStrategy::kCost ? "cost" : "heuristic";
+}
+
+std::string PhysicalPlan::Describe() const {
+  std::string out = StrFormat("est_cost=%.3fms", est_cost / 1e6);
+  if (reordered) out += " (join order changed)";
+  out += "\n";
+  for (const std::string& l : lines) out += "  " + l + "\n";
+  return out;
+}
+
+Result<PhysicalPlan> Planner::Plan(const ExprPtr& e) const {
+  PhysicalPlan plan;
+  plan.root = e;
+  if (opts_.reorder_joins) {
+    bool changed = false;
+    plan.root = ReorderTree(db_, opts_, e, &changed);
+    plan.reordered = changed;
+  }
+  Annotator a(db_, opts_, &plan);
+  a.Walk(plan.root, 0);
+  return plan;
+}
+
+}  // namespace n2j

@@ -1,0 +1,268 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace n2j {
+
+namespace {
+
+int FanoutBucket(size_t n) {
+  if (n == 0) return 0;
+  int b = 1;
+  size_t upper = 2;  // bucket 1 covers [1, 2)
+  while (n >= upper && b < kFanoutBuckets - 1) {
+    ++b;
+    upper <<= 1;
+  }
+  return b;
+}
+
+/// True when min/max tracking makes sense for this value kind (total
+/// order that the estimator can turn into a numeric range).
+bool Rangeable(const Value& v) {
+  return v.is_int() || v.is_double() || v.is_oid() || v.is_string();
+}
+
+void TrackRange(const Value& v, Value* min, Value* max, uint64_t seen) {
+  if (seen == 0) {
+    *min = v;
+    *max = v;
+    return;
+  }
+  if (v.Compare(*min) < 0) *min = v;
+  if (v.Compare(*max) > 0) *max = v;
+}
+
+/// Numeric image of a rangeable value, for overlap arithmetic. Strings
+/// have no useful numeric image — the caller treats them as overlap 1.
+double NumericImage(const Value& v) {
+  if (v.is_int()) return static_cast<double>(v.int_value());
+  if (v.is_double()) return v.double_value();
+  if (v.is_oid()) return static_cast<double>(v.oid_value());
+  return 0.0;
+}
+
+}  // namespace
+
+const AttrStats* ExtentStats::Find(const std::string& attr) const {
+  auto it = attrs.find(attr);
+  return it == attrs.end() ? nullptr : &it->second;
+}
+
+std::string ExtentStats::ToString() const {
+  std::string out = StrFormat("%s: %llu rows (stats v%llu)\n", table.c_str(),
+                              static_cast<unsigned long long>(row_count),
+                              static_cast<unsigned long long>(version));
+  for (const auto& [name, a] : attrs) {
+    if (a.set_valued) {
+      out += StrFormat(
+          "  %-12s set: avg_fanout=%.2f max_fanout=%llu empty=%.0f%% "
+          "elems=%llu distinct_elems=%llu\n",
+          name.c_str(), a.avg_fanout,
+          static_cast<unsigned long long>(a.max_fanout),
+          a.empty_fraction * 100.0,
+          static_cast<unsigned long long>(a.element_count),
+          static_cast<unsigned long long>(a.element_distinct));
+      out += "               fanout histogram:";
+      for (int b = 0; b < kFanoutBuckets; ++b) {
+        if (a.fanout_hist[b] == 0) continue;
+        if (b == 0) {
+          out += StrFormat(" [0]=%llu",
+                           static_cast<unsigned long long>(a.fanout_hist[b]));
+        } else {
+          out += StrFormat(
+              " [%llu..%llu)=%llu",
+              static_cast<unsigned long long>(b == 1 ? 1 : (1ull << (b - 1))),
+              static_cast<unsigned long long>(1ull << b),
+              static_cast<unsigned long long>(a.fanout_hist[b]));
+        }
+      }
+      out += "\n";
+    } else if (a.scalar) {
+      out += StrFormat("  %-12s distinct=%llu", name.c_str(),
+                       static_cast<unsigned long long>(a.distinct));
+      if (a.rows_seen > 0 && Rangeable(a.min)) {
+        out += " range=[" + a.min.ToString() + ", " + a.max.ToString() + "]";
+      }
+      out += "\n";
+    } else {
+      out += StrFormat("  %-12s (no stats)\n", name.c_str());
+    }
+  }
+  return out;
+}
+
+ExtentStats CollectExtentStats(const Table& t) {
+  ExtentStats s;
+  s.table = t.name();
+  s.version = t.version();
+  s.row_count = t.rows().size();
+
+  struct Acc {
+    AttrStats a;
+    std::unordered_set<Value, ValueHash> distinct;
+    std::unordered_set<Value, ValueHash> element_distinct;
+    uint64_t fanout_total = 0;
+    uint64_t empties = 0;
+    uint64_t element_seen = 0;
+    bool element_field_mixed = false;
+  };
+  std::map<std::string, Acc> accs;
+
+  for (const Value& row : t.rows()) {
+    if (!row.is_tuple()) continue;
+    for (size_t i = 0; i < row.tuple_size(); ++i) {
+      const std::string& name = row.field_name(i);
+      const Value& v = row.field_value(i);
+      Acc& acc = accs[name];
+      acc.a.name = name;
+      ++acc.a.rows_seen;
+      if (v.is_set()) {
+        acc.a.set_valued = true;
+        size_t n = v.set_size();
+        acc.fanout_total += n;
+        acc.a.max_fanout = std::max<uint64_t>(acc.a.max_fanout, n);
+        ++acc.a.fanout_hist[FanoutBucket(n)];
+        if (n == 0) ++acc.empties;
+        for (const Value& e : v.elements()) {
+          // Element-level stats: unary NF2 tuples (d : int) contribute
+          // their single field; everything else contributes the element
+          // itself. Membership joins probe with exactly these values.
+          const Value* probe = &e;
+          if (e.is_tuple() && e.tuple_size() == 1) {
+            probe = &e.field_value(0);
+            if (!acc.element_field_mixed) {
+              if (acc.a.element_field.empty()) {
+                acc.a.element_field = e.field_name(0);
+              } else if (acc.a.element_field != e.field_name(0)) {
+                acc.element_field_mixed = true;
+                acc.a.element_field.clear();
+              }
+            }
+          } else {
+            acc.element_field_mixed = true;
+            acc.a.element_field.clear();
+          }
+          acc.element_distinct.insert(*probe);
+          if (Rangeable(*probe)) {
+            TrackRange(*probe, &acc.a.element_min, &acc.a.element_max,
+                       acc.element_seen);
+            ++acc.element_seen;
+          }
+        }
+      } else if (!v.is_tuple()) {
+        acc.a.scalar = true;
+        acc.distinct.insert(v);
+        if (Rangeable(v)) {
+          TrackRange(v, &acc.a.min, &acc.a.max, acc.distinct.size() - 1);
+        }
+      }
+    }
+  }
+
+  for (auto& [name, acc] : accs) {
+    AttrStats a = acc.a;
+    a.distinct = acc.distinct.size();
+    if (a.set_valued && a.rows_seen > 0) {
+      a.avg_fanout = static_cast<double>(acc.fanout_total) /
+                     static_cast<double>(a.rows_seen);
+      a.empty_fraction = static_cast<double>(acc.empties) /
+                         static_cast<double>(a.rows_seen);
+      a.element_count = acc.fanout_total;
+      a.element_distinct = acc.element_distinct.size();
+    }
+    s.attrs.emplace(name, std::move(a));
+  }
+  return s;
+}
+
+double RangeOverlapFraction(const AttrStats& a, const AttrStats& b) {
+  const Value& amin = a.scalar ? a.min : a.element_min;
+  const Value& amax = a.scalar ? a.max : a.element_max;
+  const Value& bmin = b.scalar ? b.min : b.element_min;
+  const Value& bmax = b.scalar ? b.max : b.element_max;
+  auto numeric = [](const Value& v) {
+    return v.is_int() || v.is_double() || v.is_oid();
+  };
+  if (!numeric(amin) || !numeric(amax) || !numeric(bmin) || !numeric(bmax)) {
+    return 1.0;
+  }
+  double lo_a = NumericImage(amin), hi_a = NumericImage(amax);
+  double lo_b = NumericImage(bmin), hi_b = NumericImage(bmax);
+  double span = hi_a - lo_a;
+  if (span <= 0) {
+    // Degenerate (single-point) range: in or out.
+    return (lo_a >= lo_b && lo_a <= hi_b) ? 1.0 : 0.0;
+  }
+  double overlap = std::min(hi_a, hi_b) - std::max(lo_a, lo_b);
+  if (overlap <= 0) return 0.0;
+  return std::min(1.0, overlap / span);
+}
+
+double EstimateMatchRate(const AttrStats* left, const AttrStats* right,
+                         double fallback) {
+  if (left == nullptr || right == nullptr) return fallback;
+  double d_left = left->scalar ? static_cast<double>(left->distinct)
+                               : static_cast<double>(left->element_distinct);
+  double d_right = right->scalar
+                       ? static_cast<double>(right->distinct)
+                       : static_cast<double>(right->element_distinct);
+  if (d_left <= 0 || d_right <= 0) return fallback;
+  // Discrete numeric key domains (int/oid): a left probe is one value
+  // out of the W = max − min + 1 values its range spans, and it matches
+  // iff the right side holds that value — which happens for the
+  // d_right-inside-the-left-range of the W candidates. This sees domain
+  // sparsity that distinct-count containment misses: a width-2048 domain
+  // with ~190 values on each side matches ~9% of probes, not all.
+  const Value& lmin = left->scalar ? left->min : left->element_min;
+  const Value& lmax = left->scalar ? left->max : left->element_max;
+  auto discrete = [](const Value& v) { return v.is_int() || v.is_oid(); };
+  if (discrete(lmin) && discrete(lmax)) {
+    double width = NumericImage(lmax) - NumericImage(lmin) + 1.0;
+    if (width >= d_left) {
+      double d_right_in_left = d_right * RangeOverlapFraction(*right, *left);
+      return std::max(0.0, std::min(1.0, d_right_in_left / width));
+    }
+  }
+  // Continuous or unusable ranges: only the part of the left range that
+  // the right range covers can match at all; within the overlap,
+  // containment-style uniformity.
+  double overlap = RangeOverlapFraction(*left, *right);
+  double d_left_overlap = std::max(1.0, d_left * overlap);
+  double within = std::min(1.0, d_right / d_left_overlap);
+  return std::max(0.0, std::min(1.0, overlap * within));
+}
+
+const ExtentStats* StatsCatalog::Get(const Database& db,
+                                     const std::string& table) const {
+  const Table* t = db.FindTable(table);
+  if (t == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(table);
+  if (it != cache_.end() && it->second.version == t->version()) {
+    return &it->second;
+  }
+  ExtentStats fresh = CollectExtentStats(*t);
+  auto [pos, _] = cache_.insert_or_assign(table, std::move(fresh));
+  return &pos->second;
+}
+
+void StatsCatalog::Analyze(const Database& db) {
+  for (const std::string& name : db.TableNames()) {
+    const Table* t = db.FindTable(name);
+    if (t == nullptr) continue;
+    ExtentStats fresh = CollectExtentStats(*t);
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.insert_or_assign(name, std::move(fresh));
+  }
+}
+
+void StatsCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace n2j

@@ -1,0 +1,123 @@
+#ifndef N2J_STATS_STATS_H_
+#define N2J_STATS_STATS_H_
+
+// Per-extent statistics for the cost-based optimizer (ROADMAP item 1).
+//
+// The paper's priority strategy (Section 4) is a fixed heuristic; the
+// knobs it cannot see — cardinalities, distinct counts, set-attribute
+// fanout, equi-key match rates — are exactly what `datagen`
+// parameterizes. This module measures them from the stored extents so
+// the plan enumerator (opt/optimizer.h) can *choose* instead of assume.
+//
+// Collection is a single scan per extent, memoized in a StatsCatalog
+// keyed by (table, Table::version()): Append bumps the version the same
+// way it invalidates Table::AsSetValue()'s memo, so a catalog entry is
+// refreshed lazily the first time it is consulted after a mutation.
+// Analyze() forces an eager refresh of every table (the ANALYZE of SQL
+// databases).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adl/value.h"
+#include "storage/database.h"
+
+namespace n2j {
+
+/// log2-bucketed histogram of set-attribute fanouts: bucket 0 counts
+/// empty sets, bucket i >= 1 counts sizes in [2^(i-1), 2^i).
+inline constexpr int kFanoutBuckets = 16;
+
+/// Statistics of one attribute of an extent.
+struct AttrStats {
+  std::string name;
+
+  // Scalar attributes (int/double/string/oid): exact distinct count and
+  // value range over the scanned rows. `min`/`max` are only meaningful
+  // when `rows_seen > 0`.
+  bool scalar = false;
+  uint64_t distinct = 0;
+  Value min;
+  Value max;
+
+  // Set-valued attributes: fanout distribution plus the element-level
+  // stats needed by membership joins and unnest (elements are the unary
+  // NF2 tuples or whole element values; element stats are taken over the
+  // flattened multiset).
+  bool set_valued = false;
+  double avg_fanout = 0.0;
+  uint64_t max_fanout = 0;
+  double empty_fraction = 0.0;
+  uint64_t fanout_hist[kFanoutBuckets] = {0};
+  uint64_t element_count = 0;     // total elements over all rows
+  uint64_t element_distinct = 0;  // distinct elements over all rows
+  Value element_min;
+  Value element_max;
+  /// When every element is a unary NF2 tuple with one consistent field
+  /// name (the `(pid : oid)` shape of reference sets), that name — so
+  /// unnest can re-expose the element stats as scalar attribute stats.
+  /// Empty for mixed or non-tuple elements.
+  std::string element_field;
+
+  uint64_t rows_seen = 0;
+};
+
+/// Statistics of one extent (class extension or plain table).
+struct ExtentStats {
+  std::string table;
+  uint64_t row_count = 0;
+  uint64_t version = 0;  // Table::version() at collection time
+  std::map<std::string, AttrStats> attrs;
+
+  const AttrStats* Find(const std::string& attr) const;
+
+  /// Human-readable dump (the shell's `\stats <extent>` output).
+  std::string ToString() const;
+};
+
+/// Scans `t` once and computes its statistics. Distinct counts are exact
+/// (in-memory extents are small enough); ranges skip non-comparable
+/// mixes conservatively.
+ExtentStats CollectExtentStats(const Table& t);
+
+/// Estimated fraction of probes from the `left` attribute that find a
+/// match among values of the `right` attribute — the equi-key match-rate
+/// estimate behind join/semijoin selectivities. Derived from distinct
+/// counts and range overlap under the uniformity assumption; clamped to
+/// [0, 1]. Returns `fallback` when either side lacks usable stats.
+double EstimateMatchRate(const AttrStats* left, const AttrStats* right,
+                         double fallback);
+
+/// Range-overlap fraction of `a`'s value range that lies within `b`'s
+/// (1.0 when either range is unusable or degenerate). Works on int,
+/// double and oid ranges; other kinds return 1.0.
+double RangeOverlapFraction(const AttrStats& a, const AttrStats& b);
+
+/// Memoized per-database statistics. Thread-safe; entries invalidate on
+/// Table::version() changes (i.e. on Append), mirroring the canonical-
+/// set memoization invariant.
+class StatsCatalog {
+ public:
+  /// Statistics for `table`, recomputed iff the cached entry's version
+  /// differs from the table's current version. Returns nullptr for an
+  /// unknown table. The pointer stays valid until the next refresh of
+  /// the same table; callers snapshot (copy) if they outlive a query.
+  const ExtentStats* Get(const Database& db, const std::string& table) const;
+
+  /// Eagerly (re)collects statistics for every table — ANALYZE.
+  void Analyze(const Database& db);
+
+  /// Drops every cached entry (tests).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::map<std::string, ExtentStats> cache_;
+};
+
+}  // namespace n2j
+
+#endif  // N2J_STATS_STATS_H_

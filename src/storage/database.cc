@@ -1,6 +1,25 @@
 #include "storage/database.h"
 
+#include "stats/stats.h"
+
 namespace n2j {
+
+// Out of line because StatsCatalog is incomplete in the header. The
+// catalog is constructed eagerly (it is empty and cheap) so stats() is
+// safe to call from any thread without lazy-init synchronization.
+Database::Database() : stats_(std::make_unique<StatsCatalog>()) {}
+
+Database::Database(Schema schema)
+    : schema_(std::move(schema)), stats_(std::make_unique<StatsCatalog>()) {
+  for (const ClassDef& c : schema_.classes()) {
+    tables_.emplace(c.extent, Table(c.extent, c.ObjectType()));
+    next_seq_[c.class_id] = 0;
+  }
+}
+
+Database::~Database() = default;
+
+StatsCatalog& Database::stats() const { return *stats_; }
 
 Status Database::CreateTable(const std::string& name, TypePtr row_type) {
   if (tables_.count(name) > 0) {

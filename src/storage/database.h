@@ -2,6 +2,7 @@
 #define N2J_STORAGE_DATABASE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,18 +17,16 @@
 
 namespace n2j {
 
+class StatsCatalog;  // stats/stats.h
+
 /// The database: a schema, one table per class extension (plus optional
 /// plain tables for relational examples like Figure 2), and the oid →
 /// object store used by deref/materialize.
 class Database {
  public:
-  Database() = default;
-  explicit Database(Schema schema) : schema_(std::move(schema)) {
-    for (const ClassDef& c : schema_.classes()) {
-      tables_.emplace(c.extent, Table(c.extent, c.ObjectType()));
-      next_seq_[c.class_id] = 0;
-    }
-  }
+  Database();
+  explicit Database(Schema schema);
+  ~Database();
 
   const Schema& schema() const { return schema_; }
   ObjectStore& store() { return store_; }
@@ -64,12 +63,19 @@ class Database {
   const HashIndex* FindIndex(const std::string& table,
                              const std::string& field) const;
 
+  /// The per-database statistics catalog (stats/stats.h), lazily
+  /// constructed. Lives on the database — not the engine — so ANALYZE
+  /// state survives engine reconstruction; entries invalidate on Append
+  /// through Table versions, never by explicit bookkeeping here.
+  StatsCatalog& stats() const;
+
  private:
   Schema schema_;
   std::map<std::string, Table> tables_;
   std::map<uint16_t, uint64_t> next_seq_;
   std::map<std::pair<std::string, std::string>, HashIndex> indexes_;
   ObjectStore store_;
+  mutable std::unique_ptr<StatsCatalog> stats_;
 };
 
 }  // namespace n2j

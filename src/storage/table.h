@@ -25,20 +25,33 @@ class Table {
   Table(Table&& other) noexcept
       : name_(std::move(other.name_)),
         row_type_(std::move(other.row_type_)),
-        rows_(std::move(other.rows_)) {}
+        rows_(std::move(other.rows_)),
+        version_(other.version_) {}
 
   const std::string& name() const { return name_; }
   const TypePtr& row_type() const { return row_type_; }
   const std::vector<Value>& rows() const { return rows_; }
   size_t size() const { return rows_.size(); }
 
+  /// Monotone mutation counter. Bumped by every Append, exactly when the
+  /// memoized canonical set is invalidated — consumers that cache
+  /// derived state (extent statistics, stats/stats.h) compare versions
+  /// to detect staleness instead of re-scanning.
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return version_;
+  }
+
   /// Appends a row. The caller is responsible for type conformance
-  /// (Database::Insert checks it).
+  /// (Database::Insert checks it). Invalidates the memoized canonical
+  /// set and bumps version() — both under one lock, so a stale
+  /// statistics snapshot can always be detected by a version compare.
   void Append(Value row) {
     {
       std::lock_guard<std::mutex> lock(cache_mu_);
       canonical_set_ = Value();
       has_canonical_set_ = false;
+      ++version_;
     }
     rows_.push_back(std::move(row));
   }
@@ -64,6 +77,7 @@ class Table {
   mutable std::mutex cache_mu_;
   mutable Value canonical_set_;
   mutable bool has_canonical_set_ = false;
+  uint64_t version_ = 0;
 };
 
 }  // namespace n2j
