@@ -15,6 +15,7 @@
 
 #include "adl/printer.h"
 #include "common/status.h"
+#include "common/str_util.h"
 #include "core/engine.h"
 #include "exec/eval.h"
 #include "obs/chrome_trace.h"
@@ -268,7 +269,8 @@ class Trajectory {
           "\"joins_nested_loop\": %llu, \"joins_hash\": %llu, "
           "\"joins_sortmerge\": %llu, \"joins_index\": %llu, "
           "\"joins_membership\": %llu}}%s\n",
-          p.sweep.c_str(), p.variant.c_str(), p.n, p.ms,
+          JsonEscape(p.sweep).c_str(), JsonEscape(p.variant).c_str(), p.n,
+          p.ms,
           static_cast<unsigned long long>(s.tuples_scanned),
           static_cast<unsigned long long>(s.predicate_evals),
           static_cast<unsigned long long>(s.hash_inserts),
@@ -295,7 +297,11 @@ class Trajectory {
           "    {\"sweep\": \"%s\", \"variant\": \"%s\", \"n\": %d, "
           "\"op\": \"%s\", \"count\": %llu, \"exclusive_ms\": %.6f, "
           "\"rows_out\": %llu}%s\n",
-          e.sweep.c_str(), e.variant.c_str(), e.n, e.op.c_str(),
+          JsonEscape(e.sweep).c_str(), JsonEscape(e.variant).c_str(), e.n,
+          // Operator labels carry span detail — predicate text with
+          // string literals ("sname = \"s1\"") — so they MUST be escaped
+          // or the document is invalid JSON.
+          JsonEscape(e.op).c_str(),
           static_cast<unsigned long long>(e.count), e.exclusive_ms,
           static_cast<unsigned long long>(e.rows_out),
           i + 1 < profile_.size() ? "," : "");

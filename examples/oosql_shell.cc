@@ -21,6 +21,11 @@
 //                    the statistics-driven planner (EXPLAIN then shows
 //                    per-node algorithm + est_rows/est_cost); default is
 //                    the paper's priority strategy
+//   \backend [nested|shredded] select the evaluation backend: 'shredded'
+//                    lowers the query to a DAG of flat queries over
+//                    columnar relations and stitches the nested result
+//                    (EXPLAIN then shows the shredded plan); default is
+//                    the nested-loop interpreter
 //   \metrics         print the process-wide metrics registry
 //   \quit            exit
 //
@@ -94,6 +99,7 @@ int main() {
   bool rewrites_enabled = true;
   bool compiled_enabled = true;
   PlanStrategy strategy = PlanStrategy::kHeuristic;
+  Backend backend = Backend::kNested;
   bool profile_on = false;
   bool timing_on = false;
   int num_threads = 1;
@@ -120,6 +126,7 @@ int main() {
       opts.grouping = GroupingMode::kNone;
     }
     EvalOptions eval_opts;
+    eval_opts.backend = backend;
     eval_opts.num_threads = num_threads;
     eval_opts.compiled = compiled_enabled;
     if (profile_on || !trace_path.empty()) {
@@ -212,7 +219,7 @@ int main() {
       } else if (cmd == "\\stats") {
         std::string extent;
         if (iss >> extent) {
-          const ExtentStats* es = db->stats().Get(*db, extent);
+          auto es = db->stats().Get(*db, extent);
           if (es == nullptr) {
             std::printf("no such extent: %s\n", extent.c_str());
           } else {
@@ -226,7 +233,7 @@ int main() {
       } else if (cmd == "\\analyze") {
         db->stats().Analyze(*db);
         for (const std::string& name : db->TableNames()) {
-          const ExtentStats* es = db->stats().Get(*db, name);
+          auto es = db->stats().Get(*db, name);
           std::printf("  %-12s %zu rows, %zu attrs profiled\n", name.c_str(),
                       es == nullptr ? 0 : static_cast<size_t>(es->row_count),
                       es == nullptr ? 0 : es->attrs.size());
@@ -243,6 +250,19 @@ int main() {
           }
         }
         std::printf("planner strategy: %s\n", PlanStrategyName(strategy));
+      } else if (cmd == "\\backend") {
+        std::string arg;
+        if (iss >> arg) {
+          if (arg == "nested") {
+            backend = Backend::kNested;
+          } else if (arg == "shredded") {
+            backend = Backend::kShredded;
+          } else {
+            std::printf("usage: \\backend [nested|shredded]\n");
+          }
+        }
+        std::printf("evaluation backend: %s\n",
+                    backend == Backend::kShredded ? "shredded" : "nested");
       } else if (cmd == "\\metrics") {
         std::printf("%s", obs::MetricsRegistry::Global().Render().c_str());
       } else if (cmd == "\\explain") {

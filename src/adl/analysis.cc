@@ -263,4 +263,16 @@ void VisitPreOrder(const ExprPtr& e,
   for (const ExprPtr& c : e->children()) VisitPreOrder(c, fn);
 }
 
+bool IsComprehensionShaped(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kMap:
+    case ExprKind::kSelect:
+    case ExprKind::kFlatten:
+    case ExprKind::kGetTable:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace n2j

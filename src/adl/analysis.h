@@ -59,6 +59,13 @@ ExprPtr TransformTopDown(
 void VisitPreOrder(const ExprPtr& e,
                    const std::function<void(const ExprPtr&)>& fn);
 
+/// True if `e` is "comprehension-shaped" at the root: a Map, Select,
+/// Flatten or GetTable — the shapes the shredding translator (shred/)
+/// can peel into its own flat DAG nodes instead of delegating to the
+/// row-wise interpreter. Deliberately shallow: the *inside* of the
+/// comprehension is classified recursively by the translator itself.
+bool IsComprehensionShaped(const ExprPtr& e);
+
 }  // namespace n2j
 
 #endif  // N2J_ADL_ANALYSIS_H_

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "oosql/translate.h"
+#include "shred/shred.h"
 
 namespace n2j {
 
@@ -55,6 +56,9 @@ std::string QueryReport::Explain() const {
   }
   if (plan != nullptr) {
     out += "planner:    strategy=cost " + plan->Describe();
+  }
+  if (!shred_plan.empty()) {
+    out += "backend:    shredded\n" + shred_plan;
   }
   if (!trace.empty()) {
     out += "rules:\n";
@@ -107,13 +111,17 @@ Status QueryEngine::Execute(QueryReport* report) const {
     to_run = report->plan->root;
     opts.plan = &report->plan->annotations;
   }
-  Evaluator ev(*db_, opts);
   int64_t t0 = MonotonicNanos();
-  N2J_ASSIGN_OR_RETURN(report->result, ev.Eval(to_run));
+  // Backend dispatch is strategy-orthogonal: the shredded backend runs
+  // whatever expression the rewriter/planner produced, through its own
+  // flat-DAG executor (shred/shred.h).
+  N2J_ASSIGN_OR_RETURN(
+      report->result,
+      shred::EvalWithBackend(*db_, to_run, opts, &report->exec_stats,
+                             &report->shred_plan));
   obs::MetricsRegistry::Global()
       .GetHistogram("n2j_eval_ms")
       .Observe(MsSince(t0));
-  report->exec_stats = ev.stats();
   report->profile = eval_options_.trace;
   return Status::OK();
 }

@@ -29,6 +29,10 @@ struct QueryReport {
   /// evaluator dispatched on, plus the executed (possibly join-
   /// reordered) expression in plan->root.
   std::shared_ptr<const PhysicalPlan> plan;
+  /// Shredded-backend plan description (EvalOptions::backend ==
+  /// Backend::kShredded only; empty otherwise). The DAG of flat nodes
+  /// the stitching executor ran — EXPLAIN's counterpart to `plan` above.
+  std::string shred_plan;
   Value result;               // query result
   EvalStats exec_stats;       // operator counters of the final execution
   /// Operator span tree of the execution (borrowed from the engine's

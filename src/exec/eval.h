@@ -81,8 +81,23 @@ enum class JoinAlgorithm {
   kNestedLoop,  // tuple-at-a-time (the paper's naive baseline)
 };
 
+/// Which evaluation backend runs the query. Orthogonal to PlanStrategy
+/// and to every knob below: kNested is the classic tuple-at-a-time
+/// Evaluator; kShredded lowers the query to a DAG of flat queries over
+/// columnar relations (shred/shred.h) and stitches the nested result
+/// back together. The Evaluator itself ignores this field — dispatch
+/// happens in QueryEngine / shred::EvalWithBackend, so an Evaluator
+/// constructed directly always runs nested.
+enum class Backend {
+  kNested,
+  kShredded,
+};
+
 /// Execution options.
 struct EvalOptions {
+  /// Evaluation backend (see Backend). Honored by QueryEngine::Execute
+  /// and shred::EvalWithBackend; plain Evaluator use runs kNested.
+  Backend backend = Backend::kNested;
   /// Use set-oriented implementations for join/semijoin/antijoin/
   /// nestjoin when the predicate contains extractable equi-join keys;
   /// when false, all joins run as nested loops.

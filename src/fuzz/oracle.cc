@@ -5,6 +5,7 @@
 #include "obs/trace.h"
 #include "oosql/translate.h"
 #include "opt/optimizer.h"
+#include "shred/shred.h"
 
 namespace n2j {
 namespace fuzz {
@@ -163,6 +164,42 @@ std::vector<OracleConfig> DefaultConfigMatrix() {
     m.push_back(c);
   }
 
+  // The shredded backend (shred/): flat-DAG translation, columnar
+  // scans, hash-join expansion and id-keyed stitching must reproduce
+  // the nested-loop oracle bit-for-bit on every generated query.
+  {
+    // Naive translation, serial — shredded-vs-nested-loop head-on.
+    OracleConfig c = Cell("shredded");
+    c.skip_rewrite = true;
+    c.eval.backend = Backend::kShredded;
+    m.push_back(c);
+  }
+  {
+    // Parallel row-wise delegates under the shredded executor.
+    OracleConfig c = Cell("shredded-mt4");
+    c.skip_rewrite = true;
+    c.eval.backend = Backend::kShredded;
+    c.eval.num_threads = 4;
+    m.push_back(c);
+  }
+  {
+    // Tracing as a pure observer over the flat DAG, plus the span-sum
+    // invariant across shred-node spans and delegate operator spans.
+    OracleConfig c = Cell("shredded-traced");
+    c.skip_rewrite = true;
+    c.eval.backend = Backend::kShredded;
+    c.trace = true;
+    m.push_back(c);
+  }
+  {
+    // Shredding the *rewritten* plan: joins/nestjoins and hoisted lets
+    // land in scalar roots and opaque ranges — exercises the fallback
+    // seams rather than the structural fast paths.
+    OracleConfig c = Cell("shredded-rewritten");
+    c.eval.backend = Backend::kShredded;
+    m.push_back(c);
+  }
+
   return m;
 }
 
@@ -291,8 +328,9 @@ OracleReport RunDifferentialOracle(const Database& db,
       plan = physical.root;
       eval_opts.plan = &physical.annotations;
     }
-    Evaluator ev(db, eval_opts);
-    Result<Value> actual = ev.Eval(plan);
+    EvalStats cell_stats;
+    Result<Value> actual =
+        shred::EvalWithBackend(db, plan, eval_opts, &cell_stats);
     ++report.configs_checked;
 
     if (config.trace) {
@@ -300,7 +338,7 @@ OracleReport RunDifferentialOracle(const Database& db,
       // tree reconstruct the global counters exactly — even when the
       // evaluation errored out (RAII closes every span on unwind).
       std::string span_sum = collector.SumExclusiveStats().Compact();
-      std::string global = ev.stats().Compact();
+      std::string global = cell_stats.Compact();
       if (span_sum != global) {
         report.status = OracleStatus::kMismatch;
         report.failing_config = config.name;

@@ -13,29 +13,11 @@ namespace {
 constexpr int kPid = 1;
 constexpr int kEvaluatorTid = 0;
 
+// RFC 8259 string escaping, shared with every other JSON writer
+// (common/str_util.h). The local switch this replaced lacked the \b \f
+// \r short forms and formatted \u with a (possibly signed) char.
 void AppendEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          *out += StrFormat("\\u%04x", c);
-        } else {
-          *out += c;
-        }
-    }
-  }
+  AppendJsonEscaped(out, s);
 }
 
 void AppendMetadata(std::string* out, const char* what, int tid,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <set>
 
 #include "adl/analysis.h"
@@ -331,7 +332,9 @@ class ChainPlanner {
   const PlannerOptions& po_;
   const Chain& ch_;
   std::vector<double> rows_;
-  std::vector<const ExtentStats*> stats_;
+  /// Pinned snapshots: the planner's borrowed AttrStats survive any
+  /// concurrent catalog refresh for the planning pass's lifetime.
+  std::vector<std::shared_ptr<const ExtentStats>> stats_;
 };
 
 /// Rebuilds the chain as a left-deep join tree in `order`, wrapped in a

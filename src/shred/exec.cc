@@ -1,0 +1,599 @@
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "adl/analysis.h"
+#include "common/str_util.h"
+#include "exec/equi_join.h"
+#include "obs/trace.h"
+#include "shred/shred.h"
+#include "storage/columnar.h"
+
+namespace n2j {
+namespace shred {
+namespace {
+
+// One column of the working relation. `extent`/`row_ids` are provenance:
+// set when the column's values are rows of a columnar extent, so a later
+// kChildAttr range can slice the CSR child relation instead of
+// re-evaluating the field access per row.
+struct Col {
+  std::string var;
+  std::vector<Value> vals;
+  std::shared_ptr<const ColumnarExtent> extent;
+  std::vector<uint32_t> row_ids;
+};
+
+// The working relation of one DAG node: context columns plus one column
+// per expanded range. `ctx[i]` is row i's synthetic parent id — the
+// index of the context row it descends from. Rows stay sorted by ctx,
+// which makes stitching a single linear pass.
+struct Rel {
+  std::vector<Col> cols;
+  std::vector<uint32_t> ctx;
+  size_t size() const { return ctx.size(); }
+};
+
+void PushRow(Environment* env, const Rel& rel, size_t row) {
+  for (const Col& c : rel.cols) env->Push(c.var, c.vals[row]);
+}
+
+void PopRow(Environment* env, const Rel& rel) {
+  for (size_t i = 0; i < rel.cols.size(); ++i) env->Pop();
+}
+
+class ShredExecutor {
+ public:
+  ShredExecutor(const Database& db, const ShredPlan& plan,
+                const EvalOptions& opts)
+      : db_(db), plan_(plan), opts_(opts), inner_(db, InnerOpts(opts)) {}
+
+  Result<Value> Run();
+  EvalStats& stats() { return inner_.stats(); }
+
+ private:
+  // The row-wise delegate shares opts (threads, compiled, tracing) but
+  // never re-dispatches to the shredded backend. Every counter this
+  // executor bumps goes through inner_.stats(), so all trace spans —
+  // the per-node spans here and the operator spans the delegate opens —
+  // measure deltas of ONE stats struct and their exclusive sums match
+  // the global counters by construction.
+  static EvalOptions InnerOpts(EvalOptions o) {
+    o.backend = Backend::kNested;
+    o.plan = nullptr;
+    return o;
+  }
+
+  Result<std::vector<Value>> ExecNode(const FlatNode& node, Rel ctx);
+  Result<Rel> ExpandRange(const RangeSpec& r, Rel work);
+  Result<std::optional<Rel>> TryJoinExpand(
+      const RangeSpec& r, const Rel& work, const std::vector<Value>& elems,
+      const std::shared_ptr<const ColumnarExtent>& columnar);
+  Result<std::vector<Value>> EvalOutputs(const OutputSpec& out,
+                                         const Rel& work);
+
+  Rel Skeleton(const Rel& work, const RangeSpec& r,
+               const std::shared_ptr<const ColumnarExtent>& columnar) {
+    Rel out;
+    out.cols.reserve(work.cols.size() + 1);
+    for (const Col& c : work.cols) {
+      Col nc;
+      nc.var = c.var;
+      nc.extent = c.extent;
+      out.cols.push_back(std::move(nc));
+    }
+    Col nc;
+    nc.var = r.var;
+    if (r.kind == RangeKind::kExtent) nc.extent = columnar;
+    out.cols.push_back(std::move(nc));
+    return out;
+  }
+
+  static void Emit(const Rel& work, size_t row, const Value& elem,
+                   uint32_t elem_row_id, Rel* out) {
+    for (size_t i = 0; i < work.cols.size(); ++i) {
+      out->cols[i].vals.push_back(work.cols[i].vals[row]);
+      if (work.cols[i].extent != nullptr) {
+        out->cols[i].row_ids.push_back(work.cols[i].row_ids[row]);
+      }
+    }
+    Col& ncol = out->cols.back();
+    ncol.vals.push_back(elem);
+    if (ncol.extent != nullptr) ncol.row_ids.push_back(elem_row_id);
+    out->ctx.push_back(work.ctx[row]);
+  }
+
+  const Database& db_;
+  const ShredPlan& plan_;
+  EvalOptions opts_;
+  Evaluator inner_;
+};
+
+Result<Value> ShredExecutor::Run() {
+  OpSpan span(opts_.trace, inner_.stats(), "shredded");
+  Environment env;
+  std::vector<std::pair<std::string, Value>> lets;
+  for (const auto& [var, def] : plan_.lets) {
+    Result<Value> v = inner_.Eval(def, env);
+    if (!v.ok()) return v.status();
+    env.Push(var, *v);
+    lets.emplace_back(var, *v);
+  }
+  if (plan_.scalar_root) {
+    // Non-comprehension root: the flat DAG degenerates to one row-wise
+    // evaluation under the let bindings.
+    span.Annotate("scalar root");
+    Result<Value> r = inner_.Eval(plan_.scalar_root_expr, env);
+    span.RowsOut(r);
+    return r;
+  }
+  const FlatNode& root = plan_.nodes[0];
+  Rel ctx;
+  ctx.ctx = {0};
+  for (const std::string& v : root.ctx_vars) {
+    for (auto it = lets.rbegin(); it != lets.rend(); ++it) {
+      if (it->first == v) {
+        Col c;
+        c.var = v;
+        c.vals = {it->second};
+        ctx.cols.push_back(std::move(c));
+        break;
+      }
+    }
+  }
+  N2J_ASSIGN_OR_RETURN(std::vector<Value> sets,
+                       ExecNode(root, std::move(ctx)));
+  span.RowsOut(sets[0].set_size());
+  return std::move(sets[0]);
+}
+
+Result<std::vector<Value>> ShredExecutor::ExecNode(const FlatNode& node,
+                                                   Rel ctx) {
+  OpSpan span(opts_.trace, inner_.stats(), "shred-node");
+  span.Label(node.label);
+  const size_t nctx = ctx.size();
+  span.RowsIn(nctx);
+  if (nctx == 0) return std::vector<Value>{};
+
+  Rel work;
+  work.cols = std::move(ctx.cols);
+  work.ctx.resize(nctx);
+  for (size_t i = 0; i < nctx; ++i) work.ctx[i] = static_cast<uint32_t>(i);
+
+  for (const RangeSpec& r : node.ranges) {
+    N2J_ASSIGN_OR_RETURN(work, ExpandRange(r, std::move(work)));
+  }
+  N2J_ASSIGN_OR_RETURN(std::vector<Value> outs, EvalOutputs(node.out, work));
+
+  // Stitch: work rows are contiguous and ascending by ctx, so one pass
+  // folds each context row's outputs into its set. A context row with no
+  // surviving work rows gets the empty set — exactly Map/Select over an
+  // empty or fully filtered input.
+  std::vector<Value> result;
+  result.reserve(nctx);
+  size_t j = 0;
+  for (uint32_t c = 0; c < nctx; ++c) {
+    std::vector<Value> elems;
+    while (j < outs.size() && work.ctx[j] == c) {
+      elems.push_back(std::move(outs[j]));
+      ++j;
+    }
+    result.push_back(Value::Set(std::move(elems)));
+  }
+  span.RowsOut(work.size());
+  return result;
+}
+
+Result<Rel> ShredExecutor::ExpandRange(const RangeSpec& r, Rel work) {
+  const size_t nrows = work.size();
+  RangeKind kind = r.kind;
+
+  std::shared_ptr<const ColumnarExtent> columnar;
+  if (kind == RangeKind::kExtent && nrows > 0) {
+    columnar = db_.columnar().Get(db_, r.table);
+    // Unknown table: evaluate the GetTable row-wise so the interpreter's
+    // own error surfaces.
+    if (columnar == nullptr) kind = RangeKind::kOpaque;
+  }
+
+  Rel out = Skeleton(work, r, columnar);
+  if (nrows == 0) return out;  // lazy: sources of dead ranges never run
+
+  // Shared element list: one scan serves every work row.
+  const std::vector<Value>* shared = nullptr;
+  Value shared_holder;
+  if (kind == RangeKind::kExtent) {
+    shared = &columnar->rows;
+  } else if (kind == RangeKind::kConstSet) {
+    // Uncorrelated: evaluated once — but only because >= 1 work row
+    // exists, matching how often (at least once) the interpreter would
+    // evaluate it.
+    Environment env;
+    PushRow(&env, work, 0);
+    Result<Value> v = inner_.Eval(r.source, env);
+    PopRow(&env, work);
+    if (!v.ok()) return v.status();
+    if (!v->is_set()) {
+      return Status::RuntimeError("shredded range over non-set");
+    }
+    shared_holder = std::move(*v);
+    shared = &shared_holder.elements();
+  }
+
+  if (shared != nullptr) {
+    if (r.pred != nullptr && opts_.use_hash_joins &&
+        opts_.join_algorithm != JoinAlgorithm::kNestedLoop) {
+      N2J_ASSIGN_OR_RETURN(std::optional<Rel> joined,
+                           TryJoinExpand(r, work, *shared, columnar));
+      if (joined.has_value()) return std::move(*joined);
+    }
+    // Nested-loop scan: evaluate the full combined predicate per
+    // (row, element) pair — bit-for-bit the interpreter's Select path,
+    // including And short-circuit and error order within one row.
+    Environment env;
+    for (size_t row = 0; row < nrows; ++row) {
+      PushRow(&env, work, row);
+      for (size_t idx = 0; idx < shared->size(); ++idx) {
+        const Value& elem = (*shared)[idx];
+        ++inner_.stats().tuples_scanned;
+        if (r.pred != nullptr) {
+          env.Push(r.var, elem);
+          Result<Value> p = inner_.Eval(r.pred, env);
+          env.Pop();
+          ++inner_.stats().predicate_evals;
+          if (!p.ok()) {
+            PopRow(&env, work);
+            return p.status();
+          }
+          if (!p->is_bool()) {
+            PopRow(&env, work);
+            return Status::RuntimeError("selection predicate not boolean");
+          }
+          if (!p->bool_value()) continue;
+        }
+        Emit(work, row, elem, static_cast<uint32_t>(idx), &out);
+      }
+      PopRow(&env, work);
+    }
+    return out;
+  }
+
+  // Per-row element lists: CSR child slices when provenance allows,
+  // row-wise interpreter evaluation otherwise.
+  const ColumnarChild* csr = nullptr;
+  const Col* parent = nullptr;
+  if (kind == RangeKind::kChildAttr) {
+    for (auto it = work.cols.rbegin(); it != work.cols.rend(); ++it) {
+      if (it->var == r.parent_var) {
+        parent = &*it;
+        break;
+      }
+    }
+    if (parent != nullptr && parent->extent != nullptr) {
+      csr = parent->extent->Child(r.attr);
+    }
+    if (csr == nullptr) parent = nullptr;  // fall back to row-wise access
+  }
+
+  Environment env;
+  for (size_t row = 0; row < nrows; ++row) {
+    PushRow(&env, work, row);
+    const Value* elems_begin = nullptr;
+    size_t elem_count = 0;
+    Value holder;
+    if (csr != nullptr) {
+      uint32_t rid = parent->row_ids[row];
+      elems_begin = csr->elems.data() + csr->begin(rid);
+      elem_count = csr->fanout(rid);
+    } else {
+      Result<Value> v = inner_.Eval(r.source, env);
+      if (!v.ok()) {
+        PopRow(&env, work);
+        return v.status();
+      }
+      if (!v->is_set()) {
+        PopRow(&env, work);
+        return Status::RuntimeError("shredded range over non-set");
+      }
+      holder = std::move(*v);
+      elems_begin = holder.elements().data();
+      elem_count = holder.elements().size();
+    }
+    for (size_t idx = 0; idx < elem_count; ++idx) {
+      const Value& elem = elems_begin[idx];
+      ++inner_.stats().tuples_scanned;
+      if (r.pred != nullptr) {
+        env.Push(r.var, elem);
+        Result<Value> p = inner_.Eval(r.pred, env);
+        env.Pop();
+        ++inner_.stats().predicate_evals;
+        if (!p.ok()) {
+          PopRow(&env, work);
+          return p.status();
+        }
+        if (!p->is_bool()) {
+          PopRow(&env, work);
+          return Status::RuntimeError("selection predicate not boolean");
+        }
+        if (!p->bool_value()) continue;
+      }
+      Emit(work, row, elem, 0, &out);
+    }
+    PopRow(&env, work);
+  }
+  return out;
+}
+
+Result<std::optional<Rel>> ShredExecutor::TryJoinExpand(
+    const RangeSpec& r, const Rel& work, const std::vector<Value>& elems,
+    const std::shared_ptr<const ColumnarExtent>& columnar) {
+  // Split p into equi-key pairs (one side a function of the range var
+  // alone, the other side free of it) and residual conjuncts.
+  std::vector<ExprPtr> conjs = SplitConjuncts(r.pred);
+  std::vector<ExprPtr> scan_keys, probe_keys, residual;
+  for (const ExprPtr& c : conjs) {
+    if (c->kind() == ExprKind::kBinary && c->bin_op() == BinOp::kEq) {
+      std::set<std::string> fl = FreeVars(c->child(0));
+      std::set<std::string> fr = FreeVars(c->child(1));
+      if (fl.size() == 1 && fl.count(r.var) > 0 && fr.count(r.var) == 0) {
+        scan_keys.push_back(c->child(0));
+        probe_keys.push_back(c->child(1));
+        continue;
+      }
+      if (fr.size() == 1 && fr.count(r.var) > 0 && fl.count(r.var) == 0) {
+        scan_keys.push_back(c->child(1));
+        probe_keys.push_back(c->child(0));
+        continue;
+      }
+    }
+    residual.push_back(c);
+  }
+  if (scan_keys.empty()) return std::optional<Rel>();
+
+  // Scan-side keys, column fast path where the projection has the field.
+  std::vector<const std::vector<Value>*> key_cols(scan_keys.size(), nullptr);
+  for (size_t k = 0; k < scan_keys.size(); ++k) {
+    const ExprPtr& e = scan_keys[k];
+    if (columnar != nullptr && e->kind() == ExprKind::kFieldAccess &&
+        e->child(0)->kind() == ExprKind::kVar &&
+        e->child(0)->name() == r.var) {
+      key_cols[k] = columnar->Column(e->name());
+    }
+  }
+
+  // Build. Key evaluation may touch elements the interpreter would have
+  // short-circuited past (an earlier conjunct false), so ANY evaluation
+  // error abandons the join — the nested-loop path then reproduces the
+  // interpreter's exact behavior, error or not.
+  std::vector<Value> keys;
+  keys.reserve(elems.size());
+  {
+    Environment env;
+    std::vector<Value> parts(scan_keys.size());
+    for (size_t idx = 0; idx < elems.size(); ++idx) {
+      env.Push(r.var, elems[idx]);
+      bool failed = false;
+      for (size_t k = 0; k < scan_keys.size(); ++k) {
+        if (key_cols[k] != nullptr) {
+          parts[k] = (*key_cols[k])[idx];
+          continue;
+        }
+        Result<Value> v = inner_.Eval(scan_keys[k], env);
+        if (!v.ok()) {
+          failed = true;
+          break;
+        }
+        parts[k] = std::move(*v);
+      }
+      env.Pop();
+      if (failed) return std::optional<Rel>();
+      keys.push_back(JoinKeyFromParts(parts));
+    }
+  }
+
+  const bool sort_merge = opts_.join_algorithm == JoinAlgorithm::kSortMerge;
+  std::unordered_map<Value, std::vector<uint32_t>, ValueHash> buckets;
+  std::vector<std::pair<Value, uint32_t>> sorted;
+  if (sort_merge) {
+    sorted.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      sorted.emplace_back(keys[i], static_cast<uint32_t>(i));
+    }
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first.Compare(b.first) < 0;
+                     });
+    inner_.stats().rows_sorted += sorted.size();
+    ++inner_.stats().joins_sortmerge;
+  } else {
+    buckets.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      buckets[keys[i]].push_back(static_cast<uint32_t>(i));
+    }
+    ++inner_.stats().joins_hash;
+  }
+  inner_.stats().hash_inserts += keys.size();
+  inner_.stats().tuples_scanned += keys.size();
+  if (opts_.trace != nullptr) {
+    opts_.trace->AnnotateOpen(StrFormat(
+        " %s keys=%zu residual=%zu", sort_merge ? "sortmerge" : "hash",
+        scan_keys.size(), residual.size()));
+    opts_.trace->NotePeakHash(sort_merge ? sorted.size() : buckets.size());
+  }
+
+  Rel out = Skeleton(work, r, columnar);
+  Environment env;
+  std::vector<Value> parts(probe_keys.size());
+  for (size_t row = 0; row < work.size(); ++row) {
+    PushRow(&env, work, row);
+    bool failed = false;
+    for (size_t k = 0; k < probe_keys.size(); ++k) {
+      Result<Value> v = inner_.Eval(probe_keys[k], env);
+      if (!v.ok()) {
+        failed = true;
+        break;
+      }
+      parts[k] = std::move(*v);
+    }
+    if (failed) {
+      PopRow(&env, work);
+      return std::optional<Rel>();
+    }
+    Value key = JoinKeyFromParts(parts);
+    ++inner_.stats().hash_probes;
+
+    const uint32_t* cand = nullptr;
+    size_t ncand = 0;
+    std::vector<uint32_t> range_cands;
+    if (sort_merge) {
+      auto lo = std::lower_bound(sorted.begin(), sorted.end(), key,
+                                 [](const auto& p, const Value& k) {
+                                   return p.first.Compare(k) < 0;
+                                 });
+      auto hi = std::upper_bound(lo, sorted.end(), key,
+                                 [](const Value& k, const auto& p) {
+                                   return k.Compare(p.first) < 0;
+                                 });
+      for (auto it = lo; it != hi; ++it) range_cands.push_back(it->second);
+      cand = range_cands.data();
+      ncand = range_cands.size();
+    } else {
+      auto it = buckets.find(key);
+      if (it != buckets.end()) {
+        cand = it->second.data();
+        ncand = it->second.size();
+      }
+    }
+
+    for (size_t ci = 0; ci < ncand; ++ci) {
+      const Value& elem = elems[cand[ci]];
+      bool pass = true;
+      if (!residual.empty()) {
+        // Residual conjuncts run in source order with short-circuit —
+        // identical to the And chain the interpreter would walk once the
+        // (already verified) key equalities held. Errors here imply the
+        // interpreter errors on the same pair, so they propagate.
+        env.Push(r.var, elem);
+        ++inner_.stats().predicate_evals;
+        for (const ExprPtr& rc : residual) {
+          Result<Value> p = inner_.Eval(rc, env);
+          if (!p.ok()) {
+            env.Pop();
+            PopRow(&env, work);
+            return p.status();
+          }
+          if (!p->is_bool()) {
+            env.Pop();
+            PopRow(&env, work);
+            return Status::RuntimeError("selection predicate not boolean");
+          }
+          if (!p->bool_value()) {
+            pass = false;
+            break;
+          }
+        }
+        env.Pop();
+      }
+      if (pass) Emit(work, row, elem, cand[ci], &out);
+    }
+    PopRow(&env, work);
+  }
+  return std::optional<Rel>(std::move(out));
+}
+
+Result<std::vector<Value>> ShredExecutor::EvalOutputs(const OutputSpec& out,
+                                                      const Rel& work) {
+  const size_t n = work.size();
+  switch (out.kind) {
+    case OutputSpec::Kind::kScalar: {
+      std::vector<Value> vals;
+      vals.reserve(n);
+      Environment env;
+      for (size_t row = 0; row < n; ++row) {
+        PushRow(&env, work, row);
+        Result<Value> v = inner_.Eval(out.scalar, env);
+        PopRow(&env, work);
+        if (!v.ok()) return v.status();
+        vals.push_back(std::move(*v));
+      }
+      return vals;
+    }
+    case OutputSpec::Kind::kChild: {
+      const FlatNode& child = plan_.nodes[static_cast<size_t>(out.child)];
+      if (child.ctx_vars.empty()) {
+        // Uncorrelated subquery: one execution, broadcast — but only
+        // when at least one work row exists (laziness again).
+        if (n == 0) return std::vector<Value>{};
+        Rel unit;
+        unit.ctx = {0};
+        N2J_ASSIGN_OR_RETURN(std::vector<Value> one,
+                             ExecNode(child, std::move(unit)));
+        return std::vector<Value>(n, one[0]);
+      }
+      Rel ctx;
+      ctx.cols.reserve(child.ctx_vars.size());
+      for (const std::string& v : child.ctx_vars) {
+        // Innermost binding wins, like Environment::Lookup.
+        for (auto it = work.cols.rbegin(); it != work.cols.rend(); ++it) {
+          if (it->var == v) {
+            ctx.cols.push_back(*it);
+            break;
+          }
+        }
+      }
+      ctx.ctx.resize(n);
+      for (size_t i = 0; i < n; ++i) ctx.ctx[i] = static_cast<uint32_t>(i);
+      return ExecNode(child, std::move(ctx));
+    }
+    case OutputSpec::Kind::kTuple: {
+      std::vector<std::vector<Value>> field_vals;
+      field_vals.reserve(out.fields.size());
+      for (const OutputSpec& f : out.fields) {
+        N2J_ASSIGN_OR_RETURN(std::vector<Value> fv, EvalOutputs(f, work));
+        field_vals.push_back(std::move(fv));
+      }
+      std::vector<Value> vals;
+      vals.reserve(n);
+      for (size_t row = 0; row < n; ++row) {
+        std::vector<Field> fields;
+        fields.reserve(out.fields.size());
+        for (size_t f = 0; f < out.fields.size(); ++f) {
+          fields.emplace_back(out.field_names[f],
+                              std::move(field_vals[f][row]));
+        }
+        vals.push_back(Value::Tuple(std::move(fields)));
+      }
+      return vals;
+    }
+  }
+  return Status::Internal("unreachable output kind");
+}
+
+}  // namespace
+
+Result<Value> EvalShredded(const Database& db, const ExprPtr& query,
+                           const EvalOptions& opts, EvalStats* stats,
+                           std::string* plan_text) {
+  ShredPlan plan = ShredQuery(query);
+  if (plan_text != nullptr) *plan_text = plan.Describe();
+  ShredExecutor ex(db, plan, opts);
+  Result<Value> r = ex.Run();
+  if (stats != nullptr) *stats = ex.stats();
+  return r;
+}
+
+Result<Value> EvalWithBackend(const Database& db, const ExprPtr& query,
+                              const EvalOptions& opts, EvalStats* stats,
+                              std::string* plan_text) {
+  if (opts.backend == Backend::kShredded) {
+    return EvalShredded(db, query, opts, stats, plan_text);
+  }
+  Evaluator ev(db, opts);
+  Result<Value> r = ev.Eval(query);
+  if (stats != nullptr) *stats = ev.stats();
+  return r;
+}
+
+}  // namespace shred
+}  // namespace n2j

@@ -107,8 +107,9 @@ RelEstimate CardinalityEstimator::EstimateNode(const Expr& e) {
     }
 
     case ExprKind::kGetTable: {
-      const ExtentStats* s = db_.stats().Get(db_, e.name());
+      std::shared_ptr<const ExtentStats> s = db_.stats().Get(db_, e.name());
       if (s == nullptr) return out;
+      pinned_.push_back(s);  // keep the borrowed AttrStats* alive
       out.rows = static_cast<double>(s->row_count);
       for (const auto& [name, a] : s->attrs) out.attrs[name] = &a;
       return out;

@@ -14,7 +14,9 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "adl/expr.h"
 #include "stats/stats.h"
@@ -94,6 +96,10 @@ class CardinalityEstimator {
   const AttrStats* Synthesize(AttrStats s);
 
   const Database& db_;
+  /// Extent-stats snapshots consulted during the walk, pinned so the
+  /// AttrStats pointers RelEstimate borrows stay valid for the whole
+  /// planning pass even if a concurrent Append refreshes the catalog.
+  std::vector<std::shared_ptr<const ExtentStats>> pinned_;
   std::deque<AttrStats> synthesized_;
   std::map<const Expr*, RelEstimate> memo_;
   /// Estimates for let-bound variables in scope during the walk.

@@ -1,6 +1,7 @@
 #include "stats/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -190,8 +191,19 @@ double RangeOverlapFraction(const AttrStats& a, const AttrStats& b) {
   if (!numeric(amin) || !numeric(amax) || !numeric(bmin) || !numeric(bmax)) {
     return 1.0;
   }
+  // Oids and plain numbers live on unrelated axes; a column whose
+  // min/max straddle the two kinds (mixed-kind attribute) yields a
+  // meaningless image, so treat the ranges as incomparable — overlap 1.
+  if (amin.is_oid() != amax.is_oid() || bmin.is_oid() != bmax.is_oid() ||
+      amin.is_oid() != bmin.is_oid()) {
+    return 1.0;
+  }
   double lo_a = NumericImage(amin), hi_a = NumericImage(amax);
   double lo_b = NumericImage(bmin), hi_b = NumericImage(bmax);
+  if (!std::isfinite(lo_a) || !std::isfinite(hi_a) || !std::isfinite(lo_b) ||
+      !std::isfinite(hi_b)) {
+    return 1.0;
+  }
   double span = hi_a - lo_a;
   if (span <= 0) {
     // Degenerate (single-point) range: in or out.
@@ -199,7 +211,7 @@ double RangeOverlapFraction(const AttrStats& a, const AttrStats& b) {
   }
   double overlap = std::min(hi_a, hi_b) - std::max(lo_a, lo_b);
   if (overlap <= 0) return 0.0;
-  return std::min(1.0, overlap / span);
+  return std::max(0.0, std::min(1.0, overlap / span));
 }
 
 double EstimateMatchRate(const AttrStats* left, const AttrStats* right,
@@ -210,21 +222,32 @@ double EstimateMatchRate(const AttrStats* left, const AttrStats* right,
   double d_right = right->scalar
                        ? static_cast<double>(right->distinct)
                        : static_cast<double>(right->element_distinct);
-  if (d_left <= 0 || d_right <= 0) return fallback;
+  // A side with no observed values (empty extent, or the attribute is
+  // absent from every row) can never produce a match — that is a hard
+  // zero, not a reason to fall back to a guess.
+  if (d_left <= 0 || d_right <= 0) return 0.0;
   // Discrete numeric key domains (int/oid): a left probe is one value
   // out of the W = max − min + 1 values its range spans, and it matches
   // iff the right side holds that value — which happens for the
   // d_right-inside-the-left-range of the W candidates. This sees domain
   // sparsity that distinct-count containment misses: a width-2048 domain
   // with ~190 values on each side matches ~9% of probes, not all.
+  // Requires min and max of the *same* discrete kind: a mixed-kind
+  // column (say min is an int, max an oid) has no meaningful width.
   const Value& lmin = left->scalar ? left->min : left->element_min;
   const Value& lmax = left->scalar ? left->max : left->element_max;
-  auto discrete = [](const Value& v) { return v.is_int() || v.is_oid(); };
-  if (discrete(lmin) && discrete(lmax)) {
+  bool discrete = (lmin.is_int() && lmax.is_int()) ||
+                  (lmin.is_oid() && lmax.is_oid());
+  if (discrete) {
     double width = NumericImage(lmax) - NumericImage(lmin) + 1.0;
-    if (width >= d_left) {
+    // width >= 1 always when min <= max; anything else means torn or
+    // non-finite stats, which the containment path below absorbs.
+    if (std::isfinite(width) && width >= d_left && width >= 1.0) {
       double d_right_in_left = d_right * RangeOverlapFraction(*right, *left);
-      return std::max(0.0, std::min(1.0, d_right_in_left / width));
+      double rate = d_right_in_left / width;
+      if (std::isfinite(rate)) {
+        return std::max(0.0, std::min(1.0, rate));
+      }
     }
   }
   // Continuous or unusable ranges: only the part of the left range that
@@ -233,28 +256,33 @@ double EstimateMatchRate(const AttrStats* left, const AttrStats* right,
   double overlap = RangeOverlapFraction(*left, *right);
   double d_left_overlap = std::max(1.0, d_left * overlap);
   double within = std::min(1.0, d_right / d_left_overlap);
-  return std::max(0.0, std::min(1.0, overlap * within));
+  double rate = overlap * within;
+  if (!std::isfinite(rate)) return fallback;
+  return std::max(0.0, std::min(1.0, rate));
 }
 
-const ExtentStats* StatsCatalog::Get(const Database& db,
-                                     const std::string& table) const {
+std::shared_ptr<const ExtentStats> StatsCatalog::Get(
+    const Database& db, const std::string& table) const {
   const Table* t = db.FindTable(table);
   if (t == nullptr) return nullptr;
+  // Collection runs under mu_ so concurrent readers of a stale entry
+  // never compute the same scan twice; publication swaps the map slot to
+  // a fresh shared_ptr, leaving snapshots already handed out untouched.
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(table);
-  if (it != cache_.end() && it->second.version == t->version()) {
-    return &it->second;
+  if (it != cache_.end() && it->second->version == t->version()) {
+    return it->second;
   }
-  ExtentStats fresh = CollectExtentStats(*t);
-  auto [pos, _] = cache_.insert_or_assign(table, std::move(fresh));
-  return &pos->second;
+  auto fresh = std::make_shared<const ExtentStats>(CollectExtentStats(*t));
+  cache_.insert_or_assign(table, fresh);
+  return fresh;
 }
 
 void StatsCatalog::Analyze(const Database& db) {
   for (const std::string& name : db.TableNames()) {
     const Table* t = db.FindTable(name);
     if (t == nullptr) continue;
-    ExtentStats fresh = CollectExtentStats(*t);
+    auto fresh = std::make_shared<const ExtentStats>(CollectExtentStats(*t));
     std::lock_guard<std::mutex> lock(mu_);
     cache_.insert_or_assign(name, std::move(fresh));
   }

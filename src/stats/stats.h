@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -103,9 +104,13 @@ class StatsCatalog {
  public:
   /// Statistics for `table`, recomputed iff the cached entry's version
   /// differs from the table's current version. Returns nullptr for an
-  /// unknown table. The pointer stays valid until the next refresh of
-  /// the same table; callers snapshot (copy) if they outlive a query.
-  const ExtentStats* Get(const Database& db, const std::string& table) const;
+  /// unknown table. The returned snapshot is immutable and stays valid
+  /// for as long as the caller holds it — a concurrent refresh of the
+  /// same table publishes a *new* snapshot rather than mutating or
+  /// freeing this one (readers racing an Append never see a torn
+  /// ExtentStats).
+  std::shared_ptr<const ExtentStats> Get(const Database& db,
+                                         const std::string& table) const;
 
   /// Eagerly (re)collects statistics for every table — ANALYZE.
   void Analyze(const Database& db);
@@ -115,7 +120,7 @@ class StatsCatalog {
 
  private:
   mutable std::mutex mu_;
-  mutable std::map<std::string, ExtentStats> cache_;
+  mutable std::map<std::string, std::shared_ptr<const ExtentStats>> cache_;
 };
 
 }  // namespace n2j

@@ -1,0 +1,108 @@
+#include "storage/columnar.h"
+
+#include "common/str_util.h"
+
+namespace n2j {
+
+const std::vector<Value>* ColumnarExtent::Column(
+    const std::string& field) const {
+  auto it = columns.find(field);
+  return it == columns.end() ? nullptr : &it->second;
+}
+
+const ColumnarChild* ColumnarExtent::Child(const std::string& field) const {
+  auto it = children.find(field);
+  return it == children.end() ? nullptr : &it->second;
+}
+
+std::string ColumnarExtent::ToString() const {
+  std::string out = StrFormat("%s v%llu: %zu rows", table.c_str(),
+                              static_cast<unsigned long long>(version),
+                              row_count);
+  if (shape == nullptr) {
+    out += " (non-uniform shape; row-wise)";
+    return out;
+  }
+  out += StrFormat(", %zu columns", columns.size());
+  for (const auto& [field, child] : children) {
+    out += StrFormat("; child %s: %zu elems", field.c_str(),
+                     child.elems.size());
+  }
+  return out;
+}
+
+std::shared_ptr<const ColumnarExtent> ProjectExtent(const Table& t) {
+  auto out = std::make_shared<ColumnarExtent>();
+  out->table = t.name();
+  // Version before snapshot: a concurrent Append after this read makes
+  // the entry look stale on the next Get (wasted rebuild), never fresh
+  // while actually missing rows.
+  out->version = t.version();
+  Value as_set = t.AsSetValue();
+  out->rows = as_set.elements();
+  out->row_count = out->rows.size();
+
+  // Uniform shape?
+  const TupleShape* shape = nullptr;
+  for (const Value& row : out->rows) {
+    if (!row.is_tuple()) return out;  // row-wise fallback only
+    if (shape == nullptr) {
+      shape = row.tuple_shape();
+    } else if (shape != row.tuple_shape()) {
+      return out;
+    }
+  }
+  if (shape == nullptr) return out;  // empty extent: columns stay empty
+  out->shape = shape;
+
+  size_t nfields = shape->names().size();
+  for (size_t f = 0; f < nfields; ++f) {
+    std::vector<Value> col;
+    col.reserve(out->row_count);
+    bool all_sets = true;
+    for (const Value& row : out->rows) {
+      const Value& v = row.field_value(f);
+      if (!v.is_set()) all_sets = false;
+      col.push_back(v);
+    }
+    const std::string& name = shape->name(f);
+    if (all_sets && out->row_count > 0) {
+      ColumnarChild child;
+      child.offsets.reserve(out->row_count + 1);
+      child.offsets.push_back(0);
+      for (const Value& v : col) {
+        const std::vector<Value>& elems = v.elements();
+        child.elems.insert(child.elems.end(), elems.begin(), elems.end());
+        child.offsets.push_back(static_cast<uint32_t>(child.elems.size()));
+      }
+      out->children.emplace(name, std::move(child));
+    }
+    out->columns.emplace(name, std::move(col));
+  }
+  return out;
+}
+
+std::shared_ptr<const ColumnarExtent> ColumnarCatalog::Get(
+    const Database& db, const std::string& table) const {
+  const Table* t = db.FindTable(table);
+  if (t == nullptr) return nullptr;
+  uint64_t version = t->version();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(table);
+  if (it != cache_.end() && it->second->version == version) {
+    return it->second;
+  }
+  // Projection runs under mu_ so two threads racing on a stale entry
+  // never double-build; the shared_ptr snapshot means replacing the
+  // entry cannot invalidate an outstanding reader.
+  std::shared_ptr<const ColumnarExtent> built = ProjectExtent(*t);
+  cache_.insert_or_assign(table, built);
+  return built;
+}
+
+void ColumnarCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace n2j

@@ -1,0 +1,109 @@
+#ifndef N2J_STORAGE_COLUMNAR_H_
+#define N2J_STORAGE_COLUMNAR_H_
+
+// Columnar projection of an extent for the shredded backend (shred/).
+//
+// The shredding translator (docs/SHREDDING.md) lowers a nested query to
+// a DAG of flat queries over per-extent column vectors. This module
+// provides those vectors: for each table we materialize the canonical
+// row order (the same sorted/deduplicated order Table::AsSetValue()
+// exposes, so positions double as stable synthetic row ids), one Value
+// vector per top-level field when every row shares one tuple shape, and
+// a CSR child relation per set-valued attribute — offsets into a
+// flattened element vector, i.e. the synthetic parent-id column of the
+// paper's "flat relations for nested sets" encoding.
+//
+// Projections are memoized per (table, Table::version()) in a
+// ColumnarCatalog hung off the Database, exactly mirroring StatsCatalog:
+// an Append bumps the version and the next shredded query rebuilds the
+// projection lazily. Entries are handed out as shared_ptr snapshots so a
+// concurrent refresh can never invalidate a reader mid-query.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adl/value.h"
+#include "storage/database.h"
+
+namespace n2j {
+
+/// Flattened child relation of one set-valued attribute: row r's
+/// elements are elems[offsets[r] .. offsets[r+1]), in canonical (sorted,
+/// deduplicated) element order. The parent row index IS the synthetic
+/// parent id — no separate id column is stored.
+struct ColumnarChild {
+  std::vector<uint32_t> offsets;  // row_count + 1 entries
+  std::vector<Value> elems;
+
+  uint32_t begin(size_t row) const { return offsets[row]; }
+  uint32_t end(size_t row) const { return offsets[row + 1]; }
+  size_t fanout(size_t row) const { return end(row) - begin(row); }
+};
+
+/// Columnar projection of one extent at one version.
+struct ColumnarExtent {
+  std::string table;
+  uint64_t version = 0;   // Table::version() at projection time
+  size_t row_count = 0;
+
+  /// Rows in canonical order (Value::Set order of the extent). Row index
+  /// in this vector is the synthetic row id used throughout shred/.
+  std::vector<Value> rows;
+
+  /// Non-null iff every row is a tuple of this one interned shape; only
+  /// then are `columns` populated. Mixed-shape extents (possible for
+  /// plain tables filled by tests) fall back to row-wise access.
+  const TupleShape* shape = nullptr;
+
+  /// Per-field column vectors, same order as `rows`. Present only for
+  /// uniform-shape extents.
+  std::map<std::string, std::vector<Value>> columns;
+
+  /// CSR child relation per set-valued attribute. Built only when EVERY
+  /// row's value for the field is a set — a mixed column is omitted so
+  /// the executor falls back to the interpreter and reproduces its
+  /// "map over non-set"-style errors instead of masking them.
+  std::map<std::string, ColumnarChild> children;
+
+  /// The column for `field`, or nullptr (non-uniform shape or no such
+  /// field).
+  const std::vector<Value>* Column(const std::string& field) const;
+
+  /// The child relation for set-valued `field`, or nullptr.
+  const ColumnarChild* Child(const std::string& field) const;
+
+  /// Human-readable summary (EXPLAIN / \columnar shell output).
+  std::string ToString() const;
+};
+
+/// Builds the columnar projection of `t`. The version is read *before*
+/// the row snapshot so a concurrent Append at worst wastes one rebuild,
+/// never serves rows newer than the recorded version claims.
+std::shared_ptr<const ColumnarExtent> ProjectExtent(const Table& t);
+
+/// Memoized per-database columnar projections. Thread-safe; entries
+/// invalidate on Table::version() changes, mirroring StatsCatalog.
+class ColumnarCatalog {
+ public:
+  /// The projection for `table`, rebuilt iff the cached entry's version
+  /// differs from the table's current version. Returns nullptr for an
+  /// unknown table. The returned snapshot stays valid for the caller's
+  /// lifetime regardless of concurrent refreshes.
+  std::shared_ptr<const ColumnarExtent> Get(const Database& db,
+                                            const std::string& table) const;
+
+  /// Drops every cached entry (tests).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::map<std::string, std::shared_ptr<const ColumnarExtent>> cache_;
+};
+
+}  // namespace n2j
+
+#endif  // N2J_STORAGE_COLUMNAR_H_

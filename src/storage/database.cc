@@ -1,16 +1,22 @@
 #include "storage/database.h"
 
 #include "stats/stats.h"
+#include "storage/columnar.h"
 
 namespace n2j {
 
-// Out of line because StatsCatalog is incomplete in the header. The
-// catalog is constructed eagerly (it is empty and cheap) so stats() is
-// safe to call from any thread without lazy-init synchronization.
-Database::Database() : stats_(std::make_unique<StatsCatalog>()) {}
+// Out of line because StatsCatalog/ColumnarCatalog are incomplete in the
+// header. Both catalogs are constructed eagerly (empty and cheap) so
+// stats()/columnar() are safe to call from any thread without lazy-init
+// synchronization.
+Database::Database()
+    : stats_(std::make_unique<StatsCatalog>()),
+      columnar_(std::make_unique<ColumnarCatalog>()) {}
 
 Database::Database(Schema schema)
-    : schema_(std::move(schema)), stats_(std::make_unique<StatsCatalog>()) {
+    : schema_(std::move(schema)),
+      stats_(std::make_unique<StatsCatalog>()),
+      columnar_(std::make_unique<ColumnarCatalog>()) {
   for (const ClassDef& c : schema_.classes()) {
     tables_.emplace(c.extent, Table(c.extent, c.ObjectType()));
     next_seq_[c.class_id] = 0;
@@ -20,6 +26,8 @@ Database::Database(Schema schema)
 Database::~Database() = default;
 
 StatsCatalog& Database::stats() const { return *stats_; }
+
+ColumnarCatalog& Database::columnar() const { return *columnar_; }
 
 Status Database::CreateTable(const std::string& name, TypePtr row_type) {
   if (tables_.count(name) > 0) {

@@ -17,7 +17,8 @@
 
 namespace n2j {
 
-class StatsCatalog;  // stats/stats.h
+class StatsCatalog;     // stats/stats.h
+class ColumnarCatalog;  // storage/columnar.h
 
 /// The database: a schema, one table per class extension (plus optional
 /// plain tables for relational examples like Figure 2), and the oid →
@@ -69,6 +70,11 @@ class Database {
   /// through Table versions, never by explicit bookkeeping here.
   StatsCatalog& stats() const;
 
+  /// The per-database columnar projection cache (storage/columnar.h)
+  /// used by the shredded backend; same lifetime and invalidation story
+  /// as stats().
+  ColumnarCatalog& columnar() const;
+
  private:
   Schema schema_;
   std::map<std::string, Table> tables_;
@@ -76,6 +82,7 @@ class Database {
   std::map<std::pair<std::string, std::string>, HashIndex> indexes_;
   ObjectStore store_;
   mutable std::unique_ptr<StatsCatalog> stats_;
+  mutable std::unique_ptr<ColumnarCatalog> columnar_;
 };
 
 }  // namespace n2j

@@ -192,7 +192,7 @@ TEST(CardinalityQError, SetAttributeFanout) {
     // multiset element count (rows × avg_fanout) at the measured
     // distinct element count, so it can never exceed the raw element
     // count and must track the flattened size even under heavy skew.
-    const ExtentStats* es = db->stats().Get(*db, "SUPPLIER");
+    auto es = db->stats().Get(*db, "SUPPLIER");
     ASSERT_NE(es, nullptr);
     const AttrStats* parts = es->Find("parts");
     ASSERT_NE(parts, nullptr);
@@ -242,14 +242,14 @@ TEST(StaleStats, AppendRefreshesCatalogWithoutAnalyze) {
                                                {"v", Type::Int()}}))
                   .ok());
   InsertRows(&db, "T", 0, 4);
-  const ExtentStats* before = db.stats().Get(db, "T");
+  auto before = db.stats().Get(db, "T");
   ASSERT_NE(before, nullptr);
   EXPECT_EQ(before->row_count, 4u);
 
   // Bulk append — the catalog entry must refresh lazily on next Get,
   // with no explicit Analyze call.
   InsertRows(&db, "T", 4, 2000);
-  const ExtentStats* after = db.stats().Get(db, "T");
+  auto after = db.stats().Get(db, "T");
   ASSERT_NE(after, nullptr);
   EXPECT_EQ(after->row_count, 2000u);
   const AttrStats* k = after->Find("k");

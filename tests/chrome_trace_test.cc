@@ -1,0 +1,241 @@
+// Chrome trace escaping regression (ISSUE 7 satellite): operator span
+// names carry free-form detail — predicate text with string literals,
+// extent names, annotations — so ChromeTraceJson must escape per RFC
+// 8259 or one hostile name invalidates the whole document. Pinned by a
+// round trip: render a trace whose span detail holds every escape
+// class, parse the document with a strict JSON reader, and require the
+// decoded name to reproduce the original bytes exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/engine.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+#include "storage/database.h"
+#include "storage/datagen.h"
+
+namespace n2j {
+namespace {
+
+/// Minimal strict RFC 8259 reader: validates the full document and
+/// collects every decoded string value/key. No dependency, no leniency
+/// (a lenient parser would defeat the point of the test).
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& s) : s_(s) {}
+
+  bool ParseDocument() {
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool ParseValue() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return ParseNumber();
+    }
+  }
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !ParseString()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        strings_.push_back(out);
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned int cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp += 10u + static_cast<unsigned>(h - 'a');
+              else if (h >= 'A' && h <= 'F') cp += 10u + static_cast<unsigned>(h - 'A');
+              else return false;
+            }
+            // The writer only emits \u00xx for control bytes.
+            if (cp > 0xFF) return false;
+            out += static_cast<char>(cp);
+            break;
+          }
+          default: return false;
+        }
+        continue;
+      }
+      out += static_cast<char>(c);
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::vector<std::string> strings_;
+};
+
+// Every escape class in one name: quote, backslash, the five short
+// escapes, a sub-0x20 control byte, a DEL byte, and multi-byte UTF-8.
+const char kHostile[] =
+    "sel [p.name = \"a\\b\" \b\f\n\r\t \x01\x1f \x7f \xc3\xa9]";
+
+TEST(ChromeTrace, HostileSpanNameRoundTrips) {
+  TraceCollector tc;
+  EvalStats zero;
+  {
+    OpSpan root(&tc, zero, "query");
+    {
+      OpSpan child(&tc, zero, "select");
+      child.Annotate(kHostile);
+      child.RowsOut(uint64_t{3});
+    }
+  }
+  std::string json = ChromeTraceJson(tc);
+
+  JsonReader reader(json);
+  ASSERT_TRUE(reader.ParseDocument()) << json;
+
+  // The decoded span name must reproduce the hostile bytes exactly.
+  std::string want = std::string("select [") + kHostile + "]";
+  bool found = false;
+  for (const std::string& s : reader.strings()) {
+    if (s == want) found = true;
+  }
+  EXPECT_TRUE(found) << "decoded strings lost the hostile name:\n" << json;
+}
+
+TEST(ChromeTrace, TracedJoinQueryStaysValidJson) {
+  // End to end: a real traced query whose plan carries join-key details
+  // and per-span stats strings through the escaper; the whole document
+  // must parse strictly.
+  SupplierPartConfig config;
+  config.num_parts = 40;
+  config.num_suppliers = 10;
+  std::unique_ptr<Database> db = MakeSupplierPartDatabase(config);
+  TraceCollector tc;
+  EvalOptions eopts;
+  eopts.trace = &tc;
+  QueryEngine engine(db.get(), RewriteOptions(), eopts);
+  Result<QueryReport> r = engine.Run(
+      "select (a = x.pname, b = y.pname) from x in PART, y in PART "
+      "where x.price = y.price");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  std::string json = ChromeTraceJson(tc);
+  JsonReader reader(json);
+  ASSERT_TRUE(reader.ParseDocument()) << json;
+
+  // Span details made it into the document (the name carries the
+  // "op [detail]" form the profile renderer uses).
+  bool saw_detail = false;
+  for (const std::string& s : reader.strings()) {
+    if (s.find(" [") != std::string::npos) saw_detail = true;
+  }
+  EXPECT_TRUE(saw_detail) << json;
+}
+
+TEST(ChromeTrace, JsonEscapeHelperMatchesRfc8259) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+  // DEL and UTF-8 continuation bytes pass through untouched (valid in
+  // JSON strings); a signed-char formatter would mangle them.
+  EXPECT_EQ(JsonEscape("\x7f"), "\x7f");
+  EXPECT_EQ(JsonEscape("\xc3\xa9"), "\xc3\xa9");
+}
+
+}  // namespace
+}  // namespace n2j

@@ -1,0 +1,182 @@
+// Edge-case regressions for the selectivity estimators (ISSUE 7
+// satellite): EstimateMatchRate / RangeOverlapFraction must stay
+// well-defined — finite and inside [0, 1] — on the degenerate inputs
+// real catalogs produce: empty extents (distinct = 0), single-point
+// discrete domains (max == min), mixed-kind attribute columns whose
+// min/max straddle value kinds, and non-finite doubles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "adl/value.h"
+#include "stats/stats.h"
+#include "storage/database.h"
+
+namespace n2j {
+namespace {
+
+AttrStats ScalarInt(uint64_t distinct, int64_t min, int64_t max) {
+  AttrStats a;
+  a.scalar = true;
+  a.distinct = distinct;
+  a.min = Value::Int(min);
+  a.max = Value::Int(max);
+  a.rows_seen = distinct;
+  return a;
+}
+
+constexpr double kFallback = 0.25;
+
+TEST(EstimateMatchRate, NullStatsFallBack) {
+  AttrStats a = ScalarInt(10, 0, 9);
+  EXPECT_DOUBLE_EQ(EstimateMatchRate(nullptr, nullptr, kFallback), kFallback);
+  EXPECT_DOUBLE_EQ(EstimateMatchRate(&a, nullptr, kFallback), kFallback);
+  EXPECT_DOUBLE_EQ(EstimateMatchRate(nullptr, &a, kFallback), kFallback);
+}
+
+TEST(EstimateMatchRate, EmptySideIsHardZeroNotFallback) {
+  // A build side with zero observed values can never match a probe:
+  // the estimate is 0, not the fallback guess.
+  AttrStats probe = ScalarInt(10, 0, 9);
+  AttrStats empty = ScalarInt(0, 0, 0);
+  empty.rows_seen = 0;
+  EXPECT_DOUBLE_EQ(EstimateMatchRate(&probe, &empty, kFallback), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateMatchRate(&empty, &probe, kFallback), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateMatchRate(&empty, &empty, kFallback), 0.0);
+}
+
+TEST(EstimateMatchRate, SinglePointDomains) {
+  // Zero-width discrete domain (max == min): W = 1. Same point on both
+  // sides → every probe matches; disjoint points → none do.
+  AttrStats five = ScalarInt(1, 5, 5);
+  AttrStats also_five = ScalarInt(1, 5, 5);
+  AttrStats nine = ScalarInt(1, 9, 9);
+  EXPECT_DOUBLE_EQ(EstimateMatchRate(&five, &also_five, kFallback), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateMatchRate(&five, &nine, kFallback), 0.0);
+}
+
+TEST(EstimateMatchRate, TornRangeStaysClamped) {
+  // max < min can only come from a torn or corrupted entry; whatever
+  // path handles it, the result must stay finite and inside [0, 1].
+  AttrStats torn = ScalarInt(5, 100, 0);  // width would be -99
+  AttrStats normal = ScalarInt(10, 0, 99);
+  for (double r : {EstimateMatchRate(&torn, &normal, kFallback),
+                   EstimateMatchRate(&normal, &torn, kFallback)}) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(EstimateMatchRate, MixedKindColumnBounds) {
+  // A column holding both ints and oids (schema-less CSV imports do
+  // this) records min/max of different kinds. The discrete-width model
+  // is meaningless there; the estimate must not go negative or blow up.
+  AttrStats mixed;
+  mixed.scalar = true;
+  mixed.distinct = 8;
+  mixed.min = Value::Int(3);
+  mixed.max = Value::MakeOidValue(7);
+  mixed.rows_seen = 8;
+  AttrStats ints = ScalarInt(50, 0, 49);
+  for (double r : {EstimateMatchRate(&mixed, &ints, kFallback),
+                   EstimateMatchRate(&ints, &mixed, kFallback),
+                   EstimateMatchRate(&mixed, &mixed, kFallback)}) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(EstimateMatchRate, NonFiniteDoubleBounds) {
+  AttrStats nan_range;
+  nan_range.scalar = true;
+  nan_range.distinct = 4;
+  nan_range.min = Value::Double(std::numeric_limits<double>::quiet_NaN());
+  nan_range.max = Value::Double(std::numeric_limits<double>::infinity());
+  nan_range.rows_seen = 4;
+  AttrStats normal = ScalarInt(10, 0, 9);
+  for (double r : {EstimateMatchRate(&nan_range, &normal, kFallback),
+                   EstimateMatchRate(&normal, &nan_range, kFallback)}) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(RangeOverlapFraction, NonNumericIsNeutral) {
+  AttrStats strings;
+  strings.scalar = true;
+  strings.distinct = 3;
+  strings.min = Value::String("a");
+  strings.max = Value::String("z");
+  AttrStats ints = ScalarInt(10, 0, 9);
+  EXPECT_DOUBLE_EQ(RangeOverlapFraction(strings, ints), 1.0);
+  EXPECT_DOUBLE_EQ(RangeOverlapFraction(ints, strings), 1.0);
+}
+
+TEST(RangeOverlapFraction, OidVsNumberIsNeutral) {
+  // Oids and numbers live on unrelated axes; comparing their images
+  // would manufacture a bogus overlap (often 0), starving join orders.
+  AttrStats oids;
+  oids.scalar = true;
+  oids.distinct = 5;
+  oids.min = Value::MakeOidValue(1);
+  oids.max = Value::MakeOidValue(5);
+  AttrStats ints = ScalarInt(10, 1, 5);
+  EXPECT_DOUBLE_EQ(RangeOverlapFraction(oids, ints), 1.0);
+  EXPECT_DOUBLE_EQ(RangeOverlapFraction(ints, oids), 1.0);
+}
+
+TEST(RangeOverlapFraction, PointAndPartialOverlap) {
+  AttrStats point = ScalarInt(1, 5, 5);
+  AttrStats covering = ScalarInt(10, 0, 9);
+  AttrStats outside = ScalarInt(3, 20, 29);
+  EXPECT_DOUBLE_EQ(RangeOverlapFraction(point, covering), 1.0);
+  EXPECT_DOUBLE_EQ(RangeOverlapFraction(point, outside), 0.0);
+  // [0,9] vs [5,14]: overlap [5,9] = 4 out of span 9.
+  AttrStats shifted = ScalarInt(10, 5, 14);
+  EXPECT_NEAR(RangeOverlapFraction(covering, shifted), 4.0 / 9.0, 1e-9);
+}
+
+TEST(RangeOverlapFraction, NonFiniteBoundsAreNeutral) {
+  AttrStats nan_range;
+  nan_range.scalar = true;
+  nan_range.distinct = 2;
+  nan_range.min = Value::Double(std::numeric_limits<double>::quiet_NaN());
+  nan_range.max = Value::Double(1.0);
+  AttrStats ints = ScalarInt(10, 0, 9);
+  EXPECT_DOUBLE_EQ(RangeOverlapFraction(nan_range, ints), 1.0);
+  EXPECT_DOUBLE_EQ(RangeOverlapFraction(ints, nan_range), 1.0);
+}
+
+TEST(EstimateMatchRate, EmptyExtentEndToEnd) {
+  // The d = 0 case as a catalog actually produces it: an extent with no
+  // rows yields attribute stats with distinct = 0 (or no attrs at all),
+  // and any join estimate against it must come out 0 — not fallback.
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable("EMPTY", Type::Tuple({{"k", Type::Int()}})).ok());
+  ASSERT_TRUE(db.CreateTable("FULL", Type::Tuple({{"k", Type::Int()}})).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        db.Insert("FULL", Value::Tuple({Field("k", Value::Int(i))})).ok());
+  }
+  auto empty = db.stats().Get(db, "EMPTY");
+  auto full = db.stats().Get(db, "FULL");
+  ASSERT_NE(empty, nullptr);
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(empty->row_count, 0u);
+  const AttrStats* ek = empty->Find("k");
+  const AttrStats* fk = full->Find("k");
+  ASSERT_NE(fk, nullptr);
+  if (ek != nullptr) {
+    EXPECT_DOUBLE_EQ(EstimateMatchRate(fk, ek, kFallback), 0.0);
+    EXPECT_DOUBLE_EQ(EstimateMatchRate(ek, fk, kFallback), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace n2j
