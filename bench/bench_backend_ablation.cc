@@ -1,13 +1,16 @@
-// Experiment: evaluation-backend ablation (ISSUE 7) — the same nested
-// queries three ways:
+// Experiment: evaluation-backend ablation (ISSUE 7 + ISSUE 8) — the
+// same nested queries four ways:
 //
 //   nested-loop  naive translation, tuple-at-a-time interpretation
 //                (the paper's starting point)
 //   optimized    the paper's full rewrite strategy, set-oriented
 //                physical operators (the paper's destination)
 //   shredded     naive translation lowered to a DAG of flat queries
-//                over columnar relations, stitched back together
-//                (the query-shredding literature's destination)
+//                over columnar relations, stitched back together,
+//                executed row-at-a-time (the ISSUE 7 engine)
+//   shred-vec    the same shredded DAG through the vectorized batch
+//                pipeline: fused select-map-join loops over column
+//                batches, batch hash probes (ISSUE 8)
 //
 // Every cell asserts bit-identical results against the nested-loop
 // reference before timing (N2J_CHECK aborts fail CI); wall times land
@@ -69,10 +72,11 @@ std::unique_ptr<Database> MakeDb(int n) {
 /// fidelity contract says it may only fail where the interpreter fails,
 /// and the interpreter succeeded on this workload).
 Value MustEvalShredded(const Database& db, const ExprPtr& e,
-                       EvalStats* stats = nullptr) {
+                       bool vectorized = false, EvalStats* stats = nullptr) {
   EvalOptions opts;
   opts.backend = Backend::kShredded;
   opts.compiled = bench::BenchCompiledMode();
+  opts.vectorized = vectorized;
   EvalStats local;
   Result<Value> r = shred::EvalWithBackend(db, e, opts, &local);
   if (!r.ok()) {
@@ -86,9 +90,9 @@ Value MustEvalShredded(const Database& db, const ExprPtr& e,
 
 void RunBackendComparison(bench::Trajectory* traj) {
   Section("Evaluation backend — nested-loop vs optimized vs shredded "
-          "(results asserted bit-identical)");
-  std::printf("%-20s %6s %12s %12s %12s\n", "query", "n", "nl (ms)",
-              "opt (ms)", "shred (ms)");
+          "(scalar and vectorized; results asserted bit-identical)");
+  std::printf("%-20s %6s %12s %12s %12s %12s\n", "query", "n", "nl (ms)",
+              "opt (ms)", "shred (ms)", "shred-vec");
   EvalOptions nl_opts;
   nl_opts.use_hash_joins = false;
   nl_opts.enable_pnhl = false;
@@ -101,32 +105,42 @@ void RunBackendComparison(bench::Trajectory* traj) {
       const ExprPtr& naive = typed->expr;
       ExprPtr optimized = MustRewrite(*db, naive).expr;
 
-      // Result-equivalence gate: all three backends agree bit-for-bit.
-      EvalStats nl_stats, opt_stats, shred_stats;
+      // Result-equivalence gate: all four cells agree bit-for-bit.
+      EvalStats nl_stats, opt_stats, shred_stats, vec_stats;
       Value reference = MustEval(*db, naive, nl_opts, &nl_stats);
       Value opt = MustEval(*db, optimized, EvalOptions(), &opt_stats);
-      Value shredded = MustEvalShredded(*db, naive, &shred_stats);
+      Value shredded =
+          MustEvalShredded(*db, naive, /*vectorized=*/false, &shred_stats);
+      Value vec =
+          MustEvalShredded(*db, naive, /*vectorized=*/true, &vec_stats);
       N2J_CHECK(reference == opt);
       N2J_CHECK(reference == shredded);
+      N2J_CHECK(reference == vec);
 
       double nl_ms = TimeMs([&] { MustEval(*db, naive, nl_opts); });
       double opt_ms = TimeMs([&] { MustEval(*db, optimized); });
       double shred_ms = TimeMs([&] { MustEvalShredded(*db, naive); });
-      std::printf("%-20s %6d %12.3f %12.3f %12.3f\n", q.tag, n, nl_ms,
-                  opt_ms, shred_ms);
+      double vec_ms =
+          TimeMs([&] { MustEvalShredded(*db, naive, /*vectorized=*/true); });
+      std::printf("%-20s %6d %12.3f %12.3f %12.3f %12.3f\n", q.tag, n, nl_ms,
+                  opt_ms, shred_ms, vec_ms);
       traj->Add(q.tag, "nested-loop", n, nl_ms, nl_stats);
       traj->Add(q.tag, "optimized", n, opt_ms, opt_stats);
       traj->Add(q.tag, "shredded", n, shred_ms, shred_stats);
+      traj->Add(q.tag, "shredded-vec", n, vec_ms, vec_stats);
     }
   }
   std::printf(
       "\n'nested-loop' interprets the naive translation tuple-at-a-time;\n"
       "'optimized' runs the paper's full rewrite strategy; 'shredded'\n"
       "lowers the *naive* translation to flat columnar queries and\n"
-      "stitches the nested result. All three are asserted equal first.\n");
+      "stitches the nested result; 'shred-vec' runs the same flat DAG\n"
+      "in fused column batches. All four are asserted equal first.\n");
 }
 
-void BM_BackendFig1(benchmark::State& state, bool shredded) {
+enum class Fig1Mode { kOptimized, kShredded, kShreddedVec };
+
+void BM_BackendFig1(benchmark::State& state, Fig1Mode mode) {
   auto db = MakeDb(static_cast<int>(state.range(0)));
   Translator tr(db->schema(), db.get());
   Result<TypedExpr> typed = tr.TranslateString(kWorkload[0].oosql);
@@ -134,21 +148,32 @@ void BM_BackendFig1(benchmark::State& state, bool shredded) {
   ExprPtr naive = typed->expr;
   ExprPtr optimized = MustRewrite(*db, naive).expr;
   for (auto _ : state) {
-    if (shredded) {
-      benchmark::DoNotOptimize(MustEvalShredded(*db, naive));
-    } else {
-      benchmark::DoNotOptimize(MustEval(*db, optimized));
+    switch (mode) {
+      case Fig1Mode::kOptimized:
+        benchmark::DoNotOptimize(MustEval(*db, optimized));
+        break;
+      case Fig1Mode::kShredded:
+        benchmark::DoNotOptimize(MustEvalShredded(*db, naive));
+        break;
+      case Fig1Mode::kShreddedVec:
+        benchmark::DoNotOptimize(
+            MustEvalShredded(*db, naive, /*vectorized=*/true));
+        break;
     }
   }
 }
 void BM_Fig1Optimized(benchmark::State& state) {
-  BM_BackendFig1(state, false);
+  BM_BackendFig1(state, Fig1Mode::kOptimized);
 }
 void BM_Fig1Shredded(benchmark::State& state) {
-  BM_BackendFig1(state, true);
+  BM_BackendFig1(state, Fig1Mode::kShredded);
+}
+void BM_Fig1ShreddedVec(benchmark::State& state) {
+  BM_BackendFig1(state, Fig1Mode::kShreddedVec);
 }
 BENCHMARK(BM_Fig1Optimized)->Arg(128)->Arg(512);
 BENCHMARK(BM_Fig1Shredded)->Arg(128)->Arg(512);
+BENCHMARK(BM_Fig1ShreddedVec)->Arg(128)->Arg(512);
 
 }  // namespace
 }  // namespace n2j

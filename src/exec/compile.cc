@@ -15,9 +15,10 @@ constexpr uint32_t kNoReg = 0xffffffffu;
 
 /// RAII metrics probe around one lambda compilation. References into the
 /// process-wide registry are resolved once (instruments live forever).
+template <typename Lambda>
 class CompileProbe {
  public:
-  explicit CompileProbe(const CompiledLambda& lambda)
+  explicit CompileProbe(const Lambda& lambda)
       : lambda_(lambda), t0_ns_(MonotonicNanos()) {}
   ~CompileProbe() {
     static obs::Counter& compiles =
@@ -33,7 +34,7 @@ class CompileProbe {
   }
 
  private:
-  const CompiledLambda& lambda_;
+  const Lambda& lambda_;
   int64_t t0_ns_;
 };
 
@@ -351,6 +352,38 @@ uint32_t Compiler::CompileNode(const Expr& e) {
   return Fail();
 }
 
+/// Compiles the key expressions and combines them exactly like
+/// JoinKeyFromParts (shared by the scalar and batch key compilers).
+/// Returns the result slot, or kNoReg when any key failed to compile.
+uint32_t CompileKeyParts(Compiler& c, const std::vector<ExprPtr>& keys) {
+  std::vector<uint32_t> parts;
+  parts.reserve(keys.size());
+  for (const ExprPtr& k : keys) {
+    parts.push_back(c.CompileNode(*k));
+    if (c.failed()) return kNoReg;
+  }
+  if (parts.size() == 1) return parts[0];
+  // kMakeKey moves its operands out of their registers, so operands
+  // must be distinct non-parameter slots (two bare-variable keys both
+  // compile to the parameter slot).
+  std::vector<uint32_t> ops;
+  ops.reserve(parts.size());
+  for (uint32_t p : parts) {
+    if (p < c.prog.num_params ||
+        std::find(ops.begin(), ops.end(), p) != ops.end()) {
+      uint32_t m = c.AllocReg();
+      c.Emit(OpCode::kMove, m, p);
+      p = m;
+    }
+    ops.push_back(p);
+  }
+  uint32_t ret = c.AllocReg();
+  c.Emit(OpCode::kMakeKey, ret, c.AddOperands(ops),
+         static_cast<uint32_t>(ops.size()),
+         c.AddShape(JoinKeyShape(ops.size())));
+  return ret;
+}
+
 }  // namespace
 
 void CompiledLambda::Finish(Evaluator& ev, Program prog, uint32_t ret_slot) {
@@ -391,37 +424,57 @@ void CompiledLambda::CompileKey(Evaluator& ev,
   CompileProbe probe(*this);
   Compiler c(ev, env);
   c.AddParam(var, param0_shape);
-  std::vector<uint32_t> parts;
-  parts.reserve(keys.size());
-  for (const ExprPtr& k : keys) {
-    parts.push_back(c.CompileNode(*k));
-    if (c.failed()) {
-      state_ = State::kFallback;
-      return;
-    }
+  uint32_t ret = CompileKeyParts(c, keys);
+  if (c.failed()) {
+    state_ = State::kFallback;
+    return;
   }
-  uint32_t ret;
-  if (parts.size() == 1) {
-    ret = parts[0];
-  } else {
-    // kMakeKey moves its operands out of their registers, so operands
-    // must be distinct non-parameter slots (two bare-variable keys both
-    // compile to the parameter slot).
-    std::vector<uint32_t> ops;
-    ops.reserve(parts.size());
-    for (uint32_t p : parts) {
-      if (p < c.prog.num_params ||
-          std::find(ops.begin(), ops.end(), p) != ops.end()) {
-        uint32_t m = c.AllocReg();
-        c.Emit(OpCode::kMove, m, p);
-        p = m;
-      }
-      ops.push_back(p);
-    }
-    ret = c.AllocReg();
-    c.Emit(OpCode::kMakeKey, ret, c.AddOperands(ops),
-           static_cast<uint32_t>(ops.size()),
-           c.AddShape(JoinKeyShape(ops.size())));
+  Finish(ev, std::move(c.prog), ret);
+}
+
+void CompiledBatchLambda::Finish(Evaluator& ev, Program prog,
+                                 uint32_t ret_slot) {
+  if (prog.num_regs > 0xffff) {
+    state_ = State::kFallback;
+    return;
+  }
+  prog.ret_slot = ret_slot;
+  prog_ = std::make_unique<Program>(std::move(prog));
+  vm_ = std::make_unique<BatchVm>(prog_.get(), &ev.db(), &ev.stats());
+  state_ = State::kOk;
+}
+
+void CompiledBatchLambda::Compile(Evaluator& ev, const Expr& body,
+                                  const std::vector<std::string>& params,
+                                  const Environment& env,
+                                  const TupleShape* param0_shape) {
+  CompileProbe probe(*this);
+  Compiler c(ev, env);
+  for (size_t i = 0; i < params.size(); ++i) {
+    c.AddParam(params[i], i == 0 ? param0_shape : nullptr);
+  }
+  uint32_t ret = c.CompileNode(body);
+  if (c.failed()) {
+    state_ = State::kFallback;
+    return;
+  }
+  Finish(ev, std::move(c.prog), ret);
+}
+
+void CompiledBatchLambda::CompileKey(Evaluator& ev,
+                                     const std::vector<ExprPtr>& keys,
+                                     const std::vector<std::string>& params,
+                                     const Environment& env,
+                                     const TupleShape* param0_shape) {
+  CompileProbe probe(*this);
+  Compiler c(ev, env);
+  for (size_t i = 0; i < params.size(); ++i) {
+    c.AddParam(params[i], i == 0 ? param0_shape : nullptr);
+  }
+  uint32_t ret = CompileKeyParts(c, keys);
+  if (c.failed()) {
+    state_ = State::kFallback;
+    return;
   }
   Finish(ev, std::move(c.prog), ret);
 }

@@ -49,6 +49,9 @@ constexpr StatField kStatFields[] = {
     {"joins_sortmerge", "sm_joins", &EvalStats::joins_sortmerge},
     {"joins_index", "idx_joins", &EvalStats::joins_index},
     {"joins_membership", "mem_joins", &EvalStats::joins_membership},
+    {"vec_batches", "v_batch", &EvalStats::vec_batches},
+    {"vec_pipelines", "v_pipe", &EvalStats::vec_pipelines},
+    {"vec_fallbacks", "v_fall", &EvalStats::vec_fallbacks},
 };
 
 }  // namespace

@@ -6,109 +6,89 @@
 #include "adl/analysis.h"
 #include "common/str_util.h"
 #include "exec/equi_join.h"
-#include "obs/trace.h"
+#include "shred/exec_internal.h"
 #include "shred/shred.h"
-#include "storage/columnar.h"
 
 namespace n2j {
 namespace shred {
-namespace {
 
-// One column of the working relation. `extent`/`row_ids` are provenance:
-// set when the column's values are rows of a columnar extent, so a later
-// kChildAttr range can slice the CSR child relation instead of
-// re-evaluating the field access per row.
-struct Col {
-  std::string var;
-  std::vector<Value> vals;
-  std::shared_ptr<const ColumnarExtent> extent;
-  std::vector<uint32_t> row_ids;
-};
-
-// The working relation of one DAG node: context columns plus one column
-// per expanded range. `ctx[i]` is row i's synthetic parent id — the
-// index of the context row it descends from. Rows stay sorted by ctx,
-// which makes stitching a single linear pass.
-struct Rel {
-  std::vector<Col> cols;
-  std::vector<uint32_t> ctx;
-  size_t size() const { return ctx.size(); }
-};
-
-void PushRow(Environment* env, const Rel& rel, size_t row) {
-  for (const Col& c : rel.cols) env->Push(c.var, c.vals[row]);
-}
-
-void PopRow(Environment* env, const Rel& rel) {
-  for (size_t i = 0; i < rel.cols.size(); ++i) env->Pop();
-}
-
-class ShredExecutor {
- public:
-  ShredExecutor(const Database& db, const ShredPlan& plan,
-                const EvalOptions& opts)
-      : db_(db), plan_(plan), opts_(opts), inner_(db, InnerOpts(opts)) {}
-
-  Result<Value> Run();
-  EvalStats& stats() { return inner_.stats(); }
-
- private:
-  // The row-wise delegate shares opts (threads, compiled, tracing) but
-  // never re-dispatches to the shredded backend. Every counter this
-  // executor bumps goes through inner_.stats(), so all trace spans —
-  // the per-node spans here and the operator spans the delegate opens —
-  // measure deltas of ONE stats struct and their exclusive sums match
-  // the global counters by construction.
-  static EvalOptions InnerOpts(EvalOptions o) {
-    o.backend = Backend::kNested;
-    o.plan = nullptr;
-    return o;
-  }
-
-  Result<std::vector<Value>> ExecNode(const FlatNode& node, Rel ctx);
-  Result<Rel> ExpandRange(const RangeSpec& r, Rel work);
-  Result<std::optional<Rel>> TryJoinExpand(
-      const RangeSpec& r, const Rel& work, const std::vector<Value>& elems,
-      const std::shared_ptr<const ColumnarExtent>& columnar);
-  Result<std::vector<Value>> EvalOutputs(const OutputSpec& out,
-                                         const Rel& work);
-
-  Rel Skeleton(const Rel& work, const RangeSpec& r,
-               const std::shared_ptr<const ColumnarExtent>& columnar) {
-    Rel out;
-    out.cols.reserve(work.cols.size() + 1);
-    for (const Col& c : work.cols) {
-      Col nc;
-      nc.var = c.var;
-      nc.extent = c.extent;
-      out.cols.push_back(std::move(nc));
-    }
-    Col nc;
-    nc.var = r.var;
-    if (r.kind == RangeKind::kExtent) nc.extent = columnar;
-    out.cols.push_back(std::move(nc));
-    return out;
-  }
-
-  static void Emit(const Rel& work, size_t row, const Value& elem,
-                   uint32_t elem_row_id, Rel* out) {
-    for (size_t i = 0; i < work.cols.size(); ++i) {
-      out->cols[i].vals.push_back(work.cols[i].vals[row]);
-      if (work.cols[i].extent != nullptr) {
-        out->cols[i].row_ids.push_back(work.cols[i].row_ids[row]);
+EquiSplit SplitEquiPred(const RangeSpec& r) {
+  // Split p into equi-key pairs (one side a function of the range var
+  // alone, the other side free of it) and residual conjuncts.
+  EquiSplit s;
+  std::vector<ExprPtr> conjs = SplitConjuncts(r.pred);
+  for (const ExprPtr& c : conjs) {
+    if (c->kind() == ExprKind::kBinary && c->bin_op() == BinOp::kEq) {
+      std::set<std::string> fl = FreeVars(c->child(0));
+      std::set<std::string> fr = FreeVars(c->child(1));
+      if (fl.size() == 1 && fl.count(r.var) > 0 && fr.count(r.var) == 0) {
+        s.scan_keys.push_back(c->child(0));
+        s.probe_keys.push_back(c->child(1));
+        continue;
+      }
+      if (fr.size() == 1 && fr.count(r.var) > 0 && fl.count(r.var) == 0) {
+        s.scan_keys.push_back(c->child(1));
+        s.probe_keys.push_back(c->child(0));
+        continue;
       }
     }
-    Col& ncol = out->cols.back();
-    ncol.vals.push_back(elem);
-    if (ncol.extent != nullptr) ncol.row_ids.push_back(elem_row_id);
-    out->ctx.push_back(work.ctx[row]);
+    s.residual.push_back(c);
   }
+  return s;
+}
 
-  const Database& db_;
-  const ShredPlan& plan_;
-  EvalOptions opts_;
-  Evaluator inner_;
-};
+Rel ShredExecutor::Skeleton(
+    const Rel& work, const RangeSpec& r,
+    const std::shared_ptr<const ColumnarExtent>& columnar) {
+  Rel out;
+  out.cols.reserve(work.cols.size() + 1);
+  for (const Col& c : work.cols) {
+    Col nc;
+    nc.var = c.var;
+    nc.extent = c.extent;
+    out.cols.push_back(std::move(nc));
+  }
+  Col nc;
+  nc.var = r.var;
+  if (r.kind == RangeKind::kExtent) nc.extent = columnar;
+  out.cols.push_back(std::move(nc));
+  return out;
+}
+
+void ShredExecutor::Emit(const Rel& work, size_t row, const Value& elem,
+                         uint32_t elem_row_id, Rel* out) {
+  for (size_t i = 0; i < work.cols.size(); ++i) {
+    out->cols[i].vals.push_back(work.cols[i].vals[row]);
+    if (work.cols[i].extent != nullptr) {
+      out->cols[i].row_ids.push_back(work.cols[i].row_ids[row]);
+    }
+  }
+  Col& ncol = out->cols.back();
+  ncol.vals.push_back(elem);
+  if (ncol.extent != nullptr) ncol.row_ids.push_back(elem_row_id);
+  out->ctx.push_back(work.ctx[row]);
+}
+
+std::vector<Value> ShredExecutor::StitchByCtx(std::vector<Value> outs,
+                                              const std::vector<uint32_t>& ctx,
+                                              size_t nctx) {
+  // Stitch: work rows are contiguous and ascending by ctx, so one pass
+  // folds each context row's outputs into its set. A context row with no
+  // surviving work rows gets the empty set — exactly Map/Select over an
+  // empty or fully filtered input.
+  std::vector<Value> result;
+  result.reserve(nctx);
+  size_t j = 0;
+  for (uint32_t c = 0; c < nctx; ++c) {
+    std::vector<Value> elems;
+    while (j < outs.size() && ctx[j] == c) {
+      elems.push_back(std::move(outs[j]));
+      ++j;
+    }
+    result.push_back(Value::Set(std::move(elems)));
+  }
+  return result;
+}
 
 Result<Value> ShredExecutor::Run() {
   OpSpan span(opts_.trace, inner_.stats(), "shredded");
@@ -156,6 +136,26 @@ Result<std::vector<Value>> ShredExecutor::ExecNode(const FlatNode& node,
   span.RowsIn(nctx);
   if (nctx == 0) return std::vector<Value>{};
 
+  if (opts_.vectorized && node.vectorizable) {
+    Result<std::optional<std::vector<Value>>> v =
+        TryExecNodeVectorized(node, ctx, span);
+    if (v.ok() && v->has_value()) return std::move(**v);
+    // Refusal (a lambda did not compile, no columnar projection): nothing
+    // ran, the scalar engine does the node from scratch. Error: every
+    // evaluation the pipeline performed, the scalar engine performs too
+    // (unless it errors even earlier), so rerunning it surfaces the
+    // row-order first error the fidelity contract promises — the query
+    // aborts either way, so the double-counted work cannot skew any
+    // surviving stats comparison.
+    ++inner_.stats().vec_fallbacks;
+  }
+  return ExecNodeScalar(node, std::move(ctx), span);
+}
+
+Result<std::vector<Value>> ShredExecutor::ExecNodeScalar(const FlatNode& node,
+                                                         Rel ctx,
+                                                         OpSpan& span) {
+  const size_t nctx = ctx.size();
   Rel work;
   work.cols = std::move(ctx.cols);
   work.ctx.resize(nctx);
@@ -166,23 +166,8 @@ Result<std::vector<Value>> ShredExecutor::ExecNode(const FlatNode& node,
   }
   N2J_ASSIGN_OR_RETURN(std::vector<Value> outs, EvalOutputs(node.out, work));
 
-  // Stitch: work rows are contiguous and ascending by ctx, so one pass
-  // folds each context row's outputs into its set. A context row with no
-  // surviving work rows gets the empty set — exactly Map/Select over an
-  // empty or fully filtered input.
-  std::vector<Value> result;
-  result.reserve(nctx);
-  size_t j = 0;
-  for (uint32_t c = 0; c < nctx; ++c) {
-    std::vector<Value> elems;
-    while (j < outs.size() && work.ctx[j] == c) {
-      elems.push_back(std::move(outs[j]));
-      ++j;
-    }
-    result.push_back(Value::Set(std::move(elems)));
-  }
   span.RowsOut(work.size());
-  return result;
+  return StitchByCtx(std::move(outs), work.ctx, nctx);
 }
 
 Result<Rel> ShredExecutor::ExpandRange(const RangeSpec& r, Rel work) {
@@ -328,27 +313,10 @@ Result<Rel> ShredExecutor::ExpandRange(const RangeSpec& r, Rel work) {
 Result<std::optional<Rel>> ShredExecutor::TryJoinExpand(
     const RangeSpec& r, const Rel& work, const std::vector<Value>& elems,
     const std::shared_ptr<const ColumnarExtent>& columnar) {
-  // Split p into equi-key pairs (one side a function of the range var
-  // alone, the other side free of it) and residual conjuncts.
-  std::vector<ExprPtr> conjs = SplitConjuncts(r.pred);
-  std::vector<ExprPtr> scan_keys, probe_keys, residual;
-  for (const ExprPtr& c : conjs) {
-    if (c->kind() == ExprKind::kBinary && c->bin_op() == BinOp::kEq) {
-      std::set<std::string> fl = FreeVars(c->child(0));
-      std::set<std::string> fr = FreeVars(c->child(1));
-      if (fl.size() == 1 && fl.count(r.var) > 0 && fr.count(r.var) == 0) {
-        scan_keys.push_back(c->child(0));
-        probe_keys.push_back(c->child(1));
-        continue;
-      }
-      if (fr.size() == 1 && fr.count(r.var) > 0 && fl.count(r.var) == 0) {
-        scan_keys.push_back(c->child(1));
-        probe_keys.push_back(c->child(0));
-        continue;
-      }
-    }
-    residual.push_back(c);
-  }
+  EquiSplit split = SplitEquiPred(r);
+  std::vector<ExprPtr>& scan_keys = split.scan_keys;
+  std::vector<ExprPtr>& probe_keys = split.probe_keys;
+  std::vector<ExprPtr>& residual = split.residual;
   if (scan_keys.empty()) return std::optional<Rel>();
 
   // Scan-side keys, column fast path where the projection has the field.
@@ -569,8 +537,6 @@ Result<std::vector<Value>> ShredExecutor::EvalOutputs(const OutputSpec& out,
   }
   return Status::Internal("unreachable output kind");
 }
-
-}  // namespace
 
 Result<Value> EvalShredded(const Database& db, const ExprPtr& query,
                            const EvalOptions& opts, EvalStats* stats,

@@ -218,6 +218,12 @@ class Translator {
       }
     }
     node.label = StrFormat("node%d", id);
+    node.vectorizable = !node.ranges.empty();
+    for (const RangeSpec& r : node.ranges) {
+      // Opaque ranges re-enter the interpreter per work row; batching
+      // buys nothing and the subquery rarely compiles anyway.
+      if (r.kind == RangeKind::kOpaque) node.vectorizable = false;
+    }
     plan_.nodes[static_cast<size_t>(id)] = std::move(node);
     return id;
   }
@@ -273,6 +279,7 @@ std::string ShredPlan::Describe() const {
     if (!n.ctx_vars.empty()) {
       out += StrFormat(" [ctx: %s]", Join(n.ctx_vars, ", ").c_str());
     }
+    if (n.vectorizable) out += " [vec]";
     out += "\n";
     for (const RangeSpec& r : n.ranges) {
       out += StrFormat("    %s in %s", r.var.c_str(), RangeKindName(r.kind));

@@ -1,0 +1,918 @@
+// Vectorized batch engine of the shredded executor.
+//
+// A flat node whose ranges are all structural (extent / CSR child /
+// constant set) runs as ONE fused pipeline: context rows enter in
+// column batches of EvalOptions::vector_batch_size, each range expands
+// candidates in chunks, the range predicate runs through the BatchVm
+// over parameter columns, and only survivor indices flow to the next
+// range — values materialize at the output stage. The pipeline is
+// depth-first: a survivor chunk of range j advances to range j+1 before
+// the next chunk of range j is generated, so work rows reach the final
+// relation in exactly the scalar engine's lexicographic row order and
+// the context column stays non-decreasing for single-pass stitching.
+//
+// Equi-join ranges build their hash table once over the whole element
+// domain (whole-column key extraction when the projection has the key
+// field), then probe a key column per batch. All-int / all-oid key
+// domains use a contiguous open-addressing table of raw uint64 keys
+// with software prefetch between the hash and probe passes; anything
+// else (or an int domain probed by doubles, where int/double compare
+// numerically) uses Value buckets — the same candidates the scalar
+// engine's join produces, in the same survivor set.
+//
+// Fidelity: every evaluation this engine performs, the scalar engine
+// also performs unless it errors even earlier. So ANY error here makes
+// the caller rerun the node row-wise, which reproduces the canonical
+// scalar-order first error; no Status produced here ever reaches the
+// user directly. Gating failures (Setup returning false) evaluate
+// nothing at all.
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "adl/analysis.h"
+#include "common/str_util.h"
+#include "exec/compile.h"
+#include "shred/exec_internal.h"
+
+namespace n2j {
+namespace shred {
+namespace {
+
+// Where a free variable of a compiled fragment gets its column from.
+struct Bind {
+  enum Kind {
+    kSelfVar,  // the range's own variable: the candidate element column
+    kLevel,    // an earlier range of this node
+    kCtxCol,   // a context column of the node
+  };
+  Kind kind = kCtxCol;
+  int index = 0;  // level index / context column index
+};
+
+// A batch-compiled expression plus the binding of each parameter column.
+struct Frag {
+  CompiledBatchLambda prog;
+  std::vector<Bind> binds;
+  bool present = false;
+};
+
+// A batch of work rows mid-pipeline. Per completed range level, rows
+// carry either an index into that level's shared element base (`idx`) or
+// a materialized element value (`vals`) — never both.
+struct VBatch {
+  size_t n = 0;
+  std::vector<uint32_t> ctx;               // context row ids, non-decreasing
+  std::vector<std::vector<uint32_t>> idx;  // one (possibly unused) per level
+  std::vector<std::vector<Value>> vals;
+};
+
+// Candidate (input row, element) pairs of one range, buffered up to the
+// batch size before the predicate runs.
+struct CandChunk {
+  std::vector<uint32_t> rows;
+  std::vector<uint32_t> elems;
+  std::vector<Value> elem_vals;  // materialized levels only
+  size_t size() const { return rows.size(); }
+  void clear() {
+    rows.clear();
+    elems.clear();
+    elem_vals.clear();
+  }
+};
+
+// Open-addressing table over raw uint64 join keys (all-int or all-oid
+// build domains): contiguous key/head slots, chains threaded through a
+// per-element `next` array in ascending element order.
+struct RawKeyTable {
+  std::vector<uint64_t> slot_key;
+  std::vector<int32_t> slot_head;  // -1 = empty slot
+  std::vector<int32_t> next;       // -1 = end of chain
+  uint64_t mask = 0;
+  size_t distinct = 0;
+
+  static uint64_t Mix(uint64_t k) {
+    // splitmix64 finalizer
+    k += 0x9e3779b97f4a7c15ull;
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+    return k ^ (k >> 31);
+  }
+
+  void Build(const std::vector<uint64_t>& keys) {
+    size_t cap = 16;
+    while (cap < keys.size() * 2) cap <<= 1;
+    slot_key.assign(cap, 0);
+    slot_head.assign(cap, -1);
+    next.assign(keys.size(), -1);
+    mask = cap - 1;
+    // Reverse insertion order + prepend = ascending chains, so probes
+    // emit candidates in the scalar engine's bucket order.
+    for (size_t i = keys.size(); i-- > 0;) {
+      uint64_t slot = Mix(keys[i]) & mask;
+      while (slot_head[slot] != -1 && slot_key[slot] != keys[i]) {
+        slot = (slot + 1) & mask;
+      }
+      if (slot_head[slot] == -1) {
+        slot_key[slot] = keys[i];
+        ++distinct;
+      }
+      next[i] = slot_head[slot];
+      slot_head[slot] = static_cast<int32_t>(i);
+    }
+  }
+
+  uint64_t StartSlot(uint64_t k) const { return Mix(k) & mask; }
+
+  int32_t FindFrom(uint64_t slot, uint64_t k) const {
+    while (slot_head[slot] != -1) {
+      if (slot_key[slot] == k) return slot_head[slot];
+      slot = (slot + 1) & mask;
+    }
+    return -1;
+  }
+};
+
+// Per-range state of the pipeline.
+struct VecLevel {
+  const RangeSpec* r = nullptr;
+
+  enum Mode {
+    kShared,        // extent scan or constant set: one element base
+    kCsr,           // CSR child slice per parent row id
+    kMaterialized,  // per-row set from a batch-evaluated field access
+  };
+  Mode mode = kShared;
+
+  // kShared element base. Constant sets fill these lazily, on the first
+  // non-empty batch — the same at-least-one-work-row condition under
+  // which the scalar engine evaluates the source.
+  const std::vector<Value>* shared = nullptr;
+  Value shared_holder;
+  bool shared_ready = false;
+  std::shared_ptr<const ColumnarExtent> extent;  // kExtent provenance
+
+  // kCsr / kMaterialized parent binding.
+  const ColumnarChild* csr = nullptr;
+  Bind parent;
+  Frag source;  // kMaterialized: the set-valued access, batch-compiled
+
+  Frag pred;  // full range predicate (the non-join path)
+
+  // Batch hash join (kShared with equi-keys only).
+  bool try_hash = false;
+  bool hash_decided = false;
+  bool hash_ok = false;
+  EquiSplit split;
+  const std::vector<Value>* key_col = nullptr;  // whole-column fast path
+  Frag scan_key;
+  Frag probe_key;
+  Frag residual;
+
+  enum KeyMode { kGeneric, kIntKeys, kOidKeys };
+  KeyMode key_mode = kGeneric;
+  const std::vector<Value>* keys_view = nullptr;
+  std::vector<Value> keys_own;
+  std::vector<uint64_t> raw_keys;
+  RawKeyTable raw;
+  bool buckets_ready = false;
+  std::unordered_map<Value, std::vector<uint32_t>, ValueHash> buckets;
+};
+
+}  // namespace
+
+// The per-node pipeline object. Lives for one TryExecNodeVectorized
+// call; Setup() compiles every fragment (pure — no evaluation, so a
+// refusal leaves no trace in results or errors), Execute() streams the
+// batches and evaluates the outputs.
+class VecPipeline {
+ public:
+  VecPipeline(ShredExecutor& ex, const FlatNode& node, const Rel& ctx,
+              OpSpan& span)
+      : ex_(ex),
+        node_(node),
+        ctx_(ctx),
+        span_(span),
+        stats_(ex.inner().stats()),
+        nlevels_(node.ranges.size()),
+        batch_(static_cast<size_t>(
+            std::max(1, ex.opts().vector_batch_size))) {}
+
+  bool Setup();
+  Result<std::vector<Value>> Execute();
+
+ private:
+  std::optional<Bind> ResolveVar(const std::string& name, size_t upto) const {
+    for (size_t l = upto; l-- > 0;) {
+      if (node_.ranges[l].var == name) {
+        return Bind{Bind::kLevel, static_cast<int>(l)};
+      }
+    }
+    for (size_t c = ctx_.cols.size(); c-- > 0;) {
+      if (ctx_.cols[c].var == name) {
+        return Bind{Bind::kCtxCol, static_cast<int>(c)};
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Parameter selection: one column per *resolvable* free variable,
+  // innermost binding first per name (duplicates shadow exactly like
+  // Environment::Lookup). An unresolvable free variable is left to the
+  // compiler, which fails on it — and the scalar rerun then reproduces
+  // the interpreter's unbound-variable error.
+  void CollectBinds(const std::set<std::string>& fv, size_t upto,
+                    const std::string* self_var, Frag* f,
+                    std::vector<std::string>* params) const {
+    for (const std::string& v : fv) {
+      if (self_var != nullptr && v == *self_var) {
+        params->push_back(v);
+        f->binds.push_back(Bind{Bind::kSelfVar, 0});
+        continue;
+      }
+      std::optional<Bind> b = ResolveVar(v, upto);
+      if (!b.has_value()) continue;
+      params->push_back(v);
+      f->binds.push_back(*b);
+    }
+  }
+
+  bool CompileFrag(Frag* f, const ExprPtr& body, size_t upto,
+                   const std::string* self_var) {
+    std::vector<std::string> params;
+    CollectBinds(FreeVars(body), upto, self_var, f, &params);
+    Environment empty;
+    f->prog.Compile(ex_.inner(), *body, params, empty);
+    if (!f->prog.ok()) return false;
+    f->present = true;
+    return true;
+  }
+
+  bool CompileKeyFrag(Frag* f, const std::vector<ExprPtr>& keys, size_t upto,
+                      const std::string* self_var) {
+    std::set<std::string> fv;
+    for (const ExprPtr& k : keys) {
+      std::set<std::string> kv = FreeVars(k);
+      fv.insert(kv.begin(), kv.end());
+    }
+    std::vector<std::string> params;
+    CollectBinds(fv, upto, self_var, f, &params);
+    Environment empty;
+    f->prog.CompileKey(ex_.inner(), keys, params, empty);
+    if (!f->prog.ok()) return false;
+    f->present = true;
+    return true;
+  }
+
+  bool SetupOutputs(const OutputSpec& o) {
+    switch (o.kind) {
+      case OutputSpec::Kind::kScalar: {
+        Frag& f = out_frags_[&o];
+        return CompileFrag(&f, o.scalar, nlevels_, nullptr);
+      }
+      case OutputSpec::Kind::kChild:
+        return true;  // the child node gates independently via ExecNode
+      case OutputSpec::Kind::kTuple:
+        for (const OutputSpec& fo : o.fields) {
+          if (!SetupOutputs(fo)) return false;
+        }
+        return true;
+    }
+    return false;
+  }
+
+  const Value& LevelVal(const VBatch& b, size_t l, uint32_t row) const {
+    const VecLevel& lv = levels_[l];
+    if (lv.mode == VecLevel::kMaterialized) return b.vals[l][row];
+    if (lv.mode == VecLevel::kCsr) return lv.csr->elems[b.idx[l][row]];
+    return (*lv.shared)[b.idx[l][row]];
+  }
+
+  // Fills the fragment's parameter columns for `m` rows. Rows come from
+  // `cand->rows` when a chunk is given, else they are the identity range
+  // [row_offset, row_offset + m) of `b`. The self column (candidate
+  // elements) comes from the chunk.
+  void BindFrag(Frag& f, const VBatch& b, size_t m, size_t row_offset,
+                const CandChunk* cand, size_t self_level) {
+    const uint32_t* rows = cand != nullptr ? cand->rows.data() : nullptr;
+    for (size_t p = 0; p < f.binds.size(); ++p) {
+      std::vector<Value>& col = f.prog.vm().ParamColumn(p);
+      col.resize(m);
+      const Bind& bd = f.binds[p];
+      switch (bd.kind) {
+        case Bind::kSelfVar: {
+          const VecLevel& lv = levels_[self_level];
+          if (lv.mode == VecLevel::kMaterialized) {
+            for (size_t t = 0; t < m; ++t) col[t] = cand->elem_vals[t];
+          } else {
+            const std::vector<Value>& base = lv.mode == VecLevel::kCsr
+                                                 ? lv.csr->elems
+                                                 : *lv.shared;
+            for (size_t t = 0; t < m; ++t) col[t] = base[cand->elems[t]];
+          }
+          break;
+        }
+        case Bind::kLevel: {
+          const size_t l = static_cast<size_t>(bd.index);
+          for (size_t t = 0; t < m; ++t) {
+            const uint32_t row =
+                rows != nullptr ? rows[t]
+                                : static_cast<uint32_t>(row_offset + t);
+            col[t] = LevelVal(b, l, row);
+          }
+          break;
+        }
+        case Bind::kCtxCol: {
+          const Col& cc = ctx_.cols[static_cast<size_t>(bd.index)];
+          for (size_t t = 0; t < m; ++t) {
+            const uint32_t row =
+                rows != nullptr ? rows[t]
+                                : static_cast<uint32_t>(row_offset + t);
+            col[t] = cc.vals[b.ctx[row]];
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  uint32_t ParentRowId(const VBatch& b, const Bind& parent,
+                       uint32_t row) const {
+    if (parent.kind == Bind::kLevel) {
+      return b.idx[static_cast<size_t>(parent.index)][row];
+    }
+    const Col& cc = ctx_.cols[static_cast<size_t>(parent.index)];
+    return cc.row_ids[b.ctx[row]];
+  }
+
+  Status ExpandFrom(size_t j, VBatch& b);
+  Status FlushChunk(size_t j, const VBatch& b, CandChunk& chunk, Frag* pred);
+  Status EnsureShared(size_t j, VecLevel& lvl, const VBatch& b);
+  void EnsureBuild(VecLevel& lvl);
+  void EnsureBuckets(VecLevel& lvl);
+  Status HashExpand(size_t j, VecLevel& lvl, const VBatch& b);
+  Status NLExpand(size_t j, VecLevel& lvl, const VBatch& b);
+  Status CsrExpand(size_t j, VecLevel& lvl, const VBatch& b);
+  Status MatExpand(size_t j, VecLevel& lvl, const VBatch& b);
+  void AppendFinal(VBatch b);
+  Result<std::vector<Value>> EvalOut(const OutputSpec& out);
+
+  ShredExecutor& ex_;
+  const FlatNode& node_;
+  const Rel& ctx_;
+  OpSpan& span_;
+  EvalStats& stats_;
+  const size_t nlevels_;
+  const size_t batch_;
+  std::vector<VecLevel> levels_;
+  std::map<const OutputSpec*, Frag> out_frags_;
+  VBatch final_;
+  // Probe-pass scratch, reused across batches.
+  std::vector<uint64_t> probe_u64_;
+  std::vector<uint64_t> probe_slot_;
+  std::vector<uint8_t> probe_cls_;
+};
+
+bool VecPipeline::Setup() {
+  if (nlevels_ == 0) return false;
+  levels_.resize(nlevels_);
+  const EvalOptions& opts = ex_.opts();
+  for (size_t j = 0; j < nlevels_; ++j) {
+    VecLevel& lvl = levels_[j];
+    const RangeSpec& r = node_.ranges[j];
+    lvl.r = &r;
+    switch (r.kind) {
+      case RangeKind::kExtent: {
+        lvl.extent = ex_.db().columnar().Get(ex_.db(), r.table);
+        // No projection (unknown table included): the scalar engine's
+        // row-wise path owns the error behavior.
+        if (lvl.extent == nullptr) return false;
+        lvl.mode = VecLevel::kShared;
+        lvl.shared = &lvl.extent->rows;
+        lvl.shared_ready = true;
+        break;
+      }
+      case RangeKind::kConstSet:
+        lvl.mode = VecLevel::kShared;
+        break;
+      case RangeKind::kChildAttr: {
+        std::optional<Bind> parent = ResolveVar(r.parent_var, j);
+        const ColumnarExtent* pext = nullptr;
+        if (parent.has_value()) {
+          if (parent->kind == Bind::kLevel) {
+            const VecLevel& pl = levels_[static_cast<size_t>(parent->index)];
+            pext = pl.extent.get();
+          } else {
+            pext = ctx_.cols[static_cast<size_t>(parent->index)].extent.get();
+          }
+        }
+        if (pext != nullptr) lvl.csr = pext->Child(r.attr);
+        if (lvl.csr != nullptr) {
+          lvl.mode = VecLevel::kCsr;
+          lvl.parent = *parent;
+        } else {
+          lvl.mode = VecLevel::kMaterialized;
+          if (!CompileFrag(&lvl.source, r.source, j, nullptr)) return false;
+        }
+        break;
+      }
+      case RangeKind::kOpaque:
+        return false;  // never marked vectorizable; defensive
+    }
+    if (r.pred != nullptr) {
+      if (!CompileFrag(&lvl.pred, r.pred, j, &r.var)) return false;
+      if (lvl.mode == VecLevel::kShared && opts.use_hash_joins &&
+          opts.join_algorithm != JoinAlgorithm::kNestedLoop) {
+        lvl.split = SplitEquiPred(r);
+        if (!lvl.split.scan_keys.empty()) {
+          if (opts.join_algorithm == JoinAlgorithm::kSortMerge) {
+            // Sort-merge stays a scalar-engine feature; refusing keeps
+            // its behavior (and joins_sortmerge accounting) intact.
+            return false;
+          }
+          lvl.try_hash = true;
+          if (lvl.split.scan_keys.size() == 1 && lvl.extent != nullptr) {
+            const ExprPtr& e = lvl.split.scan_keys[0];
+            if (e->kind() == ExprKind::kFieldAccess &&
+                e->child(0)->kind() == ExprKind::kVar &&
+                e->child(0)->name() == r.var) {
+              lvl.key_col = lvl.extent->Column(e->name());
+            }
+          }
+          if (lvl.key_col == nullptr &&
+              !CompileKeyFrag(&lvl.scan_key, lvl.split.scan_keys, 0, &r.var)) {
+            lvl.try_hash = false;
+          }
+          if (lvl.try_hash &&
+              !CompileKeyFrag(&lvl.probe_key, lvl.split.probe_keys, j,
+                              nullptr)) {
+            lvl.try_hash = false;
+          }
+          if (lvl.try_hash && !lvl.split.residual.empty() &&
+              !CompileFrag(&lvl.residual, Expr::AndAll(lvl.split.residual), j,
+                           &r.var)) {
+            lvl.try_hash = false;
+          }
+          // A hash-side compile failure is not a node refusal: the fused
+          // nested-loop path below still runs the full predicate.
+        }
+      }
+    }
+  }
+  return SetupOutputs(node_.out);
+}
+
+Status VecPipeline::ExpandFrom(size_t j, VBatch& b) {
+  if (b.n == 0) return Status::OK();
+  if (j == nlevels_) {
+    AppendFinal(std::move(b));
+    return Status::OK();
+  }
+  VecLevel& lvl = levels_[j];
+  switch (lvl.mode) {
+    case VecLevel::kShared:
+      N2J_RETURN_IF_ERROR(EnsureShared(j, lvl, b));
+      if (lvl.try_hash) {
+        EnsureBuild(lvl);
+        if (lvl.hash_ok) return HashExpand(j, lvl, b);
+      }
+      return NLExpand(j, lvl, b);
+    case VecLevel::kCsr:
+      return CsrExpand(j, lvl, b);
+    case VecLevel::kMaterialized:
+      return MatExpand(j, lvl, b);
+  }
+  return Status::Internal("unreachable range mode");
+}
+
+Status VecPipeline::FlushChunk(size_t j, const VBatch& b, CandChunk& chunk,
+                               Frag* pred) {
+  const size_t m = chunk.size();
+  if (m == 0) return Status::OK();
+  std::vector<uint32_t> keep;
+  keep.reserve(m);
+  if (pred != nullptr) {
+    BindFrag(*pred, b, m, 0, &chunk, j);
+    stats_.predicate_evals += m;
+    if (!pred->prog.vm().Run(m)) return pred->prog.status();
+    const std::vector<Value>& res = pred->prog.vm().ResultColumn();
+    for (uint32_t t = 0; t < m; ++t) {
+      if (!res[t].is_bool()) {
+        return Status::RuntimeError("selection predicate not boolean");
+      }
+      if (res[t].bool_value()) keep.push_back(t);
+    }
+  } else {
+    for (uint32_t t = 0; t < m; ++t) keep.push_back(t);
+  }
+  if (keep.empty()) return Status::OK();
+
+  VBatch nb;
+  nb.n = keep.size();
+  nb.idx.resize(nlevels_);
+  nb.vals.resize(nlevels_);
+  nb.ctx.reserve(nb.n);
+  for (uint32_t t : keep) nb.ctx.push_back(b.ctx[chunk.rows[t]]);
+  for (size_t l = 0; l < j; ++l) {
+    if (levels_[l].mode == VecLevel::kMaterialized) {
+      nb.vals[l].reserve(nb.n);
+      for (uint32_t t : keep) nb.vals[l].push_back(b.vals[l][chunk.rows[t]]);
+    } else {
+      nb.idx[l].reserve(nb.n);
+      for (uint32_t t : keep) nb.idx[l].push_back(b.idx[l][chunk.rows[t]]);
+    }
+  }
+  if (levels_[j].mode == VecLevel::kMaterialized) {
+    nb.vals[j].reserve(nb.n);
+    for (uint32_t t : keep) nb.vals[j].push_back(std::move(chunk.elem_vals[t]));
+  } else {
+    nb.idx[j].reserve(nb.n);
+    for (uint32_t t : keep) nb.idx[j].push_back(chunk.elems[t]);
+  }
+  return ExpandFrom(j + 1, nb);
+}
+
+Status VecPipeline::EnsureShared(size_t j, VecLevel& lvl, const VBatch& b) {
+  if (lvl.shared_ready) return Status::OK();
+  // Constant set, evaluated once under the first surviving row's
+  // bindings — the same row (and at-least-once condition) as the scalar
+  // engine's PushRow(work, 0).
+  Environment env;
+  for (const Col& c : ctx_.cols) env.Push(c.var, c.vals[b.ctx[0]]);
+  for (size_t l = 0; l < j; ++l) {
+    env.Push(node_.ranges[l].var, LevelVal(b, l, 0));
+  }
+  Result<Value> v = ex_.inner().Eval(lvl.r->source, env);
+  if (!v.ok()) return v.status();
+  if (!v->is_set()) {
+    return Status::RuntimeError("shredded range over non-set");
+  }
+  lvl.shared_holder = std::move(*v);
+  lvl.shared = &lvl.shared_holder.elements();
+  lvl.shared_ready = true;
+  return Status::OK();
+}
+
+void VecPipeline::EnsureBuckets(VecLevel& lvl) {
+  if (lvl.buckets_ready) return;
+  const std::vector<Value>& keys = *lvl.keys_view;
+  lvl.buckets.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    lvl.buckets[keys[i]].push_back(static_cast<uint32_t>(i));
+  }
+  lvl.buckets_ready = true;
+}
+
+void VecPipeline::EnsureBuild(VecLevel& lvl) {
+  if (lvl.hash_decided) return;
+  lvl.hash_decided = true;
+  const std::vector<Value>& base = *lvl.shared;
+  const size_t n = base.size();
+  if (lvl.key_col != nullptr) {
+    lvl.keys_view = lvl.key_col;
+  } else {
+    // Key evaluation may touch elements the predicate would have
+    // short-circuited past, so any error abandons the join — the fused
+    // nested-loop path reproduces the scalar engine's behavior exactly.
+    lvl.keys_own.reserve(n);
+    CandChunk chunk;
+    for (size_t lo = 0; lo < n; lo += batch_) {
+      const size_t m = std::min(batch_, n - lo);
+      std::vector<Value>& col = lvl.scan_key.prog.vm().ParamColumn(0);
+      col.resize(m);
+      for (size_t t = 0; t < m; ++t) col[t] = base[lo + t];
+      if (!lvl.scan_key.prog.vm().Run(m)) return;  // hash_ok stays false
+      std::vector<Value>& res = lvl.scan_key.prog.vm().ResultColumn();
+      for (size_t t = 0; t < m; ++t) {
+        lvl.keys_own.push_back(std::move(res[t]));
+      }
+    }
+    lvl.keys_view = &lvl.keys_own;
+  }
+
+  const std::vector<Value>& keys = *lvl.keys_view;
+  bool all_int = true, all_oid = true;
+  for (const Value& k : keys) {
+    all_int = all_int && k.is_int();
+    all_oid = all_oid && k.is_oid();
+    if (!all_int && !all_oid) break;
+  }
+  size_t table_size;
+  if ((all_int || all_oid) && !keys.empty()) {
+    lvl.key_mode = all_int ? VecLevel::kIntKeys : VecLevel::kOidKeys;
+    lvl.raw_keys.reserve(keys.size());
+    for (const Value& k : keys) {
+      lvl.raw_keys.push_back(all_int ? static_cast<uint64_t>(k.int_value())
+                                     : k.oid_value());
+    }
+    lvl.raw.Build(lvl.raw_keys);
+    table_size = lvl.raw.distinct;
+  } else {
+    lvl.key_mode = VecLevel::kGeneric;
+    EnsureBuckets(lvl);
+    table_size = lvl.buckets.size();
+  }
+
+  ++stats_.joins_hash;
+  stats_.hash_inserts += n;
+  stats_.tuples_scanned += n;
+  if (ex_.opts().trace != nullptr) {
+    ex_.opts().trace->AnnotateOpen(
+        StrFormat(" vec-hash keys=%zu residual=%zu",
+                  lvl.split.scan_keys.size(), lvl.split.residual.size()));
+    ex_.opts().trace->NotePeakHash(table_size);
+  }
+  lvl.hash_ok = true;
+}
+
+Status VecPipeline::HashExpand(size_t j, VecLevel& lvl, const VBatch& b) {
+  BindFrag(lvl.probe_key, b, b.n, 0, nullptr, j);
+  if (!lvl.probe_key.prog.vm().Run(b.n)) {
+    // Probe-key error: abandon the hash path (already-probed batches
+    // produced the same survivors the nested loop would) and let the
+    // full predicate decide — erroring only where the interpreter does.
+    lvl.hash_ok = false;
+    return NLExpand(j, lvl, b);
+  }
+  const std::vector<Value>& kc = lvl.probe_key.prog.vm().ResultColumn();
+  stats_.hash_probes += b.n;
+
+  CandChunk chunk;
+  Frag* res_pred = lvl.residual.present ? &lvl.residual : nullptr;
+  auto add = [&](uint32_t row, uint32_t elem) -> Status {
+    chunk.rows.push_back(row);
+    chunk.elems.push_back(elem);
+    if (chunk.size() >= batch_) {
+      N2J_RETURN_IF_ERROR(FlushChunk(j, b, chunk, res_pred));
+      chunk.clear();
+    }
+    return Status::OK();
+  };
+
+  if (lvl.key_mode != VecLevel::kGeneric) {
+    // Two passes: hash every lane's key and prefetch its slot line,
+    // then walk the chains. cls: 0 = no match possible, 1 = raw probe,
+    // 2 = Value buckets (int domain probed by a double — int/double
+    // compare numerically, so raw equality would miss).
+    probe_u64_.resize(b.n);
+    probe_slot_.resize(b.n);
+    probe_cls_.resize(b.n);
+    const bool int_mode = lvl.key_mode == VecLevel::kIntKeys;
+    for (size_t i = 0; i < b.n; ++i) {
+      const Value& v = kc[i];
+      uint8_t cls = 0;
+      if (int_mode && v.is_int()) {
+        probe_u64_[i] = static_cast<uint64_t>(v.int_value());
+        cls = 1;
+      } else if (!int_mode && v.is_oid()) {
+        probe_u64_[i] = v.oid_value();
+        cls = 1;
+      } else if (int_mode && v.is_double()) {
+        cls = 2;
+      }
+      probe_cls_[i] = cls;
+      if (cls == 1) {
+        probe_slot_[i] = lvl.raw.StartSlot(probe_u64_[i]);
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&lvl.raw.slot_key[probe_slot_[i]]);
+        __builtin_prefetch(&lvl.raw.slot_head[probe_slot_[i]]);
+#endif
+      }
+    }
+    for (size_t i = 0; i < b.n; ++i) {
+      if (probe_cls_[i] == 1) {
+        for (int32_t e = lvl.raw.FindFrom(probe_slot_[i], probe_u64_[i]);
+             e != -1; e = lvl.raw.next[static_cast<size_t>(e)]) {
+          N2J_RETURN_IF_ERROR(
+              add(static_cast<uint32_t>(i), static_cast<uint32_t>(e)));
+        }
+      } else if (probe_cls_[i] == 2) {
+        EnsureBuckets(lvl);
+        auto it = lvl.buckets.find(kc[i]);
+        if (it != lvl.buckets.end()) {
+          for (uint32_t e : it->second) {
+            N2J_RETURN_IF_ERROR(add(static_cast<uint32_t>(i), e));
+          }
+        }
+      }
+    }
+  } else {
+    for (size_t i = 0; i < b.n; ++i) {
+      auto it = lvl.buckets.find(kc[i]);
+      if (it != lvl.buckets.end()) {
+        for (uint32_t e : it->second) {
+          N2J_RETURN_IF_ERROR(add(static_cast<uint32_t>(i), e));
+        }
+      }
+    }
+  }
+  return FlushChunk(j, b, chunk, res_pred);
+}
+
+Status VecPipeline::NLExpand(size_t j, VecLevel& lvl, const VBatch& b) {
+  const std::vector<Value>& base = *lvl.shared;
+  Frag* pred = lvl.pred.present ? &lvl.pred : nullptr;
+  CandChunk chunk;
+  for (uint32_t i = 0; i < b.n; ++i) {
+    for (size_t e = 0; e < base.size(); ++e) {
+      chunk.rows.push_back(i);
+      chunk.elems.push_back(static_cast<uint32_t>(e));
+      if (chunk.size() >= batch_) {
+        stats_.tuples_scanned += chunk.size();
+        N2J_RETURN_IF_ERROR(FlushChunk(j, b, chunk, pred));
+        chunk.clear();
+      }
+    }
+  }
+  stats_.tuples_scanned += chunk.size();
+  return FlushChunk(j, b, chunk, pred);
+}
+
+Status VecPipeline::CsrExpand(size_t j, VecLevel& lvl, const VBatch& b) {
+  Frag* pred = lvl.pred.present ? &lvl.pred : nullptr;
+  CandChunk chunk;
+  for (uint32_t i = 0; i < b.n; ++i) {
+    const uint32_t rid = ParentRowId(b, lvl.parent, i);
+    const uint32_t lo = lvl.csr->begin(rid);
+    const uint32_t hi = lvl.csr->end(rid);
+    for (uint32_t e = lo; e < hi; ++e) {
+      chunk.rows.push_back(i);
+      chunk.elems.push_back(e);  // global index into csr->elems
+      if (chunk.size() >= batch_) {
+        stats_.tuples_scanned += chunk.size();
+        N2J_RETURN_IF_ERROR(FlushChunk(j, b, chunk, pred));
+        chunk.clear();
+      }
+    }
+  }
+  stats_.tuples_scanned += chunk.size();
+  return FlushChunk(j, b, chunk, pred);
+}
+
+Status VecPipeline::MatExpand(size_t j, VecLevel& lvl, const VBatch& b) {
+  BindFrag(lvl.source, b, b.n, 0, nullptr, j);
+  if (!lvl.source.prog.vm().Run(b.n)) return lvl.source.prog.status();
+  std::vector<Value>& res = lvl.source.prog.vm().ResultColumn();
+  std::vector<Value> sets;
+  sets.reserve(b.n);
+  for (size_t i = 0; i < b.n; ++i) sets.push_back(std::move(res[i]));
+
+  Frag* pred = lvl.pred.present ? &lvl.pred : nullptr;
+  CandChunk chunk;
+  for (uint32_t i = 0; i < b.n; ++i) {
+    if (!sets[i].is_set()) {
+      return Status::RuntimeError("shredded range over non-set");
+    }
+    for (const Value& elem : sets[i].elements()) {
+      chunk.rows.push_back(i);
+      chunk.elem_vals.push_back(elem);
+      if (chunk.size() >= batch_) {
+        stats_.tuples_scanned += chunk.size();
+        N2J_RETURN_IF_ERROR(FlushChunk(j, b, chunk, pred));
+        chunk.clear();
+      }
+    }
+  }
+  stats_.tuples_scanned += chunk.size();
+  return FlushChunk(j, b, chunk, pred);
+}
+
+void VecPipeline::AppendFinal(VBatch b) {
+  final_.n += b.n;
+  final_.ctx.insert(final_.ctx.end(), b.ctx.begin(), b.ctx.end());
+  for (size_t l = 0; l < nlevels_; ++l) {
+    if (levels_[l].mode == VecLevel::kMaterialized) {
+      for (Value& v : b.vals[l]) final_.vals[l].push_back(std::move(v));
+    } else {
+      final_.idx[l].insert(final_.idx[l].end(), b.idx[l].begin(),
+                           b.idx[l].end());
+    }
+  }
+}
+
+Result<std::vector<Value>> VecPipeline::EvalOut(const OutputSpec& out) {
+  const size_t n = final_.n;
+  switch (out.kind) {
+    case OutputSpec::Kind::kScalar: {
+      Frag& f = out_frags_[&out];
+      std::vector<Value> vals;
+      vals.reserve(n);
+      for (size_t lo = 0; lo < n; lo += batch_) {
+        const size_t m = std::min(batch_, n - lo);
+        BindFrag(f, final_, m, lo, nullptr, 0);
+        if (!f.prog.vm().Run(m)) return f.prog.status();
+        std::vector<Value>& res = f.prog.vm().ResultColumn();
+        for (size_t t = 0; t < m; ++t) vals.push_back(std::move(res[t]));
+      }
+      return vals;
+    }
+    case OutputSpec::Kind::kChild: {
+      const FlatNode& child =
+          ex_.plan().nodes[static_cast<size_t>(out.child)];
+      if (child.ctx_vars.empty()) {
+        // Uncorrelated subquery: one execution, broadcast — but only
+        // when at least one work row exists (laziness, as scalar).
+        if (n == 0) return std::vector<Value>{};
+        Rel unit;
+        unit.ctx = {0};
+        N2J_ASSIGN_OR_RETURN(std::vector<Value> one,
+                             ex_.ExecNode(child, std::move(unit)));
+        return std::vector<Value>(n, one[0]);
+      }
+      Rel cctx;
+      cctx.cols.reserve(child.ctx_vars.size());
+      for (const std::string& v : child.ctx_vars) {
+        std::optional<Bind> bd = ResolveVar(v, nlevels_);
+        if (!bd.has_value()) continue;  // scalar skips unknown vars too
+        Col col;
+        col.var = v;
+        col.vals.reserve(n);
+        if (bd->kind == Bind::kLevel) {
+          const size_t l = static_cast<size_t>(bd->index);
+          for (size_t i = 0; i < n; ++i) {
+            col.vals.push_back(LevelVal(final_, l, static_cast<uint32_t>(i)));
+          }
+          // Extent provenance flows to the child exactly as the scalar
+          // engine's Skeleton/Emit propagate it.
+          if (levels_[l].extent != nullptr) {
+            col.extent = levels_[l].extent;
+            col.row_ids = final_.idx[l];
+          }
+        } else {
+          const Col& cc = ctx_.cols[static_cast<size_t>(bd->index)];
+          for (size_t i = 0; i < n; ++i) {
+            col.vals.push_back(cc.vals[final_.ctx[i]]);
+          }
+          if (cc.extent != nullptr) {
+            col.extent = cc.extent;
+            col.row_ids.reserve(n);
+            for (size_t i = 0; i < n; ++i) {
+              col.row_ids.push_back(cc.row_ids[final_.ctx[i]]);
+            }
+          }
+        }
+        cctx.cols.push_back(std::move(col));
+      }
+      cctx.ctx.resize(n);
+      for (size_t i = 0; i < n; ++i) cctx.ctx[i] = static_cast<uint32_t>(i);
+      return ex_.ExecNode(child, std::move(cctx));
+    }
+    case OutputSpec::Kind::kTuple: {
+      std::vector<std::vector<Value>> field_vals;
+      field_vals.reserve(out.fields.size());
+      for (const OutputSpec& f : out.fields) {
+        N2J_ASSIGN_OR_RETURN(std::vector<Value> fv, EvalOut(f));
+        field_vals.push_back(std::move(fv));
+      }
+      std::vector<Value> vals;
+      vals.reserve(n);
+      for (size_t row = 0; row < n; ++row) {
+        std::vector<Field> fields;
+        fields.reserve(out.fields.size());
+        for (size_t f = 0; f < out.fields.size(); ++f) {
+          fields.emplace_back(out.field_names[f],
+                              std::move(field_vals[f][row]));
+        }
+        vals.push_back(Value::Tuple(std::move(fields)));
+      }
+      return vals;
+    }
+  }
+  return Status::Internal("unreachable output kind");
+}
+
+Result<std::vector<Value>> VecPipeline::Execute() {
+  ++stats_.vec_pipelines;
+  final_.idx.resize(nlevels_);
+  final_.vals.resize(nlevels_);
+  const size_t nctx = ctx_.size();
+  for (size_t lo = 0; lo < nctx; lo += batch_) {
+    const size_t hi = std::min(nctx, lo + batch_);
+    VBatch b;
+    b.n = hi - lo;
+    b.idx.resize(nlevels_);
+    b.vals.resize(nlevels_);
+    b.ctx.reserve(b.n);
+    for (size_t i = lo; i < hi; ++i) b.ctx.push_back(static_cast<uint32_t>(i));
+    N2J_RETURN_IF_ERROR(ExpandFrom(0, b));
+  }
+  N2J_ASSIGN_OR_RETURN(std::vector<Value> outs, EvalOut(node_.out));
+  span_.Annotate("vec");
+  span_.RowsOut(final_.n);
+  return ShredExecutor::StitchByCtx(std::move(outs), final_.ctx, nctx);
+}
+
+Result<std::optional<std::vector<Value>>> ShredExecutor::TryExecNodeVectorized(
+    const FlatNode& node, const Rel& ctx, OpSpan& span) {
+  VecPipeline p(*this, node, ctx, span);
+  if (!p.Setup()) return std::optional<std::vector<Value>>();
+  N2J_ASSIGN_OR_RETURN(std::vector<Value> stitched, p.Execute());
+  return std::optional<std::vector<Value>>(std::move(stitched));
+}
+
+}  // namespace shred
+}  // namespace n2j

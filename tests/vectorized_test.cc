@@ -1,0 +1,288 @@
+// Vectorized batch execution in the shredded backend (ISSUE 8
+// tentpole): engagement of the fused pipeline, bit-equality against the
+// scalar engines across batch-boundary sizes, error parity (first-error
+// order must survive batching), per-node fallback accounting, batch
+// hash-join agreement, and serial-vs-parallel stats determinism.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adl/printer.h"
+#include "shred/shred.h"
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace n2j {
+namespace {
+
+using testutil::SmallSupplierDb;
+using testutil::TranslateOrDie;
+
+EvalOptions VecOpts(bool vectorized, int batch = 1024) {
+  EvalOptions o;
+  o.backend = Backend::kShredded;
+  o.vectorized = vectorized;
+  o.vector_batch_size = batch;
+  return o;
+}
+
+Result<Value> Interp(const Database& db, const ExprPtr& e) {
+  EvalOptions o;
+  o.backend = Backend::kNested;
+  EvalStats stats;
+  return shred::EvalWithBackend(db, e, o, &stats);
+}
+
+// The erroring-row fixture: T(a int) with a = 1..12, so `t.a - 5`
+// crosses zero at the fifth canonical row — past the first batch for
+// small batch sizes.
+std::unique_ptr<Database> DivTrapDb() {
+  auto db = std::make_unique<Database>();
+  N2J_CHECK(db->CreateTable("T", Type::Tuple({{"a", Type::Int()}})).ok());
+  for (int i = 1; i <= 12; ++i) {
+    N2J_CHECK(db->Insert("T", Value::Tuple({Field("a", Value::Int(i))})).ok());
+  }
+  return db;
+}
+
+TEST(Vectorized, EngagesOnPaperShapesAndMatchesScalar) {
+  std::unique_ptr<Database> db = SmallSupplierDb();
+  const char* queries[] = {
+      "select (sname = s.sname, ps = select z.pid from z in s.parts) "
+      "from s in SUPPLIER",
+      "select (a = x.pname, b = y.pname) from x in PART, y in PART "
+      "where x.price = y.price",
+      "select z from s in SUPPLIER, z in s.parts",
+      "select p.pname from p in PART where p.color = \"red\"",
+  };
+  for (const char* q : queries) {
+    ExprPtr e = TranslateOrDie(*db, q);
+    Result<Value> reference = Interp(*db, e);
+    ASSERT_TRUE(reference.ok()) << q;
+
+    EvalStats on_stats, off_stats;
+    Result<Value> on = shred::EvalWithBackend(*db, e, VecOpts(true),
+                                              &on_stats);
+    Result<Value> off = shred::EvalWithBackend(*db, e, VecOpts(false),
+                                               &off_stats);
+    ASSERT_TRUE(on.ok()) << q << "\n" << on.status().ToString();
+    ASSERT_TRUE(off.ok()) << q;
+    EXPECT_EQ(*reference, *on) << q;
+    EXPECT_EQ(*reference, *off) << q;
+
+    // The pipeline really ran — and the scalar run never touched it.
+    EXPECT_GT(on_stats.vec_pipelines, 0u) << q;
+    EXPECT_GT(on_stats.vec_batches, 0u) << q;
+    EXPECT_EQ(on_stats.vec_fallbacks, 0u) << q;
+    EXPECT_EQ(off_stats.vec_pipelines, 0u) << q;
+    EXPECT_EQ(off_stats.vec_batches, 0u) << q;
+    EXPECT_EQ(off_stats.vec_fallbacks, 0u) << q;
+  }
+}
+
+TEST(Vectorized, BatchBoundarySizesAgreeBitForBit) {
+  // 1300 parts: a whole-extent scan crosses the 1024 boundary, and the
+  // self-join probes split across several batches.
+  SupplierPartConfig sp;
+  sp.seed = 11;
+  sp.num_parts = 1300;
+  sp.num_suppliers = 60;
+  sp.parts_per_supplier = 4;
+  sp.match_fraction = 0.9;
+  std::unique_ptr<Database> db = MakeSupplierPartDatabase(sp);
+  const char* queries[] = {
+      "select z from s in SUPPLIER, z in s.parts",
+      "select (a = x.pname, b = y.pname) from x in PART, y in PART "
+      "where x.price = y.price and x.price < 500",
+  };
+  for (const char* q : queries) {
+    ExprPtr e = TranslateOrDie(*db, q);
+    EvalStats scalar_stats;
+    Result<Value> scalar = shred::EvalWithBackend(*db, e, VecOpts(false),
+                                                  &scalar_stats);
+    ASSERT_TRUE(scalar.ok()) << q;
+    // 0 exercises the documented clamp to 1.
+    for (int batch : {0, 1, 3, 1023, 1024, 1025}) {
+      EvalStats stats;
+      Result<Value> v = shred::EvalWithBackend(*db, e, VecOpts(true, batch),
+                                               &stats);
+      ASSERT_TRUE(v.ok()) << q << " batch=" << batch;
+      EXPECT_EQ(*scalar, *v) << q << " batch=" << batch;
+      EXPECT_GT(stats.vec_pipelines, 0u) << q << " batch=" << batch;
+      EXPECT_EQ(stats.vec_fallbacks, 0u) << q << " batch=" << batch;
+    }
+  }
+}
+
+TEST(Vectorized, EmptyExtentAndFullyFilteredBatches) {
+  auto db = std::make_unique<Database>();
+  ASSERT_TRUE(db->CreateTable("E", Type::Tuple({{"a", Type::Int()}})).ok());
+  ExprPtr over_empty = TranslateOrDie(*db, "select x.a from x in E");
+  EvalStats stats;
+  Result<Value> v = shred::EvalWithBackend(*db, over_empty, VecOpts(true),
+                                           &stats);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::EmptySet());
+  EXPECT_EQ(stats.vec_fallbacks, 0u);
+
+  std::unique_ptr<Database> sp = SmallSupplierDb();
+  ExprPtr filtered = TranslateOrDie(
+      *sp, "select p.pname from p in PART where p.price > 999999");
+  for (int batch : {1, 7, 1024}) {
+    EvalStats fs;
+    Result<Value> fv = shred::EvalWithBackend(*sp, filtered,
+                                              VecOpts(true, batch), &fs);
+    ASSERT_TRUE(fv.ok());
+    EXPECT_EQ(*fv, Value::EmptySet()) << "batch=" << batch;
+    EXPECT_GT(fs.vec_pipelines, 0u);
+  }
+}
+
+TEST(Vectorized, ErrorParityAcrossBatchBoundaries) {
+  std::unique_ptr<Database> db = DivTrapDb();
+  const char* queries[] = {
+      // Error in the output stage (row 5 of 12).
+      "select 10 / (t.a - 5) from t in T",
+      // Error in the fused range predicate.
+      "select t.a from t in T where 10 / (t.a - 5) > 0",
+  };
+  for (const char* q : queries) {
+    ExprPtr e = TranslateOrDie(*db, q);
+    Result<Value> reference = Interp(*db, e);
+    ASSERT_FALSE(reference.ok()) << q;
+    for (int batch : {1, 3, 1024}) {
+      EvalStats stats;
+      Result<Value> v = shred::EvalWithBackend(*db, e, VecOpts(true, batch),
+                                               &stats);
+      ASSERT_FALSE(v.ok()) << q << " batch=" << batch;
+      // Exact first-error semantics: the mid-batch bail reruns the node
+      // row-wise, so the surfaced error is the interpreter's.
+      EXPECT_EQ(v.status().ToString(), reference.status().ToString())
+          << q << " batch=" << batch;
+      EXPECT_GT(stats.vec_fallbacks, 0u) << q << " batch=" << batch;
+    }
+  }
+}
+
+TEST(Vectorized, ShortCircuitSkipsErroringLanes) {
+  // The And chain diverts the a = 5 lane before the division runs —
+  // batched short-circuit must preserve that, at every batch size.
+  std::unique_ptr<Database> db = DivTrapDb();
+  ExprPtr e = TranslateOrDie(
+      *db, "select t.a from t in T where t.a <> 5 and 10 / (t.a - 5) > 0");
+  Result<Value> reference = Interp(*db, e);
+  ASSERT_TRUE(reference.ok());
+  for (int batch : {1, 3, 1024}) {
+    EvalStats stats;
+    Result<Value> v = shred::EvalWithBackend(*db, e, VecOpts(true, batch),
+                                             &stats);
+    ASSERT_TRUE(v.ok()) << "batch=" << batch << "\n"
+                        << v.status().ToString();
+    EXPECT_EQ(*reference, *v) << "batch=" << batch;
+    EXPECT_EQ(stats.vec_fallbacks, 0u);
+  }
+}
+
+TEST(Vectorized, FallbackWhenAnOutputRefusesToBatchCompile) {
+  // A set-iterator inside a *scalar* output (union of comprehensions is
+  // not comprehension-shaped, so it does not become a child node) is a
+  // form the compiler refuses — the node must fall back row-wise, count
+  // it, and still produce the right answer.
+  std::unique_ptr<Database> db = SmallSupplierDb();
+  ExprPtr e = TranslateOrDie(
+      *db,
+      "select (sname = s.sname, "
+      "        ids = (select z.pid from z in s.parts) union "
+      "              (select z.pid from z in s.parts)) "
+      "from s in SUPPLIER");
+  Result<Value> reference = Interp(*db, e);
+  ASSERT_TRUE(reference.ok());
+  EvalStats stats;
+  Result<Value> v = shred::EvalWithBackend(*db, e, VecOpts(true), &stats);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*reference, *v);
+  EXPECT_GT(stats.vec_fallbacks, 0u);
+}
+
+TEST(Vectorized, BatchHashJoinAgreesAndSortMergeStaysScalar) {
+  std::unique_ptr<Database> db = SmallSupplierDb();
+  ExprPtr e = TranslateOrDie(
+      *db,
+      "select (a = x.pname, b = y.pname) from x in PART, y in PART "
+      "where x.price = y.price and x.pid <> y.pid");
+  Result<Value> reference = Interp(*db, e);
+  ASSERT_TRUE(reference.ok());
+
+  EvalOptions hash = VecOpts(true);
+  EvalStats hash_stats;
+  Result<Value> hv = shred::EvalWithBackend(*db, e, hash, &hash_stats);
+  ASSERT_TRUE(hv.ok());
+  EXPECT_EQ(*reference, *hv);
+  EXPECT_GT(hash_stats.joins_hash, 0u);
+  EXPECT_GT(hash_stats.hash_probes, 0u);
+  EXPECT_EQ(hash_stats.vec_fallbacks, 0u);
+
+  // Sort-merge is a scalar-engine feature; the node refuses and the
+  // fallback keeps its accounting intact.
+  EvalOptions sm = VecOpts(true);
+  sm.join_algorithm = JoinAlgorithm::kSortMerge;
+  EvalStats sm_stats;
+  Result<Value> sv = shred::EvalWithBackend(*db, e, sm, &sm_stats);
+  ASSERT_TRUE(sv.ok());
+  EXPECT_EQ(*reference, *sv);
+  EXPECT_GT(sm_stats.joins_sortmerge, 0u);
+  EXPECT_GT(sm_stats.vec_fallbacks, 0u);
+}
+
+TEST(Vectorized, SerialAndParallelStatsMatchExactly) {
+  std::unique_ptr<Database> db = SmallSupplierDb();
+  const char* queries[] = {
+      "select (sname = s.sname, ps = select z.pid from z in s.parts) "
+      "from s in SUPPLIER",
+      "select (a = x.pname, b = y.pname) from x in PART, y in PART "
+      "where x.price = y.price",
+  };
+  for (const char* q : queries) {
+    ExprPtr e = TranslateOrDie(*db, q);
+    EvalOptions serial = VecOpts(true);
+    serial.num_threads = 1;
+    EvalOptions parallel = VecOpts(true);
+    parallel.num_threads = 4;
+    EvalStats s1, s4;
+    Result<Value> v1 = shred::EvalWithBackend(*db, e, serial, &s1);
+    Result<Value> v4 = shred::EvalWithBackend(*db, e, parallel, &s4);
+    ASSERT_TRUE(v1.ok() && v4.ok()) << q;
+    EXPECT_EQ(*v1, *v4) << q;
+    // The pipeline's gates and counters are thread-count-independent;
+    // the whole counter struct must agree, not just the vec_* fields.
+    EXPECT_EQ(s1.Compact(), s4.Compact()) << q;
+  }
+}
+
+TEST(Vectorized, PlanDescribeMarksVectorizableNodes) {
+  std::unique_ptr<Database> db = SmallSupplierDb();
+  ExprPtr e = TranslateOrDie(
+      *db, "select p.pname from p in PART where p.color = \"red\"");
+  std::string plan_text;
+  EvalStats stats;
+  Result<Value> v = shred::EvalWithBackend(*db, e, VecOpts(true), &stats,
+                                           &plan_text);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NE(plan_text.find("[vec]"), std::string::npos) << plan_text;
+}
+
+TEST(Vectorized, CountersSurfaceInStatsText) {
+  std::unique_ptr<Database> db = SmallSupplierDb();
+  ExprPtr e = TranslateOrDie(*db, "select p.pname from p in PART");
+  EvalStats stats;
+  ASSERT_TRUE(shred::EvalWithBackend(*db, e, VecOpts(true), &stats).ok());
+  EXPECT_NE(stats.ToString().find("vec_batches"), std::string::npos);
+  EXPECT_NE(stats.ToString().find("vec_pipelines"), std::string::npos);
+  EXPECT_NE(stats.Compact().find("v_batch="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace n2j
