@@ -76,6 +76,13 @@ void ThreadPool::WorkerLoop() {
 Status ThreadPool::RunMorsels(
     size_t num_morsels,
     const std::function<Status(int worker, size_t morsel)>& body) {
+  return RunMorsels(num_morsels, body, nullptr);
+}
+
+Status ThreadPool::RunMorsels(
+    size_t num_morsels,
+    const std::function<Status(int worker, size_t morsel)>& body,
+    size_t* first_error_morsel) {
   if (num_morsels == 0) return Status::OK();
   std::vector<Status> statuses(num_morsels, Status::OK());
   std::atomic<size_t> next{0};
@@ -102,8 +109,11 @@ Status ThreadPool::RunMorsels(
     });
   }
   Wait();
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
+  for (size_t m = 0; m < num_morsels; ++m) {
+    if (!statuses[m].ok()) {
+      if (first_error_morsel != nullptr) *first_error_morsel = m;
+      return statuses[m];
+    }
   }
   return Status::OK();
 }

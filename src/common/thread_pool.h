@@ -65,6 +65,17 @@ class ThreadPool {
       size_t num_morsels,
       const std::function<Status(int worker, size_t morsel)>& body);
 
+  /// As RunMorsels, but additionally reports the index of the
+  /// lowest-numbered failing morsel through `first_error_morsel` (left
+  /// untouched when every morsel succeeds). Callers whose morsels can
+  /// end in a non-error early-out (the shredded join's abandon path)
+  /// compare that index against their own flags to decide which event
+  /// the serial engine would have hit first.
+  Status RunMorsels(
+      size_t num_morsels,
+      const std::function<Status(int worker, size_t morsel)>& body,
+      size_t* first_error_morsel);
+
   /// Installs (or clears, with nullptr semantics via an empty function)
   /// a sink that receives per-morsel timestamps from RunMorsels. Set
   /// from the coordinating thread while the pool is idle; the sink is

@@ -129,6 +129,15 @@ ThreadPool& Evaluator::pool() {
   return *pool_;
 }
 
+std::unique_ptr<Evaluator> Evaluator::ForkWorker() const {
+  EvalOptions worker_opts = opts_;
+  worker_opts.num_threads = 1;  // nested operators stay serial
+  worker_opts.trace = nullptr;  // counters merge into the coordinator span
+  auto w = std::make_unique<Evaluator>(db_, worker_opts);
+  w->table_cache_ = table_cache_;
+  return w;
+}
+
 std::vector<std::unique_ptr<Evaluator>> Evaluator::ForkWorkers(int count) {
   std::vector<std::unique_ptr<Evaluator>> workers;
   workers.reserve(static_cast<size_t>(count));

@@ -245,6 +245,12 @@ class Evaluator {
     return TableValue(name);
   }
 
+  /// One per-worker clone for an external morsel driver (the shredded
+  /// executor): same options with num_threads forced to 1 and tracing
+  /// off, a snapshot of the table cache, fresh stats. The caller owns
+  /// merging the clone's stats back before its enclosing span closes.
+  std::unique_ptr<Evaluator> ForkWorker() const;
+
  private:
   Result<Value> EvalNode(const Expr& e, Environment& env);
   Result<Value> EvalBinary(const Expr& e, Environment& env);

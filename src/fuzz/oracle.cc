@@ -233,6 +233,29 @@ std::vector<OracleConfig> DefaultConfigMatrix() {
     c.eval.vector_batch_size = 3;
     m.push_back(c);
   }
+  {
+    // Tiny batches AND morsel parallelism: every batch becomes its own
+    // unit, so the order-restoring merge and per-worker lane compiles
+    // see the maximum number of seams per query.
+    OracleConfig c = Cell("vectorized-b3-mt4");
+    c.skip_rewrite = true;
+    c.eval.backend = Backend::kShredded;
+    c.eval.vector_batch_size = 3;
+    c.eval.num_threads = 4;
+    m.push_back(c);
+  }
+  {
+    // Tracing over the parallel scalar engine: worker counters must
+    // merge into the delegate's stats before each shred-node span
+    // closes, or the span-sum invariant the oracle checks breaks.
+    OracleConfig c = Cell("shredded-traced-mt4");
+    c.skip_rewrite = true;
+    c.eval.backend = Backend::kShredded;
+    c.eval.vectorized = false;
+    c.eval.num_threads = 4;
+    c.trace = true;
+    m.push_back(c);
+  }
 
   return m;
 }

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <iterator>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -69,6 +70,80 @@ void ShredExecutor::Emit(const Rel& work, size_t row, const Value& elem,
   out->ctx.push_back(work.ctx[row]);
 }
 
+namespace {
+
+// Concatenates `src`'s rows after `dst`'s (same skeleton). The morsel
+// merge: per-morsel slots appended in morsel order reproduce the serial
+// engine's row order exactly.
+void AppendRel(Rel* dst, Rel&& src) {
+  for (size_t i = 0; i < dst->cols.size(); ++i) {
+    Col& d = dst->cols[i];
+    Col& s = src.cols[i];
+    std::move(s.vals.begin(), s.vals.end(), std::back_inserter(d.vals));
+    d.row_ids.insert(d.row_ids.end(), s.row_ids.begin(), s.row_ids.end());
+  }
+  dst->ctx.insert(dst->ctx.end(), src.ctx.begin(), src.ctx.end());
+}
+
+}  // namespace
+
+ThreadPool& ShredExecutor::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+    if (opts_.trace != nullptr) {
+      TraceCollector* tc = opts_.trace;
+      pool_->set_morsel_sink([tc](int w, size_t m, const char* phase,
+                                  int64_t t0, int64_t t1) {
+        tc->AddWorkerSpan(w, m, phase, t0, t1);
+      });
+    }
+  }
+  return *pool_;
+}
+
+std::vector<std::unique_ptr<Evaluator>>& ShredExecutor::workers() {
+  if (workers_.empty()) {
+    const int count = pool().num_workers();
+    workers_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) workers_.push_back(inner_.ForkWorker());
+  }
+  return workers_;
+}
+
+void ShredExecutor::MergeWorkerStats() {
+  for (const auto& w : workers_) {
+    inner_.stats().Merge(w->stats());
+    w->ResetStats();
+  }
+}
+
+void ShredExecutor::ResetWorkerStats() {
+  for (const auto& w : workers_) w->ResetStats();
+}
+
+Status ShredExecutor::ParallelRows(
+    size_t nrows, const char* phase,
+    const std::function<Status(Evaluator&, size_t, size_t, Rel*)>& body,
+    Rel* out) {
+  ThreadPool& tp = pool();
+  tp.set_morsel_phase(phase);
+  std::vector<std::unique_ptr<Evaluator>>& ws = workers();
+  const size_t morsel = PickMorselSize(nrows, tp.num_workers());
+  const size_t nm = NumMorsels(nrows, morsel);
+  std::vector<Rel> slots(nm, *out);
+  Status s = tp.RunMorsels(nm, [&](int w, size_t m) -> Status {
+    MorselRange rg = MorselAt(nrows, morsel, m);
+    return body(*ws[static_cast<size_t>(w)], rg.begin, rg.end, &slots[m]);
+  });
+  // Merge before the enclosing shred-node span closes so its exclusive
+  // delta — and the span-sum invariant — includes the workers' counters
+  // whether or not a morsel failed.
+  MergeWorkerStats();
+  N2J_RETURN_IF_ERROR(s);
+  for (Rel& slot : slots) AppendRel(out, std::move(slot));
+  return Status::OK();
+}
+
 std::vector<Value> ShredExecutor::StitchByCtx(std::vector<Value> outs,
                                               const std::vector<uint32_t>& ctx,
                                               size_t nctx) {
@@ -137,6 +212,7 @@ Result<std::vector<Value>> ShredExecutor::ExecNode(const FlatNode& node,
   if (nctx == 0) return std::vector<Value>{};
 
   if (opts_.vectorized && node.vectorizable) {
+    EvalStats before = inner_.stats();
     Result<std::optional<std::vector<Value>>> v =
         TryExecNodeVectorized(node, ctx, span);
     if (v.ok() && v->has_value()) return std::move(**v);
@@ -144,9 +220,14 @@ Result<std::vector<Value>> ShredExecutor::ExecNode(const FlatNode& node,
     // ran, the scalar engine does the node from scratch. Error: every
     // evaluation the pipeline performed, the scalar engine performs too
     // (unless it errors even earlier), so rerunning it surfaces the
-    // row-order first error the fidelity contract promises — the query
-    // aborts either way, so the double-counted work cannot skew any
-    // surviving stats comparison.
+    // row-order first error the fidelity contract promises. The failed
+    // attempt's counters roll back to the pre-attempt snapshot first: a
+    // parallel pipeline has already run units past the erroring one
+    // (morsels don't cancel), so its partial counts are not the serial
+    // engine's partial counts — discarding the attempt entirely is the
+    // one accounting that is exact for every thread count. The node's
+    // span nets the attempt out to zero the same way.
+    if (!v.ok()) inner_.stats() = before;
     ++inner_.stats().vec_fallbacks;
   }
   return ExecNodeScalar(node, std::move(ctx), span);
@@ -216,31 +297,18 @@ Result<Rel> ShredExecutor::ExpandRange(const RangeSpec& r, Rel work) {
     // Nested-loop scan: evaluate the full combined predicate per
     // (row, element) pair — bit-for-bit the interpreter's Select path,
     // including And short-circuit and error order within one row.
-    Environment env;
-    for (size_t row = 0; row < nrows; ++row) {
-      PushRow(&env, work, row);
-      for (size_t idx = 0; idx < shared->size(); ++idx) {
-        const Value& elem = (*shared)[idx];
-        ++inner_.stats().tuples_scanned;
-        if (r.pred != nullptr) {
-          env.Push(r.var, elem);
-          Result<Value> p = inner_.Eval(r.pred, env);
-          env.Pop();
-          ++inner_.stats().predicate_evals;
-          if (!p.ok()) {
-            PopRow(&env, work);
-            return p.status();
-          }
-          if (!p->is_bool()) {
-            PopRow(&env, work);
-            return Status::RuntimeError("selection predicate not boolean");
-          }
-          if (!p->bool_value()) continue;
-        }
-        Emit(work, row, elem, static_cast<uint32_t>(idx), &out);
-      }
-      PopRow(&env, work);
+    // Parallel: morsels over work rows (rows are independent here), the
+    // ordered slot merge keeps the serial row order.
+    if (parallel() && nrows > 1) {
+      N2J_RETURN_IF_ERROR(ParallelRows(
+          nrows, "shred-scan",
+          [&](Evaluator& ev, size_t b, size_t e, Rel* slot) {
+            return NlScanRows(ev, r, work, *shared, b, e, slot);
+          },
+          &out));
+      return out;
     }
+    N2J_RETURN_IF_ERROR(NlScanRows(inner_, r, work, *shared, 0, nrows, &out));
     return out;
   }
 
@@ -261,8 +329,59 @@ Result<Rel> ShredExecutor::ExpandRange(const RangeSpec& r, Rel work) {
     if (csr == nullptr) parent = nullptr;  // fall back to row-wise access
   }
 
+  if (parallel() && nrows > 1) {
+    N2J_RETURN_IF_ERROR(ParallelRows(
+        nrows, "shred-expand",
+        [&](Evaluator& ev, size_t b, size_t e, Rel* slot) {
+          return PerRowExpandRows(ev, r, work, csr, parent, b, e, slot);
+        },
+        &out));
+    return out;
+  }
+  N2J_RETURN_IF_ERROR(
+      PerRowExpandRows(inner_, r, work, csr, parent, 0, nrows, &out));
+  return out;
+}
+
+Status ShredExecutor::NlScanRows(Evaluator& ev, const RangeSpec& r,
+                                 const Rel& work,
+                                 const std::vector<Value>& elems,
+                                 size_t row_begin, size_t row_end, Rel* out) {
   Environment env;
-  for (size_t row = 0; row < nrows; ++row) {
+  for (size_t row = row_begin; row < row_end; ++row) {
+    PushRow(&env, work, row);
+    for (size_t idx = 0; idx < elems.size(); ++idx) {
+      const Value& elem = elems[idx];
+      ++ev.stats().tuples_scanned;
+      if (r.pred != nullptr) {
+        env.Push(r.var, elem);
+        Result<Value> p = ev.Eval(r.pred, env);
+        env.Pop();
+        ++ev.stats().predicate_evals;
+        if (!p.ok()) {
+          PopRow(&env, work);
+          return p.status();
+        }
+        if (!p->is_bool()) {
+          PopRow(&env, work);
+          return Status::RuntimeError("selection predicate not boolean");
+        }
+        if (!p->bool_value()) continue;
+      }
+      Emit(work, row, elem, static_cast<uint32_t>(idx), out);
+    }
+    PopRow(&env, work);
+  }
+  return Status::OK();
+}
+
+Status ShredExecutor::PerRowExpandRows(Evaluator& ev, const RangeSpec& r,
+                                       const Rel& work,
+                                       const ColumnarChild* csr,
+                                       const Col* parent, size_t row_begin,
+                                       size_t row_end, Rel* out) {
+  Environment env;
+  for (size_t row = row_begin; row < row_end; ++row) {
     PushRow(&env, work, row);
     const Value* elems_begin = nullptr;
     size_t elem_count = 0;
@@ -272,7 +391,7 @@ Result<Rel> ShredExecutor::ExpandRange(const RangeSpec& r, Rel work) {
       elems_begin = csr->elems.data() + csr->begin(rid);
       elem_count = csr->fanout(rid);
     } else {
-      Result<Value> v = inner_.Eval(r.source, env);
+      Result<Value> v = ev.Eval(r.source, env);
       if (!v.ok()) {
         PopRow(&env, work);
         return v.status();
@@ -287,12 +406,12 @@ Result<Rel> ShredExecutor::ExpandRange(const RangeSpec& r, Rel work) {
     }
     for (size_t idx = 0; idx < elem_count; ++idx) {
       const Value& elem = elems_begin[idx];
-      ++inner_.stats().tuples_scanned;
+      ++ev.stats().tuples_scanned;
       if (r.pred != nullptr) {
         env.Push(r.var, elem);
-        Result<Value> p = inner_.Eval(r.pred, env);
+        Result<Value> p = ev.Eval(r.pred, env);
         env.Pop();
-        ++inner_.stats().predicate_evals;
+        ++ev.stats().predicate_evals;
         if (!p.ok()) {
           PopRow(&env, work);
           return p.status();
@@ -303,11 +422,11 @@ Result<Rel> ShredExecutor::ExpandRange(const RangeSpec& r, Rel work) {
         }
         if (!p->bool_value()) continue;
       }
-      Emit(work, row, elem, 0, &out);
+      Emit(work, row, elem, 0, out);
     }
     PopRow(&env, work);
   }
-  return out;
+  return Status::OK();
 }
 
 Result<std::optional<Rel>> ShredExecutor::TryJoinExpand(
@@ -315,7 +434,6 @@ Result<std::optional<Rel>> ShredExecutor::TryJoinExpand(
     const std::shared_ptr<const ColumnarExtent>& columnar) {
   EquiSplit split = SplitEquiPred(r);
   std::vector<ExprPtr>& scan_keys = split.scan_keys;
-  std::vector<ExprPtr>& probe_keys = split.probe_keys;
   std::vector<ExprPtr>& residual = split.residual;
   if (scan_keys.empty()) return std::optional<Rel>();
 
@@ -391,13 +509,91 @@ Result<std::optional<Rel>> ShredExecutor::TryJoinExpand(
   }
 
   Rel out = Skeleton(work, r, columnar);
+  const size_t nrows = work.size();
+
+  if (parallel() && nrows > 1) {
+    // Parallel probe with a per-morsel ledger. The complication is the
+    // abandon path: the serial engine stops at the first failing
+    // probe-key row having fully processed every earlier row, discards
+    // the join, and lets the nested-loop scan reproduce the
+    // interpreter's behavior — so its stats hold a strict prefix of the
+    // probe work. RunMorsels cannot cancel later morsels, so each
+    // morsel records its exact stats delta (workers run morsels one at
+    // a time; snapshotting around the morsel needs no synchronization)
+    // and the coordinator merges only what the serial engine would have
+    // done: everything up to the lowest abandoning morsel, or all of it
+    // when an error (which aborts the query) comes first.
+    ThreadPool& tp = pool();
+    tp.set_morsel_phase("shred-probe");
+    std::vector<std::unique_ptr<Evaluator>>& ws = workers();
+    const size_t morsel = PickMorselSize(nrows, tp.num_workers());
+    const size_t nm = NumMorsels(nrows, morsel);
+    std::vector<Rel> slots(nm, out);
+    std::vector<EvalStats> deltas(nm);
+    std::vector<char> abandons(nm, 0);
+    size_t err_m = nm;  // sentinel: no erroring morsel
+    Status s = tp.RunMorsels(
+        nm,
+        [&](int w, size_t m) -> Status {
+          Evaluator& ev = *ws[static_cast<size_t>(w)];
+          EvalStats before = ev.stats();
+          MorselRange rg = MorselAt(nrows, morsel, m);
+          bool ab = false;
+          Status st = ProbeRows(ev, r, work, elems, split, sort_merge,
+                                &buckets, &sorted, rg.begin, rg.end,
+                                &slots[m], &ab);
+          deltas[m] = ev.stats();
+          deltas[m].Subtract(before);
+          abandons[m] = ab ? 1 : 0;
+          return st;
+        },
+        &err_m);
+    size_t ab_m = nm;
+    for (size_t m = 0; m < nm; ++m) {
+      if (abandons[m] != 0) {
+        ab_m = m;
+        break;
+      }
+    }
+    if (ab_m < err_m) {
+      // Serial row order hits this morsel's failing probe key before any
+      // erroring row: abandon with exactly the serial prefix accounted
+      // (full deltas before it plus its own partial delta); later
+      // morsels ran only because the pool does not cancel, and their
+      // counters are discarded with their slots.
+      for (size_t m = 0; m <= ab_m; ++m) inner_.stats().Merge(deltas[m]);
+      ResetWorkerStats();
+      return std::optional<Rel>();
+    }
+    MergeWorkerStats();
+    N2J_RETURN_IF_ERROR(s);
+    for (Rel& slot : slots) AppendRel(&out, std::move(slot));
+    return std::optional<Rel>(std::move(out));
+  }
+
+  bool abandoned = false;
+  N2J_RETURN_IF_ERROR(ProbeRows(inner_, r, work, elems, split, sort_merge,
+                                &buckets, &sorted, 0, nrows, &out,
+                                &abandoned));
+  if (abandoned) return std::optional<Rel>();
+  return std::optional<Rel>(std::move(out));
+}
+
+Status ShredExecutor::ProbeRows(
+    Evaluator& ev, const RangeSpec& r, const Rel& work,
+    const std::vector<Value>& elems, const EquiSplit& split, bool sort_merge,
+    const std::unordered_map<Value, std::vector<uint32_t>, ValueHash>* buckets,
+    const std::vector<std::pair<Value, uint32_t>>* sorted, size_t row_begin,
+    size_t row_end, Rel* out, bool* abandoned) {
+  const std::vector<ExprPtr>& probe_keys = split.probe_keys;
+  const std::vector<ExprPtr>& residual = split.residual;
   Environment env;
   std::vector<Value> parts(probe_keys.size());
-  for (size_t row = 0; row < work.size(); ++row) {
+  for (size_t row = row_begin; row < row_end; ++row) {
     PushRow(&env, work, row);
     bool failed = false;
     for (size_t k = 0; k < probe_keys.size(); ++k) {
-      Result<Value> v = inner_.Eval(probe_keys[k], env);
+      Result<Value> v = ev.Eval(probe_keys[k], env);
       if (!v.ok()) {
         failed = true;
         break;
@@ -406,20 +602,21 @@ Result<std::optional<Rel>> ShredExecutor::TryJoinExpand(
     }
     if (failed) {
       PopRow(&env, work);
-      return std::optional<Rel>();
+      *abandoned = true;
+      return Status::OK();
     }
     Value key = JoinKeyFromParts(parts);
-    ++inner_.stats().hash_probes;
+    ++ev.stats().hash_probes;
 
     const uint32_t* cand = nullptr;
     size_t ncand = 0;
     std::vector<uint32_t> range_cands;
     if (sort_merge) {
-      auto lo = std::lower_bound(sorted.begin(), sorted.end(), key,
+      auto lo = std::lower_bound(sorted->begin(), sorted->end(), key,
                                  [](const auto& p, const Value& k) {
                                    return p.first.Compare(k) < 0;
                                  });
-      auto hi = std::upper_bound(lo, sorted.end(), key,
+      auto hi = std::upper_bound(lo, sorted->end(), key,
                                  [](const Value& k, const auto& p) {
                                    return k.Compare(p.first) < 0;
                                  });
@@ -427,8 +624,8 @@ Result<std::optional<Rel>> ShredExecutor::TryJoinExpand(
       cand = range_cands.data();
       ncand = range_cands.size();
     } else {
-      auto it = buckets.find(key);
-      if (it != buckets.end()) {
+      auto it = buckets->find(key);
+      if (it != buckets->end()) {
         cand = it->second.data();
         ncand = it->second.size();
       }
@@ -443,9 +640,9 @@ Result<std::optional<Rel>> ShredExecutor::TryJoinExpand(
         // (already verified) key equalities held. Errors here imply the
         // interpreter errors on the same pair, so they propagate.
         env.Push(r.var, elem);
-        ++inner_.stats().predicate_evals;
+        ++ev.stats().predicate_evals;
         for (const ExprPtr& rc : residual) {
-          Result<Value> p = inner_.Eval(rc, env);
+          Result<Value> p = ev.Eval(rc, env);
           if (!p.ok()) {
             env.Pop();
             PopRow(&env, work);
@@ -463,11 +660,11 @@ Result<std::optional<Rel>> ShredExecutor::TryJoinExpand(
         }
         env.Pop();
       }
-      if (pass) Emit(work, row, elem, cand[ci], &out);
+      if (pass) Emit(work, row, elem, cand[ci], out);
     }
     PopRow(&env, work);
   }
-  return std::optional<Rel>(std::move(out));
+  return Status::OK();
 }
 
 Result<std::vector<Value>> ShredExecutor::EvalOutputs(const OutputSpec& out,
@@ -475,15 +672,39 @@ Result<std::vector<Value>> ShredExecutor::EvalOutputs(const OutputSpec& out,
   const size_t n = work.size();
   switch (out.kind) {
     case OutputSpec::Kind::kScalar: {
-      std::vector<Value> vals;
-      vals.reserve(n);
+      std::vector<Value> vals(n);
+      if (parallel() && n > 1) {
+        // Each morsel writes disjoint vals[row] slots, so the output is
+        // positionally identical to the serial loop with no merge step.
+        ThreadPool& tp = pool();
+        tp.set_morsel_phase("shred-out");
+        std::vector<std::unique_ptr<Evaluator>>& ws = workers();
+        const size_t morsel = PickMorselSize(n, tp.num_workers());
+        const size_t nm = NumMorsels(n, morsel);
+        Status s = tp.RunMorsels(nm, [&](int w, size_t m) -> Status {
+          Evaluator& ev = *ws[static_cast<size_t>(w)];
+          MorselRange rg = MorselAt(n, morsel, m);
+          Environment env;
+          for (size_t row = rg.begin; row < rg.end; ++row) {
+            PushRow(&env, work, row);
+            Result<Value> v = ev.Eval(out.scalar, env);
+            PopRow(&env, work);
+            if (!v.ok()) return v.status();
+            vals[row] = std::move(*v);
+          }
+          return Status::OK();
+        });
+        MergeWorkerStats();
+        N2J_RETURN_IF_ERROR(s);
+        return vals;
+      }
       Environment env;
       for (size_t row = 0; row < n; ++row) {
         PushRow(&env, work, row);
         Result<Value> v = inner_.Eval(out.scalar, env);
         PopRow(&env, work);
         if (!v.ok()) return v.status();
-        vals.push_back(std::move(*v));
+        vals[row] = std::move(*v);
       }
       return vals;
     }

@@ -11,14 +11,18 @@
 // and falls back to the scalar path otherwise. Not part of the public
 // shred API — include shred.h instead.
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "adl/expr.h"
 #include "adl/value.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "exec/eval.h"
 #include "obs/trace.h"
 #include "shred/shred.h"
@@ -86,6 +90,32 @@ class ShredExecutor {
   const EvalOptions& opts() const { return opts_; }
   Evaluator& inner() { return inner_; }
 
+  // ---- Morsel parallelism (shared by both engines) -------------------
+  // Both engines parallelize the same way: the coordinator partitions
+  // row ranges (scalar) or candidate windows (vec) into morsels, each
+  // worker runs its morsels with a private row-wise delegate and a
+  // private output slot, and the coordinator concatenates the slots in
+  // morsel order — so output row order, and with it stitching and set
+  // semantics, is bit-identical to the serial engine.
+
+  /// True when EvalOptions asks for intra-query parallelism.
+  bool parallel() const { return opts_.num_threads > 1; }
+  /// The executor's pool (lazy; sink wired to the trace collector's
+  /// thread-safe worker-span timeline, like Evaluator::pool()).
+  ThreadPool& pool();
+  /// Per-worker row-wise delegates, forked lazily from inner_ and
+  /// reused across parallel sections. Invariant: their stats are zero
+  /// outside a parallel section — every section ends in
+  /// MergeWorkerStats() or ResetWorkerStats().
+  std::vector<std::unique_ptr<Evaluator>>& workers();
+  /// Folds every worker's counters into inner_.stats() — before the
+  /// enclosing span closes, so span exclusive deltas keep summing to
+  /// the globals — then zeroes the workers for the next section.
+  void MergeWorkerStats();
+  /// Zeroes worker stats without merging (the join-abandon ledger merges
+  /// a per-morsel prefix itself and discards the rest).
+  void ResetWorkerStats();
+
   /// Executes one DAG node over its context rows: dispatches to the
   /// vectorized pipeline when the node qualifies, else (or on any
   /// mid-batch error, for exact first-error order) to the scalar
@@ -121,6 +151,36 @@ class ShredExecutor {
   Result<std::vector<Value>> EvalOutputs(const OutputSpec& out,
                                          const Rel& work);
 
+  // Row-range loop bodies, shared verbatim by the serial whole-range
+  // calls (delegate = inner_) and the parallel per-morsel calls
+  // (delegate = one worker, emitting into a private slot).
+  Status NlScanRows(Evaluator& ev, const RangeSpec& r, const Rel& work,
+                    const std::vector<Value>& elems, size_t row_begin,
+                    size_t row_end, Rel* out);
+  Status PerRowExpandRows(Evaluator& ev, const RangeSpec& r, const Rel& work,
+                          const ColumnarChild* csr, const Col* parent,
+                          size_t row_begin, size_t row_end, Rel* out);
+  /// The probe half of the scalar hash / sort-merge join. Sets
+  /// *abandoned (with an OK status) when a probe-key evaluation fails:
+  /// the caller falls back to the nested-loop scan, which reproduces
+  /// the interpreter's behavior exactly. Residual errors propagate.
+  Status ProbeRows(Evaluator& ev, const RangeSpec& r, const Rel& work,
+                   const std::vector<Value>& elems, const EquiSplit& split,
+                   bool sort_merge,
+                   const std::unordered_map<Value, std::vector<uint32_t>,
+                                            ValueHash>* buckets,
+                   const std::vector<std::pair<Value, uint32_t>>* sorted,
+                   size_t row_begin, size_t row_end, Rel* out,
+                   bool* abandoned);
+  /// Runs `body(worker_delegate, row_begin, row_end, slot)` over morsels
+  /// of [0, nrows), each slot a copy of the (empty) skeleton `*out`,
+  /// merges worker stats, and appends the slots to `out` in morsel
+  /// order. Returns the lowest-numbered failing morsel's error.
+  Status ParallelRows(
+      size_t nrows, const char* phase,
+      const std::function<Status(Evaluator&, size_t, size_t, Rel*)>& body,
+      Rel* out);
+
   Rel Skeleton(const Rel& work, const RangeSpec& r,
                const std::shared_ptr<const ColumnarExtent>& columnar);
   static void Emit(const Rel& work, size_t row, const Value& elem,
@@ -145,6 +205,8 @@ class ShredExecutor {
   const ShredPlan& plan_;
   EvalOptions opts_;
   Evaluator inner_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Evaluator>> workers_;
 };
 
 }  // namespace shred

@@ -25,6 +25,14 @@ bool Contains(const std::vector<std::string>& v, const std::string& s) {
   return std::find(v.begin(), v.end(), s) != v.end();
 }
 
+bool ContainsQuantifier(const ExprPtr& e) {
+  bool found = false;
+  VisitPreOrder(e, [&found](const ExprPtr& x) {
+    if (x->kind() == ExprKind::kQuantifier) found = true;
+  });
+  return found;
+}
+
 /// Builds the DAG bottom-up from the query's comprehension spine.
 class Translator {
  public:
@@ -223,6 +231,14 @@ class Translator {
       // Opaque ranges re-enter the interpreter per work row; batching
       // buys nothing and the subquery rarely compiles anyway.
       if (r.kind == RangeKind::kOpaque) node.vectorizable = false;
+      // Quantifier-dominated predicates: each lane's kQuant walks a
+      // whole inner set, so the per-tuple work dwarfs what batching
+      // saves, and materializing every (row, element) candidate first
+      // costs more than the scalar path's short-circuit scan (measured:
+      // the paper's dangling-supplier query ran ~25% slower vectorized).
+      if (r.pred != nullptr && ContainsQuantifier(r.pred)) {
+        node.vectorizable = false;
+      }
     }
     plan_.nodes[static_cast<size_t>(id)] = std::move(node);
     return id;

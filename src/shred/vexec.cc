@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -159,19 +160,22 @@ struct VecLevel {
   // kCsr / kMaterialized parent binding.
   const ColumnarChild* csr = nullptr;
   Bind parent;
-  Frag source;  // kMaterialized: the set-valued access, batch-compiled
 
-  Frag pred;  // full range predicate (the non-join path)
+  bool has_pred = false;    // r.pred != nullptr (lane frag compiled)
+  bool has_source = false;  // kMaterialized source (lane frag compiled)
 
-  // Batch hash join (kShared with equi-keys only).
+  // Batch hash join (kShared with equi-keys only). The build state below
+  // is shared across worker lanes; lazy pieces (hash_decided / hash_ok /
+  // buckets_ready and what they guard) are written only under the
+  // pipeline mutex by whichever lane arrives first.
   bool try_hash = false;
   bool hash_decided = false;
   bool hash_ok = false;
   EquiSplit split;
+  ExprPtr residual_all;  // AndAll(split.residual), compiled per lane
+  bool has_scan_key = false;  // key_col missed: lanes carry a scan_key frag
+  bool has_residual = false;
   const std::vector<Value>* key_col = nullptr;  // whole-column fast path
-  Frag scan_key;
-  Frag probe_key;
-  Frag residual;
 
   enum KeyMode { kGeneric, kIntKeys, kOidKeys };
   KeyMode key_mode = kGeneric;
@@ -181,6 +185,42 @@ struct VecLevel {
   RawKeyTable raw;
   bool buckets_ready = false;
   std::unordered_map<Value, std::vector<uint32_t>, ValueHash> buckets;
+};
+
+// The compiled fragments of one range level, owned by one lane (below).
+struct LaneLevel {
+  Frag pred;      // full range predicate (the non-join path)
+  Frag source;    // kMaterialized: the set-valued access, batch-compiled
+  Frag scan_key;  // hash build keys (when no whole-column fast path)
+  Frag probe_key;
+  Frag residual;
+};
+
+// Everything one executing thread needs privately: a row-wise evaluator
+// (whose stats the BatchVm bumps — bound at compile time), the compiled
+// fragments, and the probe scratch. Lane 0 wraps the coordinator's
+// inner evaluator and is the only lane a serial execution touches;
+// worker lanes are compiled only when the pipeline goes parallel.
+struct VecLane {
+  Evaluator* ev = nullptr;
+  std::vector<LaneLevel> lv;
+  std::map<const OutputSpec*, Frag> out_frags;
+  // Probe-pass scratch, reused across batches.
+  std::vector<uint64_t> probe_u64;
+  std::vector<uint64_t> probe_slot;
+  std::vector<uint8_t> probe_cls;
+  EvalStats& stats() { return ev->stats(); }
+};
+
+// One independently-runnable piece of the expansion: a context batch,
+// optionally narrowed to a window of the level-0 candidate sequence.
+// Units are exactly the serial engine's chunk boundaries, so every
+// BatchVm::Run the workers issue has the same size and count as the
+// serial execution — the per-batch counters merge to identical totals.
+struct Unit {
+  size_t lo = 0, hi = 0;            // context row range [lo, hi)
+  size_t cand_lo = 0, cand_hi = 0;  // flattened candidate window
+  bool windowed = false;
 };
 
 }  // namespace
@@ -197,7 +237,6 @@ class VecPipeline {
         node_(node),
         ctx_(ctx),
         span_(span),
-        stats_(ex.inner().stats()),
         nlevels_(node.ranges.size()),
         batch_(static_cast<size_t>(
             std::max(1, ex.opts().vector_batch_size))) {}
@@ -241,19 +280,19 @@ class VecPipeline {
     }
   }
 
-  bool CompileFrag(Frag* f, const ExprPtr& body, size_t upto,
+  bool CompileFrag(Evaluator& ev, Frag* f, const ExprPtr& body, size_t upto,
                    const std::string* self_var) {
     std::vector<std::string> params;
     CollectBinds(FreeVars(body), upto, self_var, f, &params);
     Environment empty;
-    f->prog.Compile(ex_.inner(), *body, params, empty);
+    f->prog.Compile(ev, *body, params, empty);
     if (!f->prog.ok()) return false;
     f->present = true;
     return true;
   }
 
-  bool CompileKeyFrag(Frag* f, const std::vector<ExprPtr>& keys, size_t upto,
-                      const std::string* self_var) {
+  bool CompileKeyFrag(Evaluator& ev, Frag* f, const std::vector<ExprPtr>& keys,
+                      size_t upto, const std::string* self_var) {
     std::set<std::string> fv;
     for (const ExprPtr& k : keys) {
       std::set<std::string> kv = FreeVars(k);
@@ -262,27 +301,63 @@ class VecPipeline {
     std::vector<std::string> params;
     CollectBinds(fv, upto, self_var, f, &params);
     Environment empty;
-    f->prog.CompileKey(ex_.inner(), keys, params, empty);
+    f->prog.CompileKey(ev, keys, params, empty);
     if (!f->prog.ok()) return false;
     f->present = true;
     return true;
   }
 
-  bool SetupOutputs(const OutputSpec& o) {
+  bool CompileLaneOutputs(VecLane& ln, const OutputSpec& o) {
     switch (o.kind) {
       case OutputSpec::Kind::kScalar: {
-        Frag& f = out_frags_[&o];
-        return CompileFrag(&f, o.scalar, nlevels_, nullptr);
+        Frag& f = ln.out_frags[&o];
+        return CompileFrag(*ln.ev, &f, o.scalar, nlevels_, nullptr);
       }
       case OutputSpec::Kind::kChild:
         return true;  // the child node gates independently via ExecNode
       case OutputSpec::Kind::kTuple:
         for (const OutputSpec& fo : o.fields) {
-          if (!SetupOutputs(fo)) return false;
+          if (!CompileLaneOutputs(ln, fo)) return false;
         }
         return true;
     }
     return false;
+  }
+
+  // Re-runs lane 0's compile recipe against a worker's evaluator. A
+  // failure here (theoretical — workers share the coordinator's options)
+  // just keeps the pipeline serial.
+  bool CompileLane(VecLane& ln, Evaluator& ev) {
+    ln.ev = &ev;
+    ln.lv.resize(nlevels_);
+    for (size_t j = 0; j < nlevels_; ++j) {
+      const LaneLevel& proto = lane0_.lv[j];
+      const VecLevel& lvl = levels_[j];
+      LaneLevel& out = ln.lv[j];
+      if (proto.source.present &&
+          !CompileFrag(ev, &out.source, lvl.r->source, j, nullptr)) {
+        return false;
+      }
+      if (proto.pred.present &&
+          !CompileFrag(ev, &out.pred, lvl.r->pred, j, &lvl.r->var)) {
+        return false;
+      }
+      if (proto.scan_key.present &&
+          !CompileKeyFrag(ev, &out.scan_key, lvl.split.scan_keys, 0,
+                          &lvl.r->var)) {
+        return false;
+      }
+      if (proto.probe_key.present &&
+          !CompileKeyFrag(ev, &out.probe_key, lvl.split.probe_keys, j,
+                          nullptr)) {
+        return false;
+      }
+      if (proto.residual.present &&
+          !CompileFrag(ev, &out.residual, lvl.residual_all, j, &lvl.r->var)) {
+        return false;
+      }
+    }
+    return CompileLaneOutputs(ln, node_.out);
   }
 
   const Value& LevelVal(const VBatch& b, size_t l, uint32_t row) const {
@@ -349,40 +424,52 @@ class VecPipeline {
     return cc.row_ids[b.ctx[row]];
   }
 
-  Status ExpandFrom(size_t j, VBatch& b);
-  Status FlushChunk(size_t j, const VBatch& b, CandChunk& chunk, Frag* pred);
-  Status EnsureShared(size_t j, VecLevel& lvl, const VBatch& b);
-  void EnsureBuild(VecLevel& lvl);
+  VBatch MakeCtxBatch(size_t lo, size_t hi) const;
+  Status ExpandFrom(VecLane& ln, size_t j, VBatch& b, VBatch* sink);
+  Status FlushChunk(VecLane& ln, size_t j, const VBatch& b, CandChunk& chunk,
+                    Frag* pred, VBatch* sink);
+  Status EnsureShared(VecLane& ln, size_t j, VecLevel& lvl, const VBatch& b);
+  void EnsureBuild(VecLane& ln, size_t j, VecLevel& lvl, bool allow_trace);
   void EnsureBuckets(VecLevel& lvl);
-  Status HashExpand(size_t j, VecLevel& lvl, const VBatch& b);
-  Status NLExpand(size_t j, VecLevel& lvl, const VBatch& b);
-  Status CsrExpand(size_t j, VecLevel& lvl, const VBatch& b);
-  Status MatExpand(size_t j, VecLevel& lvl, const VBatch& b);
-  void AppendFinal(VBatch b);
+  void EnsureBucketsLocked(VecLevel& lvl);
+  Status HashExpand(VecLane& ln, size_t j, VecLevel& lvl, const VBatch& b,
+                    VBatch* sink);
+  Status NLExpand(VecLane& ln, size_t j, VecLevel& lvl, const VBatch& b,
+                  VBatch* sink);
+  Status CsrExpand(VecLane& ln, size_t j, VecLevel& lvl, const VBatch& b,
+                   VBatch* sink);
+  Status MatExpand(VecLane& ln, size_t j, VecLevel& lvl, const VBatch& b,
+                   VBatch* sink);
+  Status RunUnit(VecLane& ln, const Unit& u, VBatch* sink);
+  void AppendTo(VBatch* dst, VBatch b);
   Result<std::vector<Value>> EvalOut(const OutputSpec& out);
 
   ShredExecutor& ex_;
   const FlatNode& node_;
   const Rel& ctx_;
   OpSpan& span_;
-  EvalStats& stats_;
   const size_t nlevels_;
   const size_t batch_;
   std::vector<VecLevel> levels_;
-  std::map<const OutputSpec*, Frag> out_frags_;
+  VecLane lane0_;            // the coordinator's lane (ev = inner_)
+  std::vector<VecLane> wl_;  // worker lanes, compiled only under mt_
+  bool mt_ = false;
+  // Guards every lazily-built piece of shared level state: constant-set
+  // element bases, hash builds, Value buckets. One mutex for the whole
+  // pipeline — lazy inits are per-level one-shots, not hot paths.
+  std::mutex mu_;
   VBatch final_;
-  // Probe-pass scratch, reused across batches.
-  std::vector<uint64_t> probe_u64_;
-  std::vector<uint64_t> probe_slot_;
-  std::vector<uint8_t> probe_cls_;
 };
 
 bool VecPipeline::Setup() {
   if (nlevels_ == 0) return false;
   levels_.resize(nlevels_);
+  lane0_.ev = &ex_.inner();
+  lane0_.lv.resize(nlevels_);
   const EvalOptions& opts = ex_.opts();
   for (size_t j = 0; j < nlevels_; ++j) {
     VecLevel& lvl = levels_[j];
+    LaneLevel& ll = lane0_.lv[j];
     const RangeSpec& r = node_.ranges[j];
     lvl.r = &r;
     switch (r.kind) {
@@ -416,7 +503,10 @@ bool VecPipeline::Setup() {
           lvl.parent = *parent;
         } else {
           lvl.mode = VecLevel::kMaterialized;
-          if (!CompileFrag(&lvl.source, r.source, j, nullptr)) return false;
+          if (!CompileFrag(ex_.inner(), &ll.source, r.source, j, nullptr)) {
+            return false;
+          }
+          lvl.has_source = true;
         }
         break;
       }
@@ -424,7 +514,8 @@ bool VecPipeline::Setup() {
         return false;  // never marked vectorizable; defensive
     }
     if (r.pred != nullptr) {
-      if (!CompileFrag(&lvl.pred, r.pred, j, &r.var)) return false;
+      if (!CompileFrag(ex_.inner(), &ll.pred, r.pred, j, &r.var)) return false;
+      lvl.has_pred = true;
       if (lvl.mode == VecLevel::kShared && opts.use_hash_joins &&
           opts.join_algorithm != JoinAlgorithm::kNestedLoop) {
         lvl.split = SplitEquiPred(r);
@@ -443,19 +534,27 @@ bool VecPipeline::Setup() {
               lvl.key_col = lvl.extent->Column(e->name());
             }
           }
-          if (lvl.key_col == nullptr &&
-              !CompileKeyFrag(&lvl.scan_key, lvl.split.scan_keys, 0, &r.var)) {
-            lvl.try_hash = false;
+          if (lvl.key_col == nullptr) {
+            if (!CompileKeyFrag(ex_.inner(), &ll.scan_key, lvl.split.scan_keys,
+                                0, &r.var)) {
+              lvl.try_hash = false;
+            } else {
+              lvl.has_scan_key = true;
+            }
           }
           if (lvl.try_hash &&
-              !CompileKeyFrag(&lvl.probe_key, lvl.split.probe_keys, j,
-                              nullptr)) {
+              !CompileKeyFrag(ex_.inner(), &ll.probe_key, lvl.split.probe_keys,
+                              j, nullptr)) {
             lvl.try_hash = false;
           }
-          if (lvl.try_hash && !lvl.split.residual.empty() &&
-              !CompileFrag(&lvl.residual, Expr::AndAll(lvl.split.residual), j,
-                           &r.var)) {
-            lvl.try_hash = false;
+          if (lvl.try_hash && !lvl.split.residual.empty()) {
+            lvl.residual_all = Expr::AndAll(lvl.split.residual);
+            if (!CompileFrag(ex_.inner(), &ll.residual, lvl.residual_all, j,
+                             &r.var)) {
+              lvl.try_hash = false;
+            } else {
+              lvl.has_residual = true;
+            }
           }
           // A hash-side compile failure is not a node refusal: the fused
           // nested-loop path below still runs the full predicate.
@@ -463,41 +562,52 @@ bool VecPipeline::Setup() {
       }
     }
   }
-  return SetupOutputs(node_.out);
+  return CompileLaneOutputs(lane0_, node_.out);
 }
 
-Status VecPipeline::ExpandFrom(size_t j, VBatch& b) {
+VBatch VecPipeline::MakeCtxBatch(size_t lo, size_t hi) const {
+  VBatch b;
+  b.n = hi - lo;
+  b.idx.resize(nlevels_);
+  b.vals.resize(nlevels_);
+  b.ctx.reserve(b.n);
+  for (size_t i = lo; i < hi; ++i) b.ctx.push_back(static_cast<uint32_t>(i));
+  return b;
+}
+
+Status VecPipeline::ExpandFrom(VecLane& ln, size_t j, VBatch& b,
+                               VBatch* sink) {
   if (b.n == 0) return Status::OK();
   if (j == nlevels_) {
-    AppendFinal(std::move(b));
+    AppendTo(sink, std::move(b));
     return Status::OK();
   }
   VecLevel& lvl = levels_[j];
   switch (lvl.mode) {
     case VecLevel::kShared:
-      N2J_RETURN_IF_ERROR(EnsureShared(j, lvl, b));
+      N2J_RETURN_IF_ERROR(EnsureShared(ln, j, lvl, b));
       if (lvl.try_hash) {
-        EnsureBuild(lvl);
-        if (lvl.hash_ok) return HashExpand(j, lvl, b);
+        EnsureBuild(ln, j, lvl, /*allow_trace=*/!mt_);
+        if (lvl.hash_ok) return HashExpand(ln, j, lvl, b, sink);
       }
-      return NLExpand(j, lvl, b);
+      return NLExpand(ln, j, lvl, b, sink);
     case VecLevel::kCsr:
-      return CsrExpand(j, lvl, b);
+      return CsrExpand(ln, j, lvl, b, sink);
     case VecLevel::kMaterialized:
-      return MatExpand(j, lvl, b);
+      return MatExpand(ln, j, lvl, b, sink);
   }
   return Status::Internal("unreachable range mode");
 }
 
-Status VecPipeline::FlushChunk(size_t j, const VBatch& b, CandChunk& chunk,
-                               Frag* pred) {
+Status VecPipeline::FlushChunk(VecLane& ln, size_t j, const VBatch& b,
+                               CandChunk& chunk, Frag* pred, VBatch* sink) {
   const size_t m = chunk.size();
   if (m == 0) return Status::OK();
   std::vector<uint32_t> keep;
   keep.reserve(m);
   if (pred != nullptr) {
     BindFrag(*pred, b, m, 0, &chunk, j);
-    stats_.predicate_evals += m;
+    ln.stats().predicate_evals += m;
     if (!pred->prog.vm().Run(m)) return pred->prog.status();
     const std::vector<Value>& res = pred->prog.vm().ResultColumn();
     for (uint32_t t = 0; t < m; ++t) {
@@ -533,20 +643,25 @@ Status VecPipeline::FlushChunk(size_t j, const VBatch& b, CandChunk& chunk,
     nb.idx[j].reserve(nb.n);
     for (uint32_t t : keep) nb.idx[j].push_back(chunk.elems[t]);
   }
-  return ExpandFrom(j + 1, nb);
+  return ExpandFrom(ln, j + 1, nb, sink);
 }
 
-Status VecPipeline::EnsureShared(size_t j, VecLevel& lvl, const VBatch& b) {
+Status VecPipeline::EnsureShared(VecLane& ln, size_t j, VecLevel& lvl,
+                                 const VBatch& b) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (lvl.shared_ready) return Status::OK();
   // Constant set, evaluated once under the first surviving row's
   // bindings — the same row (and at-least-once condition) as the scalar
-  // engine's PushRow(work, 0).
+  // engine's PushRow(work, 0). Const-sets are uncorrelated by
+  // classification, so which lane's surviving row supplies the bindings
+  // cannot change the value; under mt_ the first-arriving lane builds
+  // and everyone else reuses the cached base.
   Environment env;
   for (const Col& c : ctx_.cols) env.Push(c.var, c.vals[b.ctx[0]]);
   for (size_t l = 0; l < j; ++l) {
     env.Push(node_.ranges[l].var, LevelVal(b, l, 0));
   }
-  Result<Value> v = ex_.inner().Eval(lvl.r->source, env);
+  Result<Value> v = ln.ev->Eval(lvl.r->source, env);
   if (!v.ok()) return v.status();
   if (!v->is_set()) {
     return Status::RuntimeError("shredded range over non-set");
@@ -558,6 +673,11 @@ Status VecPipeline::EnsureShared(size_t j, VecLevel& lvl, const VBatch& b) {
 }
 
 void VecPipeline::EnsureBuckets(VecLevel& lvl) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureBucketsLocked(lvl);
+}
+
+void VecPipeline::EnsureBucketsLocked(VecLevel& lvl) {
   if (lvl.buckets_ready) return;
   const std::vector<Value>& keys = *lvl.keys_view;
   lvl.buckets.reserve(keys.size());
@@ -567,7 +687,9 @@ void VecPipeline::EnsureBuckets(VecLevel& lvl) {
   lvl.buckets_ready = true;
 }
 
-void VecPipeline::EnsureBuild(VecLevel& lvl) {
+void VecPipeline::EnsureBuild(VecLane& ln, size_t j, VecLevel& lvl,
+                              bool allow_trace) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (lvl.hash_decided) return;
   lvl.hash_decided = true;
   const std::vector<Value>& base = *lvl.shared;
@@ -579,14 +701,14 @@ void VecPipeline::EnsureBuild(VecLevel& lvl) {
     // short-circuited past, so any error abandons the join — the fused
     // nested-loop path reproduces the scalar engine's behavior exactly.
     lvl.keys_own.reserve(n);
-    CandChunk chunk;
+    Frag& sk = ln.lv[j].scan_key;
     for (size_t lo = 0; lo < n; lo += batch_) {
       const size_t m = std::min(batch_, n - lo);
-      std::vector<Value>& col = lvl.scan_key.prog.vm().ParamColumn(0);
+      std::vector<Value>& col = sk.prog.vm().ParamColumn(0);
       col.resize(m);
       for (size_t t = 0; t < m; ++t) col[t] = base[lo + t];
-      if (!lvl.scan_key.prog.vm().Run(m)) return;  // hash_ok stays false
-      std::vector<Value>& res = lvl.scan_key.prog.vm().ResultColumn();
+      if (!sk.prog.vm().Run(m)) return;  // hash_ok stays false
+      std::vector<Value>& res = sk.prog.vm().ResultColumn();
       for (size_t t = 0; t < m; ++t) {
         lvl.keys_own.push_back(std::move(res[t]));
       }
@@ -613,14 +735,18 @@ void VecPipeline::EnsureBuild(VecLevel& lvl) {
     table_size = lvl.raw.distinct;
   } else {
     lvl.key_mode = VecLevel::kGeneric;
-    EnsureBuckets(lvl);
+    EnsureBucketsLocked(lvl);
     table_size = lvl.buckets.size();
   }
 
-  ++stats_.joins_hash;
-  stats_.hash_inserts += n;
-  stats_.tuples_scanned += n;
-  if (ex_.opts().trace != nullptr) {
+  ln.stats().joins_hash += 1;
+  ln.stats().hash_inserts += n;
+  ln.stats().tuples_scanned += n;
+  // Worker lanes skip the annotation: the trace collector's span stack
+  // is coordinator-only. Level-0 builds (the common case) run eagerly on
+  // the coordinator before any morsel launches, so parallel runs only
+  // lose the annotation for hash levels deeper in the pipeline.
+  if (allow_trace && ex_.opts().trace != nullptr) {
     ex_.opts().trace->AnnotateOpen(
         StrFormat(" vec-hash keys=%zu residual=%zu",
                   lvl.split.scan_keys.size(), lvl.split.residual.size()));
@@ -629,25 +755,29 @@ void VecPipeline::EnsureBuild(VecLevel& lvl) {
   lvl.hash_ok = true;
 }
 
-Status VecPipeline::HashExpand(size_t j, VecLevel& lvl, const VBatch& b) {
-  BindFrag(lvl.probe_key, b, b.n, 0, nullptr, j);
-  if (!lvl.probe_key.prog.vm().Run(b.n)) {
-    // Probe-key error: abandon the hash path (already-probed batches
-    // produced the same survivors the nested loop would) and let the
-    // full predicate decide — erroring only where the interpreter does.
-    lvl.hash_ok = false;
-    return NLExpand(j, lvl, b);
+Status VecPipeline::HashExpand(VecLane& ln, size_t j, VecLevel& lvl,
+                               const VBatch& b, VBatch* sink) {
+  Frag& pk = ln.lv[j].probe_key;
+  BindFrag(pk, b, b.n, 0, nullptr, j);
+  if (!pk.prog.vm().Run(b.n)) {
+    // Probe-key error: fall back to the nested loop for THIS batch only
+    // and let the full predicate decide — erroring only where the
+    // interpreter does. hash_ok stays set: which batches fall back must
+    // not depend on the order lanes reach them, and a per-batch
+    // probe-key error is deterministic, so every execution (serial or
+    // parallel) downgrades exactly the same batches.
+    return NLExpand(ln, j, lvl, b, sink);
   }
-  const std::vector<Value>& kc = lvl.probe_key.prog.vm().ResultColumn();
-  stats_.hash_probes += b.n;
+  const std::vector<Value>& kc = pk.prog.vm().ResultColumn();
+  ln.stats().hash_probes += b.n;
 
   CandChunk chunk;
-  Frag* res_pred = lvl.residual.present ? &lvl.residual : nullptr;
+  Frag* res_pred = ln.lv[j].residual.present ? &ln.lv[j].residual : nullptr;
   auto add = [&](uint32_t row, uint32_t elem) -> Status {
     chunk.rows.push_back(row);
     chunk.elems.push_back(elem);
     if (chunk.size() >= batch_) {
-      N2J_RETURN_IF_ERROR(FlushChunk(j, b, chunk, res_pred));
+      N2J_RETURN_IF_ERROR(FlushChunk(ln, j, b, chunk, res_pred, sink));
       chunk.clear();
     }
     return Status::OK();
@@ -658,39 +788,39 @@ Status VecPipeline::HashExpand(size_t j, VecLevel& lvl, const VBatch& b) {
     // then walk the chains. cls: 0 = no match possible, 1 = raw probe,
     // 2 = Value buckets (int domain probed by a double — int/double
     // compare numerically, so raw equality would miss).
-    probe_u64_.resize(b.n);
-    probe_slot_.resize(b.n);
-    probe_cls_.resize(b.n);
+    ln.probe_u64.resize(b.n);
+    ln.probe_slot.resize(b.n);
+    ln.probe_cls.resize(b.n);
     const bool int_mode = lvl.key_mode == VecLevel::kIntKeys;
     for (size_t i = 0; i < b.n; ++i) {
       const Value& v = kc[i];
       uint8_t cls = 0;
       if (int_mode && v.is_int()) {
-        probe_u64_[i] = static_cast<uint64_t>(v.int_value());
+        ln.probe_u64[i] = static_cast<uint64_t>(v.int_value());
         cls = 1;
       } else if (!int_mode && v.is_oid()) {
-        probe_u64_[i] = v.oid_value();
+        ln.probe_u64[i] = v.oid_value();
         cls = 1;
       } else if (int_mode && v.is_double()) {
         cls = 2;
       }
-      probe_cls_[i] = cls;
+      ln.probe_cls[i] = cls;
       if (cls == 1) {
-        probe_slot_[i] = lvl.raw.StartSlot(probe_u64_[i]);
+        ln.probe_slot[i] = lvl.raw.StartSlot(ln.probe_u64[i]);
 #if defined(__GNUC__) || defined(__clang__)
-        __builtin_prefetch(&lvl.raw.slot_key[probe_slot_[i]]);
-        __builtin_prefetch(&lvl.raw.slot_head[probe_slot_[i]]);
+        __builtin_prefetch(&lvl.raw.slot_key[ln.probe_slot[i]]);
+        __builtin_prefetch(&lvl.raw.slot_head[ln.probe_slot[i]]);
 #endif
       }
     }
     for (size_t i = 0; i < b.n; ++i) {
-      if (probe_cls_[i] == 1) {
-        for (int32_t e = lvl.raw.FindFrom(probe_slot_[i], probe_u64_[i]);
+      if (ln.probe_cls[i] == 1) {
+        for (int32_t e = lvl.raw.FindFrom(ln.probe_slot[i], ln.probe_u64[i]);
              e != -1; e = lvl.raw.next[static_cast<size_t>(e)]) {
           N2J_RETURN_IF_ERROR(
               add(static_cast<uint32_t>(i), static_cast<uint32_t>(e)));
         }
-      } else if (probe_cls_[i] == 2) {
+      } else if (ln.probe_cls[i] == 2) {
         EnsureBuckets(lvl);
         auto it = lvl.buckets.find(kc[i]);
         if (it != lvl.buckets.end()) {
@@ -710,30 +840,32 @@ Status VecPipeline::HashExpand(size_t j, VecLevel& lvl, const VBatch& b) {
       }
     }
   }
-  return FlushChunk(j, b, chunk, res_pred);
+  return FlushChunk(ln, j, b, chunk, res_pred, sink);
 }
 
-Status VecPipeline::NLExpand(size_t j, VecLevel& lvl, const VBatch& b) {
+Status VecPipeline::NLExpand(VecLane& ln, size_t j, VecLevel& lvl,
+                             const VBatch& b, VBatch* sink) {
   const std::vector<Value>& base = *lvl.shared;
-  Frag* pred = lvl.pred.present ? &lvl.pred : nullptr;
+  Frag* pred = ln.lv[j].pred.present ? &ln.lv[j].pred : nullptr;
   CandChunk chunk;
   for (uint32_t i = 0; i < b.n; ++i) {
     for (size_t e = 0; e < base.size(); ++e) {
       chunk.rows.push_back(i);
       chunk.elems.push_back(static_cast<uint32_t>(e));
       if (chunk.size() >= batch_) {
-        stats_.tuples_scanned += chunk.size();
-        N2J_RETURN_IF_ERROR(FlushChunk(j, b, chunk, pred));
+        ln.stats().tuples_scanned += chunk.size();
+        N2J_RETURN_IF_ERROR(FlushChunk(ln, j, b, chunk, pred, sink));
         chunk.clear();
       }
     }
   }
-  stats_.tuples_scanned += chunk.size();
-  return FlushChunk(j, b, chunk, pred);
+  ln.stats().tuples_scanned += chunk.size();
+  return FlushChunk(ln, j, b, chunk, pred, sink);
 }
 
-Status VecPipeline::CsrExpand(size_t j, VecLevel& lvl, const VBatch& b) {
-  Frag* pred = lvl.pred.present ? &lvl.pred : nullptr;
+Status VecPipeline::CsrExpand(VecLane& ln, size_t j, VecLevel& lvl,
+                              const VBatch& b, VBatch* sink) {
+  Frag* pred = ln.lv[j].pred.present ? &ln.lv[j].pred : nullptr;
   CandChunk chunk;
   for (uint32_t i = 0; i < b.n; ++i) {
     const uint32_t rid = ParentRowId(b, lvl.parent, i);
@@ -743,25 +875,27 @@ Status VecPipeline::CsrExpand(size_t j, VecLevel& lvl, const VBatch& b) {
       chunk.rows.push_back(i);
       chunk.elems.push_back(e);  // global index into csr->elems
       if (chunk.size() >= batch_) {
-        stats_.tuples_scanned += chunk.size();
-        N2J_RETURN_IF_ERROR(FlushChunk(j, b, chunk, pred));
+        ln.stats().tuples_scanned += chunk.size();
+        N2J_RETURN_IF_ERROR(FlushChunk(ln, j, b, chunk, pred, sink));
         chunk.clear();
       }
     }
   }
-  stats_.tuples_scanned += chunk.size();
-  return FlushChunk(j, b, chunk, pred);
+  ln.stats().tuples_scanned += chunk.size();
+  return FlushChunk(ln, j, b, chunk, pred, sink);
 }
 
-Status VecPipeline::MatExpand(size_t j, VecLevel& lvl, const VBatch& b) {
-  BindFrag(lvl.source, b, b.n, 0, nullptr, j);
-  if (!lvl.source.prog.vm().Run(b.n)) return lvl.source.prog.status();
-  std::vector<Value>& res = lvl.source.prog.vm().ResultColumn();
+Status VecPipeline::MatExpand(VecLane& ln, size_t j, VecLevel& lvl,
+                              const VBatch& b, VBatch* sink) {
+  Frag& src = ln.lv[j].source;
+  BindFrag(src, b, b.n, 0, nullptr, j);
+  if (!src.prog.vm().Run(b.n)) return src.prog.status();
+  std::vector<Value>& res = src.prog.vm().ResultColumn();
   std::vector<Value> sets;
   sets.reserve(b.n);
   for (size_t i = 0; i < b.n; ++i) sets.push_back(std::move(res[i]));
 
-  Frag* pred = lvl.pred.present ? &lvl.pred : nullptr;
+  Frag* pred = ln.lv[j].pred.present ? &ln.lv[j].pred : nullptr;
   CandChunk chunk;
   for (uint32_t i = 0; i < b.n; ++i) {
     if (!sets[i].is_set()) {
@@ -771,25 +905,60 @@ Status VecPipeline::MatExpand(size_t j, VecLevel& lvl, const VBatch& b) {
       chunk.rows.push_back(i);
       chunk.elem_vals.push_back(elem);
       if (chunk.size() >= batch_) {
-        stats_.tuples_scanned += chunk.size();
-        N2J_RETURN_IF_ERROR(FlushChunk(j, b, chunk, pred));
+        ln.stats().tuples_scanned += chunk.size();
+        N2J_RETURN_IF_ERROR(FlushChunk(ln, j, b, chunk, pred, sink));
         chunk.clear();
       }
     }
   }
-  stats_.tuples_scanned += chunk.size();
-  return FlushChunk(j, b, chunk, pred);
+  ln.stats().tuples_scanned += chunk.size();
+  return FlushChunk(ln, j, b, chunk, pred, sink);
 }
 
-void VecPipeline::AppendFinal(VBatch b) {
-  final_.n += b.n;
-  final_.ctx.insert(final_.ctx.end(), b.ctx.begin(), b.ctx.end());
+// One morsel of the parallel expansion. Non-windowed units run a whole
+// context batch through the full pipeline; windowed units (nested-loop
+// and CSR level 0) carve one serial-chunk-sized window out of the
+// flattened (row × element) candidate sequence, which parallelizes even
+// a single-context-row node over a large scan.
+Status VecPipeline::RunUnit(VecLane& ln, const Unit& u, VBatch* sink) {
+  VBatch b = MakeCtxBatch(u.lo, u.hi);
+  if (!u.windowed) return ExpandFrom(ln, 0, b, sink);
+  VecLevel& lvl = levels_[0];
+  CandChunk chunk;
+  if (lvl.mode == VecLevel::kShared) {
+    const size_t S = lvl.shared->size();
+    for (size_t pos = u.cand_lo; pos < u.cand_hi; ++pos) {
+      chunk.rows.push_back(static_cast<uint32_t>(pos / S));
+      chunk.elems.push_back(static_cast<uint32_t>(pos % S));
+    }
+  } else {  // kCsr
+    size_t pos = 0;
+    for (uint32_t i = 0; i < b.n && pos < u.cand_hi; ++i) {
+      const uint32_t rid = ParentRowId(b, lvl.parent, i);
+      const size_t lo0 = lvl.csr->begin(rid);
+      const size_t n_i = lvl.csr->fanout(rid);
+      const size_t from = std::max(u.cand_lo, pos);
+      const size_t to = std::min(u.cand_hi, pos + n_i);
+      for (size_t k = from; k < to; ++k) {
+        chunk.rows.push_back(i);
+        chunk.elems.push_back(static_cast<uint32_t>(lo0 + (k - pos)));
+      }
+      pos += n_i;
+    }
+  }
+  ln.stats().tuples_scanned += chunk.size();
+  Frag* pred = ln.lv[0].pred.present ? &ln.lv[0].pred : nullptr;
+  return FlushChunk(ln, 0, b, chunk, pred, sink);
+}
+
+void VecPipeline::AppendTo(VBatch* dst, VBatch b) {
+  dst->n += b.n;
+  dst->ctx.insert(dst->ctx.end(), b.ctx.begin(), b.ctx.end());
   for (size_t l = 0; l < nlevels_; ++l) {
     if (levels_[l].mode == VecLevel::kMaterialized) {
-      for (Value& v : b.vals[l]) final_.vals[l].push_back(std::move(v));
+      for (Value& v : b.vals[l]) dst->vals[l].push_back(std::move(v));
     } else {
-      final_.idx[l].insert(final_.idx[l].end(), b.idx[l].begin(),
-                           b.idx[l].end());
+      dst->idx[l].insert(dst->idx[l].end(), b.idx[l].begin(), b.idx[l].end());
     }
   }
 }
@@ -798,15 +967,36 @@ Result<std::vector<Value>> VecPipeline::EvalOut(const OutputSpec& out) {
   const size_t n = final_.n;
   switch (out.kind) {
     case OutputSpec::Kind::kScalar: {
-      Frag& f = out_frags_[&out];
-      std::vector<Value> vals;
-      vals.reserve(n);
+      std::vector<Value> vals(n);
+      if (mt_ && n > batch_) {
+        // The serial windows [lo, lo + batch_) are independent, and each
+        // writes a disjoint slice of vals — the batch boundaries (and so
+        // the per-batch counters) stay exactly the serial ones.
+        ThreadPool& tp = ex_.pool();
+        tp.set_morsel_phase("vec-out");
+        const size_t nwin = (n + batch_ - 1) / batch_;
+        Status s = tp.RunMorsels(nwin, [&](int w, size_t m) -> Status {
+          const size_t lo = m * batch_;
+          const size_t mm = std::min(batch_, n - lo);
+          VecLane& ln = wl_[static_cast<size_t>(w)];
+          Frag& f = ln.out_frags[&out];
+          BindFrag(f, final_, mm, lo, nullptr, 0);
+          if (!f.prog.vm().Run(mm)) return f.prog.status();
+          std::vector<Value>& res = f.prog.vm().ResultColumn();
+          for (size_t t = 0; t < mm; ++t) vals[lo + t] = std::move(res[t]);
+          return Status::OK();
+        });
+        ex_.MergeWorkerStats();
+        N2J_RETURN_IF_ERROR(s);
+        return vals;
+      }
+      Frag& f = lane0_.out_frags[&out];
       for (size_t lo = 0; lo < n; lo += batch_) {
         const size_t m = std::min(batch_, n - lo);
         BindFrag(f, final_, m, lo, nullptr, 0);
         if (!f.prog.vm().Run(m)) return f.prog.status();
         std::vector<Value>& res = f.prog.vm().ResultColumn();
-        for (size_t t = 0; t < m; ++t) vals.push_back(std::move(res[t]));
+        for (size_t t = 0; t < m; ++t) vals[lo + t] = std::move(res[t]);
       }
       return vals;
     }
@@ -886,20 +1076,81 @@ Result<std::vector<Value>> VecPipeline::EvalOut(const OutputSpec& out) {
 }
 
 Result<std::vector<Value>> VecPipeline::Execute() {
-  ++stats_.vec_pipelines;
+  ++ex_.inner().stats().vec_pipelines;
   final_.idx.resize(nlevels_);
   final_.vals.resize(nlevels_);
   const size_t nctx = ctx_.size();
-  for (size_t lo = 0; lo < nctx; lo += batch_) {
-    const size_t hi = std::min(nctx, lo + batch_);
-    VBatch b;
-    b.n = hi - lo;
-    b.idx.resize(nlevels_);
-    b.vals.resize(nlevels_);
-    b.ctx.reserve(b.n);
-    for (size_t i = lo; i < hi; ++i) b.ctx.push_back(static_cast<uint32_t>(i));
-    N2J_RETURN_IF_ERROR(ExpandFrom(0, b));
+
+  mt_ = ex_.parallel() && nctx > 0;
+  if (mt_) {
+    // Level-0 lazy state is built eagerly on the coordinator — exactly
+    // what the serial engine does at its first batch, before any other
+    // work, so the build's evaluations, counters, and trace annotations
+    // land identically. (Deeper levels stay lazy behind the pipeline
+    // mutex; reaching them at all requires surviving rows, which the
+    // coordinator cannot know without evaluating.)
+    VecLevel& l0 = levels_[0];
+    if (l0.mode == VecLevel::kShared) {
+      VBatch first = MakeCtxBatch(0, std::min(nctx, batch_));
+      N2J_RETURN_IF_ERROR(EnsureShared(lane0_, 0, l0, first));
+      if (l0.try_hash) EnsureBuild(lane0_, 0, l0, /*allow_trace=*/true);
+    }
+    std::vector<std::unique_ptr<Evaluator>>& ws = ex_.workers();
+    wl_.resize(ws.size());
+    for (size_t w = 0; w < ws.size() && mt_; ++w) {
+      if (!CompileLane(wl_[w], *ws[w])) mt_ = false;
+    }
   }
+
+  if (!mt_) {
+    for (size_t lo = 0; lo < nctx; lo += batch_) {
+      VBatch b = MakeCtxBatch(lo, std::min(nctx, lo + batch_));
+      N2J_RETURN_IF_ERROR(ExpandFrom(lane0_, 0, b, &final_));
+    }
+  } else {
+    const VecLevel& l0 = levels_[0];
+    std::vector<Unit> units;
+    for (size_t lo = 0; lo < nctx; lo += batch_) {
+      const size_t hi = std::min(nctx, lo + batch_);
+      if (l0.mode == VecLevel::kShared && !(l0.try_hash && l0.hash_ok)) {
+        const size_t total = (hi - lo) * l0.shared->size();
+        for (size_t c = 0; c < total; c += batch_) {
+          units.push_back(Unit{lo, hi, c, std::min(total, c + batch_), true});
+        }
+      } else if (l0.mode == VecLevel::kCsr) {
+        const Col& cc = ctx_.cols[static_cast<size_t>(l0.parent.index)];
+        size_t total = 0;
+        for (size_t i = lo; i < hi; ++i) total += l0.csr->fanout(cc.row_ids[i]);
+        for (size_t c = 0; c < total; c += batch_) {
+          units.push_back(Unit{lo, hi, c, std::min(total, c + batch_), true});
+        }
+      } else {
+        units.push_back(Unit{lo, hi, 0, 0, false});
+      }
+    }
+    if (!units.empty()) {
+      ThreadPool& tp = ex_.pool();
+      tp.set_morsel_phase("vec-expand");
+      std::vector<VBatch> sinks(units.size());
+      for (VBatch& s : sinks) {
+        s.idx.resize(nlevels_);
+        s.vals.resize(nlevels_);
+      }
+      Status s = tp.RunMorsels(units.size(), [&](int w, size_t m) -> Status {
+        return RunUnit(wl_[static_cast<size_t>(w)], units[m], &sinks[m]);
+      });
+      // Merge even on error: the caller rolls the whole attempt back
+      // before the scalar rerun, and the worker-stats-are-zero invariant
+      // must hold either way.
+      ex_.MergeWorkerStats();
+      N2J_RETURN_IF_ERROR(s);
+      // Units concatenate in plan order, which is the serial engine's
+      // generation order — row order is bit-identical, and the ctx
+      // column stays non-decreasing for single-pass stitching.
+      for (VBatch& sk : sinks) AppendTo(&final_, std::move(sk));
+    }
+  }
+
   N2J_ASSIGN_OR_RETURN(std::vector<Value> outs, EvalOut(node_.out));
   span_.Annotate("vec");
   span_.RowsOut(final_.n);

@@ -87,16 +87,33 @@ std::shared_ptr<const ColumnarExtent> ColumnarCatalog::Get(
   const Table* t = db.FindTable(table);
   if (t == nullptr) return nullptr;
   uint64_t version = t->version();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(table);
+    if (it != cache_.end() && it->second->version == version) {
+      return it->second;
+    }
+  }
+  // Projection runs OUTSIDE mu_: a large extent's build must not stall
+  // every other table's Get, and the shredded executor's workers may
+  // race a refresh against a mid-query lookup. ProjectExtent reads the
+  // version before the row snapshot, so a build racing an Append is at
+  // worst stale — detected and rebuilt by the next Get's version check.
+  std::shared_ptr<const ColumnarExtent> built = ProjectExtent(*t);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(table);
-  if (it != cache_.end() && it->second->version == version) {
-    return it->second;
+  if (it != cache_.end()) {
+    // A racer published first. Same version: share its snapshot, so
+    // concurrent readers of one version converge on one projection.
+    // Newer version (an Append landed while we built): keep the newer
+    // cache entry and hand our consistent-but-stale build to our caller
+    // only.
+    if (it->second->version == built->version) return it->second;
+    if (it->second->version > built->version) return built;
+    it->second = built;
+    return built;
   }
-  // Projection runs under mu_ so two threads racing on a stale entry
-  // never double-build; the shared_ptr snapshot means replacing the
-  // entry cannot invalidate an outstanding reader.
-  std::shared_ptr<const ColumnarExtent> built = ProjectExtent(*t);
-  cache_.insert_or_assign(table, built);
+  cache_.emplace(table, built);
   return built;
 }
 

@@ -246,6 +246,43 @@ TEST(ShredBackend, SupplierPartQueriesAgreeUnderAllJoinModes) {
   }
 }
 
+TEST(ShredBackend, ScalarEngineThreadCountsAgreeWithExactStats) {
+  // The scalar engine (vectorized=false) under num_threads {1,2,4}:
+  // morsel order restores row order bit-for-bit, and successful queries
+  // merge to exactly the serial counters — the morsels partition the
+  // same row space the serial loops walk.
+  std::unique_ptr<Database> db = SmallSupplierDb();
+  const char* queries[] = {
+      "select (sname = s.sname, ps = select p from p in s.parts) "
+      "from s in SUPPLIER",
+      "select (a = x.pname, b = y.pname) from x in PART, y in PART "
+      "where x.price = y.price",
+      "select (a = x.pname, b = y.pname) from x in PART, y in PART "
+      "where x.price < y.price",
+      "select z from s in SUPPLIER, z in s.parts",
+  };
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    ExprPtr e = TranslateOrDie(*db, q);
+    EvalOptions serial;
+    serial.backend = Backend::kShredded;
+    serial.vectorized = false;
+    serial.num_threads = 1;
+    EvalStats s1;
+    Result<Value> v1 = shred::EvalWithBackend(*db, e, serial, &s1);
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    for (int nt : {2, 4}) {
+      EvalOptions mt = serial;
+      mt.num_threads = nt;
+      EvalStats sn;
+      Result<Value> vn = shred::EvalWithBackend(*db, e, mt, &sn);
+      ASSERT_TRUE(vn.ok()) << "nt=" << nt << "\n" << vn.status().ToString();
+      EXPECT_EQ(*v1, *vn) << "nt=" << nt;
+      EXPECT_EQ(s1.Compact(), sn.Compact()) << "nt=" << nt;
+    }
+  }
+}
+
 TEST(ShredBackend, ErrorParityOnNonBooleanPredicate) {
   std::unique_ptr<Database> db = SmallSupplierDb();
   // σ[p : 1](PART): the interpreter rejects the non-boolean predicate;
@@ -288,6 +325,35 @@ TEST(ShredBackend, SpanSumInvariantAcrossDagNodes) {
   EXPECT_TRUE(saw_node);
   // ...and their exclusive stat deltas sum exactly to the globals.
   EXPECT_EQ(tc.SumExclusiveStats().Compact(), stats.Compact());
+}
+
+TEST(ShredBackend, SpanSumInvariantHoldsUnderMorselParallelism) {
+  // Worker counters merge into the delegate's stats before each node
+  // span closes, so exclusive deltas still telescope to the globals at
+  // num_threads=4 — for both the scalar and the vectorized engine.
+  std::unique_ptr<Database> db = SmallSupplierDb();
+  const char* queries[] = {
+      "select (sname = s.sname, ps = select p.pid from p in s.parts) "
+      "from s in SUPPLIER",
+      "select (a = x.pname, b = y.pname) from x in PART, y in PART "
+      "where x.price = y.price",
+  };
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    ExprPtr e = TranslateOrDie(*db, q);
+    for (bool vectorized : {false, true}) {
+      TraceCollector tc;
+      EvalOptions opts;
+      opts.trace = &tc;
+      opts.num_threads = 4;
+      opts.vectorized = vectorized;
+      EvalStats stats;
+      Result<Value> v = shred::EvalShredded(*db, e, opts, &stats);
+      ASSERT_TRUE(v.ok()) << v.status().ToString();
+      EXPECT_EQ(tc.SumExclusiveStats().Compact(), stats.Compact())
+          << "vectorized=" << vectorized;
+    }
+  }
 }
 
 TEST(ShredBackend, ExplainShowsShreddedPlan) {
