@@ -142,6 +142,49 @@ void ProfileRuns(bench::Trajectory* traj) {
                      "hash-4t", 1024, mt, /*write_chrome_trace=*/true);
 }
 
+// Flight-recorder overhead gate (--recorder-gate): A/B the same engine
+// workload with recording on vs. off. Each of 7 reps times both arms
+// back-to-back (order alternating) and yields one paired delta; the
+// gate asserts the *minimum* delta over the reps stays under 1%.
+// Machine noise (governor ramps, scheduler preemption) only inflates a
+// rep's delta, so the cleanest rep is an upper bound on the true
+// overhead — the gate trips only when the recorder is ≥1% slower in
+// every single rep, i.e. the cost is real, not noise. n=4096 keeps a
+// single query in the milliseconds, so the recorder's per-query
+// microseconds must vanish into the bound — if this trips, recording
+// stopped being lock-light.
+void RecorderOverheadGate() {
+  Section("Flight-recorder overhead gate (enabled vs disabled, min of 7)");
+  auto db = MakeDb(4096, 47);
+  QueryEngine engine(db.get());
+  ExprPtr plan = SemiJoinPlan();
+  auto once = [&] { N2J_CHECK(engine.RunAdl(plan).ok()); };
+  obs::QueryLog& qlog = obs::QueryLog::Global();
+  // Warm caches and the frequency governor before any timed sample.
+  for (int i = 0; i < 10; ++i) once();
+  double min_delta = 0.0;
+  double best_on = -1.0, best_off = -1.0;
+  for (int rep = 0; rep < 7; ++rep) {
+    double ms[2];  // ms[0] = enabled, ms[1] = disabled
+    // Alternate which arm runs first so monotonic machine drift
+    // (warming, governor ramp) cannot systematically favor one side.
+    for (int leg = 0; leg < 2; ++leg) {
+      bool on_leg = (rep + leg) % 2 == 0;
+      qlog.set_enabled(on_leg);
+      ms[on_leg ? 0 : 1] = TimeMs(once, 50);
+    }
+    double delta = (ms[0] - ms[1]) / ms[1];
+    if (rep == 0 || delta < min_delta) min_delta = delta;
+    if (best_on < 0 || ms[0] < best_on) best_on = ms[0];
+    if (best_off < 0 || ms[1] < best_off) best_off = ms[1];
+  }
+  qlog.set_enabled(true);
+  std::printf("  enabled %.3fms  disabled %.3fms  min paired delta %+.3f%%\n",
+              best_on, best_off, min_delta * 100.0);
+  std::fflush(stdout);  // survive the abort below
+  N2J_CHECK(min_delta < 0.01);
+}
+
 void BM_SemiJoin(benchmark::State& state) {
   auto db = MakeDb(512, 47);
   ExprPtr plan = SemiJoinPlan();
@@ -171,6 +214,7 @@ int main(int argc, char** argv) {
       "Morsel-driven parallel hash nestjoin: threads 1/2/4/8",
       n2j::NestJoinPlan(), "nestjoin-threads", &traj);
   n2j::ProfileRuns(&traj);
+  if (traj.recorder_gate()) n2j::RecorderOverheadGate();
   std::printf(
       "\nThe index variant skips the build phase entirely (the index was\n"
       "built at load time); sort-merge pays n·log n but would win on\n"

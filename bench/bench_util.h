@@ -19,6 +19,7 @@
 #include "core/engine.h"
 #include "exec/eval.h"
 #include "obs/chrome_trace.h"
+#include "obs/querylog.h"
 #include "obs/trace.h"
 #include "rewrite/rewriter.h"
 #include "storage/datagen.h"
@@ -175,9 +176,11 @@ struct OperatorProfileEntry {
 class Trajectory {
  public:
   /// Scans argv for --json=<path>, --trace=<path> (Chrome-trace output
-  /// of the bench's representative profiled run) and
-  /// --mode=compiled|interp, stripping all three so google-benchmark's
-  /// own argument parser never sees them.
+  /// of the bench's representative profiled run), --querylog=<path>
+  /// (flight-recorder JSONL dump on WriteIfRequested),
+  /// --recorder-gate (run the bench's recorder-overhead assertion, if it
+  /// defines one) and --mode=compiled|interp, stripping all of them so
+  /// google-benchmark's own argument parser never sees them.
   Trajectory(std::string bench_name, int* argc, char** argv)
       : bench_(std::move(bench_name)) {
     int kept = 1;
@@ -187,6 +190,10 @@ class Trajectory {
         path_ = arg + 7;
       } else if (std::strncmp(arg, "--trace=", 8) == 0) {
         trace_path_ = arg + 8;
+      } else if (std::strncmp(arg, "--querylog=", 11) == 0) {
+        querylog_path_ = arg + 11;
+      } else if (std::strcmp(arg, "--recorder-gate") == 0) {
+        recorder_gate_ = true;
       } else if (std::strncmp(arg, "--mode=", 7) == 0) {
         if (std::strcmp(arg + 7, "compiled") == 0) {
           BenchCompiledMode() = true;
@@ -211,6 +218,10 @@ class Trajectory {
 
   /// Where --trace=<path> asked the Chrome trace to go (empty = off).
   const std::string& chrome_trace_path() const { return trace_path_; }
+
+  /// Whether --recorder-gate asked for the flight-recorder overhead
+  /// assertion (bench_join_algorithms defines it).
+  bool recorder_gate() const { return recorder_gate_; }
 
   /// Folds one traced evaluation's span tree into per-operator lines:
   /// spans sharing (op, detail) aggregate into count / exclusive-ms /
@@ -242,9 +253,11 @@ class Trajectory {
     profile_.insert(profile_.end(), local.begin(), local.end());
   }
 
-  /// Writes the JSON file when --json=<path> was given. Aborts on I/O
-  /// failure: a silently missing CI artifact is worse than a red job.
+  /// Writes the JSON file when --json=<path> was given, and the flight-
+  /// recorder dump when --querylog=<path> was. Aborts on I/O failure: a
+  /// silently missing CI artifact is worse than a red job.
   void WriteIfRequested() const {
+    DumpQuerylogIfRequested();
     if (path_.empty()) return;
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
@@ -313,10 +326,29 @@ class Trajectory {
                 points_.size(), profile_.size(), path_.c_str());
   }
 
+  /// Dumps the flight recorder when --querylog=<path> was given. Same
+  /// abort-on-I/O-failure policy as the trajectory JSON. Call after the
+  /// sweeps (benches that go through QueryEngine populate the recorder;
+  /// direct-Evaluator benches dump whatever engine runs they did make).
+  void DumpQuerylogIfRequested() const {
+    if (querylog_path_.empty()) return;
+    obs::QueryLog& qlog = obs::QueryLog::Global();
+    Status st = qlog.DumpJsonl(querylog_path_);
+    if (!st.ok()) {
+      std::fprintf(stderr, "querylog dump failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+    std::printf("wrote %zu query-log records to %s\n",
+                qlog.Snapshot().size(), querylog_path_.c_str());
+  }
+
  private:
   std::string bench_;
   std::string path_;
   std::string trace_path_;
+  std::string querylog_path_;
+  bool recorder_gate_ = false;
   std::vector<TrajectoryPoint> points_;
   std::vector<OperatorProfileEntry> profile_;
 };

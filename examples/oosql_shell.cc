@@ -30,21 +30,34 @@
 //                    inside the shredded backend (no argument: toggle;
 //                    only takes effect with \backend shredded)
 //   \metrics         print the process-wide metrics registry
+//   \openmetrics     print the registry in OpenMetrics text format
+//                    (Prometheus-scrapable; ends with # EOF)
+//   \log [n]         print the last n (default 10) flight-recorder
+//                    records: latency, stats, fallbacks, q-error
+//   \slow [n]        the n slowest recorded queries, slowest first
+//   \drift           per-extent plan-drift report (rolling q-error
+//                    windows; extents flagged when stats went stale —
+//                    \analyze refreshes and clears them)
 //   \quit            exit
 //
 //   $ ./build/examples/oosql_shell
 //   oosql> select s.sname from s in SUPPLIER where ... ;
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "adl/printer.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "obs/chrome_trace.h"
+#include "obs/drift.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/querylog.h"
 #include "obs/trace.h"
 #include "stats/stats.h"
 #include "storage/datagen.h"
@@ -67,6 +80,27 @@ void PrintResult(const Value& v, size_t limit = 20) {
     std::printf("  %s\n", e.ToString().c_str());
   }
   std::printf("(%zu tuples)\n", v.set_size());
+}
+
+/// One flight-recorder record as a shell line: id, phase latencies,
+/// rows, fallbacks, worst q-error, then the (possibly elided) query.
+void PrintLogRecord(const obs::QueryLogRecord& r) {
+  std::string q = r.query.substr(0, r.query.find('\n'));
+  if (q.size() > 48) q = q.substr(0, 45) + "...";
+  if (!r.error.empty()) {
+    std::printf("  #%-5llu %8.3fms ERROR %s  %s\n",
+                static_cast<unsigned long long>(r.id), r.wall_ms,
+                r.error.c_str(), q.c_str());
+    return;
+  }
+  // max_q < 1 means no span or extent was priced — not a measured 0.
+  char qbuf[16] = "-";
+  if (r.max_q >= 1.0) std::snprintf(qbuf, sizeof(qbuf), "%.2f", r.max_q);
+  std::printf(
+      "  #%-5llu %8.3fms (rw %.3f, eval %.3f) rows=%llu fb=%llu q=%s  %s\n",
+      static_cast<unsigned long long>(r.id), r.wall_ms, r.rewrite_ms,
+      r.eval_ms, static_cast<unsigned long long>(r.rows_out),
+      static_cast<unsigned long long>(r.fallbacks()), qbuf, q.c_str());
 }
 
 /// Parses the "on"/"off" argument style shared by \profile, \timing and
@@ -288,6 +322,37 @@ int main() {
                     backend == Backend::kShredded ? "shredded" : "nested");
       } else if (cmd == "\\metrics") {
         std::printf("%s", obs::MetricsRegistry::Global().Render().c_str());
+      } else if (cmd == "\\openmetrics") {
+        std::printf("%s", obs::RenderOpenMetrics().c_str());
+      } else if (cmd == "\\log") {
+        size_t n = 10;
+        int arg = 0;
+        if (iss >> arg && arg >= 1) n = static_cast<size_t>(arg);
+        std::vector<obs::QueryLogRecord> recent =
+            obs::QueryLog::Global().Snapshot(n);
+        if (recent.empty()) {
+          std::printf("no queries recorded yet\n");
+        }
+        for (const obs::QueryLogRecord& r : recent) PrintLogRecord(r);
+      } else if (cmd == "\\slow") {
+        size_t n = 10;
+        int arg = 0;
+        if (iss >> arg && arg >= 1) n = static_cast<size_t>(arg);
+        std::vector<obs::QueryLogRecord> all =
+            obs::QueryLog::Global().Snapshot();
+        std::stable_sort(all.begin(), all.end(),
+                         [](const obs::QueryLogRecord& a,
+                            const obs::QueryLogRecord& b) {
+                           return a.wall_ms > b.wall_ms;
+                         });
+        if (all.size() > n) all.resize(n);
+        if (all.empty()) {
+          std::printf("no queries recorded yet\n");
+        }
+        for (const obs::QueryLogRecord& r : all) PrintLogRecord(r);
+      } else if (cmd == "\\drift") {
+        std::printf("%s",
+                    obs::DriftMonitor::Global().Report().ToString().c_str());
       } else if (cmd == "\\explain") {
         std::string rest;
         std::getline(iss, rest);

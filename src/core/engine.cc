@@ -1,11 +1,18 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <set>
+
 #include "adl/printer.h"
+#include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "obs/drift.h"
 #include "obs/metrics.h"
+#include "obs/querylog.h"
 #include "obs/trace.h"
 #include "oosql/translate.h"
 #include "shred/shred.h"
+#include "stats/stats.h"
 
 namespace n2j {
 
@@ -15,24 +22,113 @@ double MsSince(int64_t t0_ns) {
   return static_cast<double>(MonotonicNanos() - t0_ns) / 1e6;
 }
 
+/// Collects the names of every base extent the expression scans.
+void CollectExtents(const ExprPtr& e, std::set<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kGetTable) out->insert(e->name());
+  for (size_t i = 0; i < e->num_children(); ++i) {
+    CollectExtents(e->child(i), out);
+  }
+}
+
+// Estimated spans dominate the record size; a pathological plan with
+// hundreds of annotated nodes should not bloat one ring slot.
+constexpr size_t kMaxRecordedRoots = 16;
+
 /// Records one finished query (success or error) into the process-wide
-/// registry. The per-algorithm join counters are fed with Add(0) too, so
-/// every instrument exists after the first query and Render() output is
-/// stable across workloads.
-void RecordQueryOutcome(const Result<QueryReport>& r, int64_t t_start_ns) {
+/// registry and the flight recorder. The per-algorithm join counters are
+/// fed with Add(0) too, so every instrument exists after the first query
+/// and Render() output is stable across workloads.
+void RecordQueryOutcome(const Result<QueryReport>& r, int64_t t_start_ns,
+                        const std::string& query_text, const Database& db,
+                        const EvalOptions& eval_options,
+                        const PlannerOptions& planner_options) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("n2j_queries_total").Add();
   reg.GetHistogram("n2j_query_ms").Observe(MsSince(t_start_ns));
-  if (!r.ok()) {
+  if (r.ok()) {
+    const EvalStats& s = r->exec_stats;
+    reg.GetCounter("n2j_joins_nested_loop_total").Add(s.joins_nested_loop);
+    reg.GetCounter("n2j_joins_hash_total").Add(s.joins_hash);
+    reg.GetCounter("n2j_joins_sortmerge_total").Add(s.joins_sortmerge);
+    reg.GetCounter("n2j_joins_index_total").Add(s.joins_index);
+    reg.GetCounter("n2j_joins_membership_total").Add(s.joins_membership);
+    reg.GetCounter("n2j_compiled_evals_total").Add(s.compiled_evals);
+    reg.GetCounter("n2j_interp_fallback_evals_total")
+        .Add(s.interp_fallback_evals);
+    reg.GetCounter("n2j_vec_batches_total").Add(s.vec_batches);
+    reg.GetCounter("n2j_vec_pipelines_total").Add(s.vec_pipelines);
+    reg.GetCounter("n2j_vec_fallbacks_total").Add(s.vec_fallbacks);
+  } else {
     reg.GetCounter("n2j_query_errors_total").Add();
+  }
+
+  obs::QueryLog& qlog = obs::QueryLog::Global();
+  if (!qlog.enabled()) return;
+  obs::QueryLogRecord rec;
+  rec.query = query_text;
+  rec.strategy = PlanStrategyName(planner_options.strategy);
+  rec.backend =
+      eval_options.backend == Backend::kShredded ? "shredded" : "nested";
+  rec.threads = eval_options.num_threads;
+  rec.batch_size = eval_options.vector_batch_size;
+  rec.compiled = eval_options.compiled;
+  rec.vectorized = eval_options.vectorized;
+  rec.wall_ms = MsSince(t_start_ns);
+  if (!r.ok()) {
+    rec.error = r.status().ToString();
+    // No translation to normalize over — hash the raw text.
+    rec.query_hash = Fnv1a(query_text.data(), query_text.size());
+    qlog.Append(std::move(rec));
     return;
   }
-  const EvalStats& s = r->exec_stats;
-  reg.GetCounter("n2j_joins_nested_loop_total").Add(s.joins_nested_loop);
-  reg.GetCounter("n2j_joins_hash_total").Add(s.joins_hash);
-  reg.GetCounter("n2j_joins_sortmerge_total").Add(s.joins_sortmerge);
-  reg.GetCounter("n2j_joins_index_total").Add(s.joins_index);
-  reg.GetCounter("n2j_joins_membership_total").Add(s.joins_membership);
+
+  const QueryReport& rep = *r;
+  rec.rewrite_ms = rep.rewrite_ms;
+  rec.eval_ms = rep.eval_ms;
+  rec.stats = rep.exec_stats;
+  if (rep.result.is_set()) rec.rows_out = rep.result.set_size();
+  // Hash the translated algebra, not the text: two queries that differ
+  // only in OOSQL formatting hash identically.
+  std::string normalized =
+      rep.translated != nullptr ? AlgebraStr(rep.translated) : query_text;
+  rec.query_hash = Fnv1a(normalized.data(), normalized.size());
+
+  if (rep.profile != nullptr) {
+    for (const TraceSpan& s : rep.profile->spans()) {
+      if (s.est_rows < 0.0) continue;
+      obs::RootEstimate e;
+      e.op = s.detail.empty() ? s.op : s.op + " [" + s.detail + "]";
+      e.est = s.est_rows;
+      e.actual = s.rows_out;
+      e.q = obs::QError(s.est_rows, static_cast<double>(s.rows_out));
+      rec.max_q = std::max(rec.max_q, e.q);
+      rec.roots.push_back(std::move(e));
+      if (rec.roots.size() >= kMaxRecordedRoots) break;
+    }
+  }
+
+  // Per-extent drift: the stats snapshot the planner would price with
+  // (Peek — never forces a collection scan) against the live extent
+  // size. Only extents that have been analyzed at least once can drift.
+  std::set<std::string> extent_names;
+  CollectExtents(rep.translated, &extent_names);
+  obs::DriftMonitor& drift = obs::DriftMonitor::Global();
+  for (const std::string& name : extent_names) {
+    std::shared_ptr<const ExtentStats> snap = db.stats().Peek(name);
+    const Table* t = db.FindTable(name);
+    if (snap == nullptr || t == nullptr) continue;
+    obs::ExtentEstimate e;
+    e.extent = name;
+    e.est = snap->row_count;
+    e.actual = t->size();
+    e.q = obs::QError(static_cast<double>(e.est),
+                      static_cast<double>(e.actual));
+    rec.max_q = std::max(rec.max_q, e.q);
+    drift.Observe(name, snap->version, e.q);
+    rec.extents.push_back(std::move(e));
+  }
+  qlog.Append(std::move(rec));
 }
 
 }  // namespace
@@ -68,6 +164,20 @@ std::string QueryReport::Explain() const {
   }
   std::string compact = exec_stats.Compact();
   out += "stats:      " + (compact.empty() ? "(none)" : compact) + "\n";
+  if (profile != nullptr) {
+    // One est-vs-actual audit line per planner-estimated span — the
+    // EXPLAIN ANALYZE view of the same Q-errors the flight recorder
+    // logs and the drift monitor aggregates.
+    for (const TraceSpan& s : profile->spans()) {
+      if (s.est_rows < 0.0) continue;
+      std::string op = s.detail.empty() ? s.op : s.op + " [" + s.detail + "]";
+      out += StrFormat("qerror:     %s est=%.0f actual=%llu q=%.2f\n",
+                       op.c_str(), s.est_rows,
+                       static_cast<unsigned long long>(s.rows_out),
+                       obs::QError(s.est_rows,
+                                   static_cast<double>(s.rows_out)));
+    }
+  }
   if (profile != nullptr && !profile->spans().empty()) {
     out += "profile:\n" + profile->Render();
   }
@@ -119,9 +229,10 @@ Status QueryEngine::Execute(QueryReport* report) const {
       report->result,
       shred::EvalWithBackend(*db_, to_run, opts, &report->exec_stats,
                              &report->shred_plan));
+  report->eval_ms = MsSince(t0);
   obs::MetricsRegistry::Global()
       .GetHistogram("n2j_eval_ms")
-      .Observe(MsSince(t0));
+      .Observe(report->eval_ms);
   report->profile = eval_options_.trace;
   return Status::OK();
 }
@@ -130,14 +241,17 @@ Result<QueryReport> QueryEngine::Run(const std::string& oosql) const {
   int64_t t_start = MonotonicNanos();
   Result<QueryReport> out = [&]() -> Result<QueryReport> {
     N2J_ASSIGN_OR_RETURN(QueryReport report, Translate(oosql));
+    int64_t t_rewrite = MonotonicNanos();
     N2J_ASSIGN_OR_RETURN(RewriteResult rewritten,
                          Optimize(report.translated));
+    report.rewrite_ms = MsSince(t_rewrite);
     report.optimized = rewritten.expr;
     report.trace = std::move(rewritten.trace);
     N2J_RETURN_IF_ERROR(Execute(&report));
     return report;
   }();
-  RecordQueryOutcome(out, t_start);
+  RecordQueryOutcome(out, t_start, oosql, *db_, eval_options_,
+                     planner_options_);
   return out;
 }
 
@@ -146,13 +260,16 @@ Result<QueryReport> QueryEngine::RunAdl(const ExprPtr& adl) const {
   Result<QueryReport> out = [&]() -> Result<QueryReport> {
     QueryReport report;
     report.translated = adl;
+    int64_t t_rewrite = MonotonicNanos();
     N2J_ASSIGN_OR_RETURN(RewriteResult rewritten, Optimize(adl));
+    report.rewrite_ms = MsSince(t_rewrite);
     report.optimized = rewritten.expr;
     report.trace = std::move(rewritten.trace);
     N2J_RETURN_IF_ERROR(Execute(&report));
     return report;
   }();
-  RecordQueryOutcome(out, t_start);
+  RecordQueryOutcome(out, t_start, AlgebraStr(adl), *db_, eval_options_,
+                     planner_options_);
   return out;
 }
 

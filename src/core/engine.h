@@ -35,6 +35,8 @@ struct QueryReport {
   std::string shred_plan;
   Value result;               // query result
   EvalStats exec_stats;       // operator counters of the final execution
+  double rewrite_ms = 0.0;    // rewriter phase latency
+  double eval_ms = 0.0;       // evaluation phase latency
   /// Operator span tree of the execution (borrowed from the engine's
   /// EvalOptions::trace collector; null when tracing was off). Makes
   /// Explain() an EXPLAIN ANALYZE: per-operator wall time,

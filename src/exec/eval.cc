@@ -25,13 +25,10 @@ Value GatherTuple(const TupleShape* target, const std::vector<int>& idx,
 }
 
 // One row per EvalStats counter, in declaration order. Merge, Subtract,
-// ToString, and Compact all iterate this table so a counter added here
-// is automatically merged, diffed, and printed.
-struct StatField {
-  const char* name;        // declaration name, for the aligned table
-  const char* short_name;  // compact key, for one-line contexts
-  uint64_t EvalStats::*member;
-};
+// ToString, Compact, and the query-log serializer (via EvalStatsFields)
+// all iterate this table so a counter added here is automatically
+// merged, diffed, printed, and logged.
+using StatField = EvalStatsField;
 constexpr StatField kStatFields[] = {
     {"tuples_scanned", "scanned", &EvalStats::tuples_scanned},
     {"predicate_evals", "preds", &EvalStats::predicate_evals},
@@ -55,6 +52,11 @@ constexpr StatField kStatFields[] = {
 };
 
 }  // namespace
+
+const EvalStatsField* EvalStatsFields(size_t* count) {
+  *count = sizeof(kStatFields) / sizeof(kStatFields[0]);
+  return kStatFields;
+}
 
 void EvalStats::Merge(const EvalStats& other) {
   for (const StatField& f : kStatFields) this->*f.member += other.*f.member;

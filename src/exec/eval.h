@@ -75,6 +75,19 @@ struct EvalStats {
   std::string Compact() const;
 };
 
+/// One row of the EvalStats counter table: declaration name, compact
+/// short key, and the member it addresses.
+struct EvalStatsField {
+  const char* name;
+  const char* short_name;
+  uint64_t EvalStats::*member;
+};
+
+/// The declaration-order counter table Merge/Subtract/ToString/Compact
+/// iterate. Exposed so external serializers (the query-log JSONL
+/// writer) stay automatically in sync when a counter is added.
+const EvalStatsField* EvalStatsFields(size_t* count);
+
 /// Physical implementation for the logical join family — "the join can
 /// be implemented as an index nested-loop join, a sort-merge join, a
 /// hash join, etc." (Section 6). Every algorithm needs extractable

@@ -2,6 +2,8 @@
 
 #include "adl/printer.h"
 #include "adl/typecheck.h"
+#include "core/engine.h"
+#include "obs/querylog.h"
 #include "obs/trace.h"
 #include "oosql/translate.h"
 #include "opt/optimizer.h"
@@ -256,6 +258,17 @@ std::vector<OracleConfig> DefaultConfigMatrix() {
     c.trace = true;
     m.push_back(c);
   }
+  {
+    // Through the engine façade with the flight recorder on the path:
+    // every run must append exactly one record whose stats snapshot
+    // equals the merged global counters, under morsel parallelism and
+    // tracing — the recorder is a pure observer or it is a bug.
+    OracleConfig c = Cell("querylog-traced-mt4");
+    c.eval.num_threads = 4;
+    c.trace = true;
+    c.querylog = true;
+    m.push_back(c);
+  }
 
   return m;
 }
@@ -386,11 +399,72 @@ OracleReport RunDifferentialOracle(const Database& db,
       eval_opts.plan = &physical.annotations;
     }
     EvalStats cell_stats;
-    Result<Value> actual =
-        shred::EvalWithBackend(db, plan, eval_opts, &cell_stats);
+    Result<Value> actual = Status::Internal("cell did not run");
+    if (config.querylog) {
+      // The engine façade runs translate → rewrite → execute itself (the
+      // rewrite/type pre-checks above already vetted config.rewrite), so
+      // the flight recorder sees this cell exactly like a user query.
+      obs::QueryLog& qlog = obs::QueryLog::Global();
+      uint64_t before = qlog.total_appended();
+      QueryEngine engine(&db, config.rewrite, eval_opts);
+      Result<QueryReport> run = engine.Run(query);
+      if (run.ok()) {
+        cell_stats = run->exec_stats;
+        actual = run->result;
+      } else {
+        actual = run.status();
+      }
+      if (qlog.enabled()) {
+        uint64_t appended = qlog.total_appended() - before;
+        if (appended != 1) {
+          report.status = OracleStatus::kMismatch;
+          report.failing_config = config.name;
+          report.detail = "flight recorder appended " +
+                          std::to_string(appended) +
+                          " records for one query (want exactly 1)";
+          return report;
+        }
+        const obs::QueryLogRecord* rec = nullptr;
+        std::vector<obs::QueryLogRecord> snap = qlog.Snapshot();
+        for (const obs::QueryLogRecord& r : snap) {
+          if (r.id == before) rec = &r;
+        }
+        if (rec == nullptr) {
+          report.status = OracleStatus::kMismatch;
+          report.failing_config = config.name;
+          report.detail = "flight recorder lost the just-appended record";
+          return report;
+        }
+        if (run.ok() &&
+            rec->stats.Compact() != run->exec_stats.Compact()) {
+          report.status = OracleStatus::kMismatch;
+          report.failing_config = config.name;
+          report.detail =
+              "flight-recorder stats snapshot diverges from the "
+              "execution's global counters\nrecord: " +
+              rec->stats.Compact() + "\nglobal: " +
+              run->exec_stats.Compact();
+          return report;
+        }
+        if (!run.ok() && rec->error.empty()) {
+          report.status = OracleStatus::kMismatch;
+          report.failing_config = config.name;
+          report.detail =
+              "query errored but the flight-recorder record has no error";
+          return report;
+        }
+      }
+    } else {
+      actual = shred::EvalWithBackend(db, plan, eval_opts, &cell_stats);
+    }
     ++report.configs_checked;
 
-    if (config.trace) {
+    // On an errored engine run the report (and its exec_stats) is
+    // discarded, so there is no global-counter side to compare the span
+    // sum against — the invariant itself is still covered by the
+    // direct-eval traced cells.
+    bool span_sum_checkable = !(config.querylog && !actual.ok());
+    if (config.trace && span_sum_checkable) {
       // Span-sum invariant: the exclusive deltas over the whole span
       // tree reconstruct the global counters exactly — even when the
       // evaluation errored out (RAII closes every span on unwind).

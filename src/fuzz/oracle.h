@@ -30,6 +30,12 @@ struct OracleConfig {
   /// any join reordering. Must stay bit-exact against the nested-loop
   /// oracle: a cost model may pick a slow plan, never a wrong one.
   bool cost_based = false;
+  /// Run this cell through QueryEngine::Run (not EvalWithBackend
+  /// directly) so the query flight recorder (obs/querylog.h) is on the
+  /// path, and assert its exactness: every run appends exactly one
+  /// record, and the record's EvalStats snapshot equals the execution's
+  /// global counters (error runs must record a non-empty error).
+  bool querylog = false;
 };
 
 /// The default matrix: ≥ 8 configurations spanning GroupingMode, the

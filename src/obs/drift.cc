@@ -1,0 +1,90 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace n2j {
+namespace obs {
+
+std::string PlanDriftReport::ToString() const {
+  std::string out = StrFormat(
+      "plan drift (threshold q>%.2f, window %zu, min %zu samples)\n",
+      options.q_threshold, options.window, options.min_samples);
+  if (extents.empty()) {
+    out += "  (no observations)\n";
+    return out;
+  }
+  size_t width = 0;
+  for (const ExtentDrift& e : extents) width = std::max(width, e.extent.size());
+  for (const ExtentDrift& e : extents) {
+    out += "  ";
+    out += e.extent;
+    out.append(width + 2 - e.extent.size(), ' ');
+    out += StrFormat(
+        "samples=%zu max_q=%.2f mean_q=%.2f over=%.0f%% v%llu%s\n", e.samples,
+        e.max_q, e.mean_q, e.frac_over * 100.0,
+        static_cast<unsigned long long>(e.stats_version),
+        e.flagged ? "  << DRIFT" : "");
+  }
+  return out;
+}
+
+DriftMonitor::DriftMonitor(DriftOptions options) : options_(options) {
+  if (options_.window < 1) options_.window = 1;
+  if (options_.min_samples < 1) options_.min_samples = 1;
+}
+
+DriftMonitor& DriftMonitor::Global() {
+  static DriftMonitor* monitor = new DriftMonitor();
+  return *monitor;
+}
+
+void DriftMonitor::Observe(const std::string& extent, uint64_t stats_version,
+                           double q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Window& w = windows_[extent];
+  if (w.stats_version != stats_version) {
+    // Fresh statistics were published (Analyze ran): everything observed
+    // against the old snapshot is obsolete, so the window restarts.
+    w.stats_version = stats_version;
+    w.q.clear();
+  }
+  w.q.push_back(q);
+  while (w.q.size() > options_.window) w.q.pop_front();
+}
+
+PlanDriftReport DriftMonitor::Report() const {
+  PlanDriftReport report;
+  report.options = options_;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, w] : windows_) {
+    ExtentDrift d;
+    d.extent = name;
+    d.stats_version = w.stats_version;
+    d.samples = w.q.size();
+    size_t over = 0;
+    double sum = 0.0;
+    for (double q : w.q) {
+      d.max_q = std::max(d.max_q, q);
+      sum += q;
+      if (q > options_.q_threshold) ++over;
+    }
+    if (d.samples > 0) {
+      d.mean_q = sum / static_cast<double>(d.samples);
+      d.frac_over = static_cast<double>(over) / static_cast<double>(d.samples);
+    }
+    d.flagged = d.samples >= options_.min_samples && d.frac_over > 0.5;
+    report.any_flagged = report.any_flagged || d.flagged;
+    report.extents.push_back(std::move(d));
+  }
+  return report;
+}
+
+void DriftMonitor::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.clear();
+}
+
+}  // namespace obs
+}  // namespace n2j

@@ -1,0 +1,82 @@
+#ifndef N2J_OBS_DRIFT_H_
+#define N2J_OBS_DRIFT_H_
+
+// Plan-drift monitoring: a rolling window of observed Q-errors per base
+// extent. The flight recorder feeds one Observe() per extent per query
+// (stats-snapshot row count vs live extent size); the monitor flags
+// extents whose recent window is dominated by estimates worse than the
+// threshold — i.e. the statistics the planner prices with have gone
+// stale relative to the data. Re-running Analyze bumps the extent's
+// stats version, which resets that extent's window, so a flag clears
+// immediately once fresh statistics are published.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace n2j {
+namespace obs {
+
+struct DriftOptions {
+  double q_threshold = 2.0;  // a sample "exceeds" when q > threshold
+  size_t window = 32;        // samples kept per extent (rolling)
+  size_t min_samples = 3;    // don't flag on fewer observations
+};
+
+/// Per-extent summary in a PlanDriftReport.
+struct ExtentDrift {
+  std::string extent;
+  uint64_t stats_version = 0;  // version of the snapshot last observed
+  size_t samples = 0;          // window occupancy
+  double max_q = 1.0;
+  double mean_q = 1.0;
+  double frac_over = 0.0;      // fraction of window samples > threshold
+  bool flagged = false;        // samples >= min_samples && frac_over > 0.5
+};
+
+struct PlanDriftReport {
+  DriftOptions options;
+  std::vector<ExtentDrift> extents;  // name-sorted
+  bool any_flagged = false;
+
+  /// Human-readable table, one extent per line, flagged extents marked.
+  std::string ToString() const;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftOptions options = DriftOptions());
+
+  /// The process-wide monitor the flight recorder feeds.
+  static DriftMonitor& Global();
+
+  /// Records one observed Q-error for `extent`. `stats_version` is the
+  /// version of the statistics snapshot the estimate came from; when it
+  /// changes (Analyze ran), the extent's window restarts from empty so
+  /// stale flags clear on the next report.
+  void Observe(const std::string& extent, uint64_t stats_version, double q);
+
+  PlanDriftReport Report() const;
+
+  void Clear();
+
+  const DriftOptions& options() const { return options_; }
+
+ private:
+  struct Window {
+    uint64_t stats_version = 0;
+    std::deque<double> q;  // newest at the back, bounded by options_.window
+  };
+
+  DriftOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Window> windows_;
+};
+
+}  // namespace obs
+}  // namespace n2j
+
+#endif  // N2J_OBS_DRIFT_H_

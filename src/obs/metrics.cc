@@ -14,7 +14,9 @@ void Histogram::Observe(double ms) {
   while (i < kNumBuckets - 1 && ms > kBucketBoundsMs[i]) ++i;
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_us_.fetch_add(static_cast<uint64_t>(ms * 1e3),
+  // Nanosecond granularity, rounded to nearest: a 0.4 µs observation
+  // adds 400, where microsecond truncation silently added 0.
+  sum_ns_.fetch_add(static_cast<uint64_t>(ms * 1e6 + 0.5),
                     std::memory_order_relaxed);
 }
 
@@ -46,7 +48,7 @@ void Histogram::Reset() {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
-  sum_us_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -75,17 +77,56 @@ std::string MetricsRegistry::Render() const {
   for (const auto& [name, h] : histograms_) {
     width = std::max(width, name.size());
   }
+  // One merged lexicographic walk over both (already-sorted) maps, so
+  // counters and histograms interleave in a single deterministic name
+  // order instead of two kind-grouped blocks.
   std::string out;
-  for (const auto& [name, c] : counters_) {
+  auto ci = counters_.begin();
+  auto hi = histograms_.begin();
+  auto emit = [&](const std::string& name, const std::string& value) {
     out += name;
     out.append(width + 2 - name.size(), ' ');
-    out += StrFormat("%llu\n", static_cast<unsigned long long>(c->value()));
-  }
-  for (const auto& [name, h] : histograms_) {
-    out += name;
-    out.append(width + 2 - name.size(), ' ');
-    out += h->ToString();
+    out += value;
     out += '\n';
+  };
+  while (ci != counters_.end() || hi != histograms_.end()) {
+    bool take_counter =
+        hi == histograms_.end() ||
+        (ci != counters_.end() && ci->first < hi->first);
+    if (take_counter) {
+      emit(ci->first, StrFormat("%llu", static_cast<unsigned long long>(
+                                            ci->second->value())));
+      ++ci;
+    } else {
+      emit(hi->first, hi->second->ToString());
+      ++hi;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::HistogramValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = h->count();
+    snap.sum_ms = h->sum_ms();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      snap.buckets[i] = h->bucket(i);
+    }
+    out.push_back(std::move(snap));
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace n2j {
 namespace obs {
@@ -45,9 +46,13 @@ class Histogram {
 
   void Observe(double ms);
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// The sum accumulates integer *nanoseconds* so sub-microsecond
+  /// observations (compiled sub-ms queries) are not truncated to zero;
+  /// one histogram can absorb ~580 years of observed time before the
+  /// u64 wraps.
   double sum_ms() const {
-    return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
-           1e3;
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+           1e6;
   }
   uint64_t bucket(int i) const {
     return buckets_[i].load(std::memory_order_relaxed);
@@ -60,7 +65,18 @@ class Histogram {
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// A coherent point-in-time copy of one histogram, for renderers that
+/// need count/sum/buckets without re-reading racing atomics per field.
+/// (Taken field-by-field with relaxed loads — "coherent" means one value
+/// per field, not a cross-field snapshot; see the header comment.)
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum_ms = 0.0;
+  uint64_t buckets[Histogram::kNumBuckets] = {};
 };
 
 class MetricsRegistry {
@@ -72,11 +88,24 @@ class MetricsRegistry {
   Counter& GetCounter(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
-  /// All instruments, one per line, in name order.
+  /// All instruments, one per line, in one merged name order (counters
+  /// and histograms interleaved lexicographically — deterministic, so
+  /// shell `\metrics` output is golden-testable).
   std::string Render() const;
 
+  /// Name-sorted copies of every registered instrument's current value,
+  /// for external renderers (the OpenMetrics exporter).
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<HistogramSnapshot> HistogramValues() const;
+
   /// Zeroes every registered instrument (tests only — instruments stay
-  /// registered so cached references remain valid).
+  /// registered so cached references remain valid). Reset is *not* a
+  /// barrier: an Observe/Add racing a Reset lands either entirely
+  /// before (zeroed with everything else) or entirely after (counted in
+  /// the fresh epoch); there is no torn state in a Counter, and a
+  /// Histogram may transiently disagree between count and buckets, as
+  /// with any concurrent Render. Sequential callers always read exact
+  /// post-Reset deltas (metrics_test.cc pins these semantics).
   void Reset();
 
  private:

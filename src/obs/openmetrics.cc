@@ -1,0 +1,89 @@
+#include "obs/openmetrics.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+#include "obs/metrics.h"
+
+namespace n2j {
+namespace obs {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// One exposition family, already rendered; families are sorted by name
+// before concatenation so counters and histograms interleave in a single
+// deterministic order.
+struct Family {
+  std::string name;
+  std::string text;
+};
+
+Family CounterFamily(const std::string& name, uint64_t value) {
+  Family f;
+  if (EndsWith(name, "_total")) {
+    f.name = name.substr(0, name.size() - 6);
+    f.text = StrFormat("# TYPE %s counter\n%s_total %llu\n", f.name.c_str(),
+                       f.name.c_str(), static_cast<unsigned long long>(value));
+  } else {
+    // `_total` is the spec's counter marker; anything else exports as a
+    // gauge to keep scrapers from rejecting the document.
+    f.name = name;
+    f.text = StrFormat("# TYPE %s gauge\n%s %llu\n", f.name.c_str(),
+                       f.name.c_str(), static_cast<unsigned long long>(value));
+  }
+  return f;
+}
+
+Family HistogramFamily(const HistogramSnapshot& snap) {
+  Family f;
+  f.name = snap.name;
+  f.text = StrFormat("# TYPE %s histogram\n", f.name.c_str());
+  uint64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    cumulative += snap.buckets[i];
+    if (i < Histogram::kNumBuckets - 1) {
+      f.text += StrFormat("%s_bucket{le=\"%g\"} %llu\n", f.name.c_str(),
+                          Histogram::kBucketBoundsMs[i],
+                          static_cast<unsigned long long>(cumulative));
+    } else {
+      f.text += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", f.name.c_str(),
+                          static_cast<unsigned long long>(cumulative));
+    }
+  }
+  f.text += StrFormat("%s_count %llu\n", f.name.c_str(),
+                      static_cast<unsigned long long>(snap.count));
+  f.text += StrFormat("%s_sum %.6f\n", f.name.c_str(), snap.sum_ms);
+  return f;
+}
+
+}  // namespace
+
+std::string RenderOpenMetrics(const MetricsRegistry& registry) {
+  std::vector<Family> families;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    families.push_back(CounterFamily(name, value));
+  }
+  for (const HistogramSnapshot& snap : registry.HistogramValues()) {
+    families.push_back(HistogramFamily(snap));
+  }
+  std::sort(families.begin(), families.end(),
+            [](const Family& a, const Family& b) { return a.name < b.name; });
+  std::string out;
+  for (const Family& f : families) out += f.text;
+  out += "# EOF\n";
+  return out;
+}
+
+std::string RenderOpenMetrics() {
+  return RenderOpenMetrics(MetricsRegistry::Global());
+}
+
+}  // namespace obs
+}  // namespace n2j

@@ -1,0 +1,35 @@
+#ifndef N2J_OBS_OPENMETRICS_H_
+#define N2J_OBS_OPENMETRICS_H_
+
+// OpenMetrics text exposition of the metrics registry, so any Prometheus
+// scraper (or promtool check) can consume engine metrics without a
+// bespoke parser. Format per the OpenMetrics spec:
+//
+//   - counters: family = name minus the `_total` suffix; one `# TYPE
+//     <family> counter` line and one `<family>_total <v>` sample.
+//     Registry counters not ending in `_total` export as gauges (the
+//     spec reserves the suffix for counters).
+//   - histograms: `# TYPE <name> histogram`, cumulative
+//     `<name>_bucket{le="..."}` samples ending with `le="+Inf"`, then
+//     `<name>_count` and `<name>_sum` (sum in milliseconds, matching
+//     the bucket bounds' unit).
+//   - families emit in one merged lexicographic name order and the
+//     document ends with `# EOF` — byte-stable for a given registry
+//     state, so the shell's `\openmetrics` is golden-testable.
+
+#include <string>
+
+namespace n2j {
+namespace obs {
+
+class MetricsRegistry;
+
+/// Renders `registry` (default: the global one) as an OpenMetrics text
+/// document, including the trailing `# EOF` line.
+std::string RenderOpenMetrics();
+std::string RenderOpenMetrics(const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace n2j
+
+#endif  // N2J_OBS_OPENMETRICS_H_

@@ -278,6 +278,13 @@ std::shared_ptr<const ExtentStats> StatsCatalog::Get(
   return fresh;
 }
 
+std::shared_ptr<const ExtentStats> StatsCatalog::Peek(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(table);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
 void StatsCatalog::Analyze(const Database& db) {
   for (const std::string& name : db.TableNames()) {
     const Table* t = db.FindTable(name);

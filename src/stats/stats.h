@@ -112,6 +112,14 @@ class StatsCatalog {
   std::shared_ptr<const ExtentStats> Get(const Database& db,
                                          const std::string& table) const;
 
+  /// The cached snapshot for `table` exactly as the last Get/Analyze
+  /// left it — no collection, no version check, nullptr when the table
+  /// was never analyzed. This is what the planner would price with if it
+  /// consulted the catalog right now without forcing a refresh; the
+  /// flight recorder compares it against the live extent size to detect
+  /// stale statistics (obs/drift.h) without itself triggering a scan.
+  std::shared_ptr<const ExtentStats> Peek(const std::string& table) const;
+
   /// Eagerly (re)collects statistics for every table — ANALYZE.
   void Analyze(const Database& db);
 

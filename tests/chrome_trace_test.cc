@@ -3,8 +3,9 @@
 // extent names, annotations — so ChromeTraceJson must escape per RFC
 // 8259 or one hostile name invalidates the whole document. Pinned by a
 // round trip: render a trace whose span detail holds every escape
-// class, parse the document with a strict JSON reader, and require the
-// decoded name to reproduce the original bytes exactly.
+// class, parse the document with the strict JSON reader
+// (tests/test_util.h), and require the decoded name to reproduce the
+// original bytes exactly.
 
 #include <gtest/gtest.h>
 
@@ -19,150 +20,12 @@
 #include "obs/trace.h"
 #include "storage/database.h"
 #include "storage/datagen.h"
+#include "tests/test_util.h"
 
 namespace n2j {
 namespace {
 
-/// Minimal strict RFC 8259 reader: validates the full document and
-/// collects every decoded string value/key. No dependency, no leniency
-/// (a lenient parser would defeat the point of the test).
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& s) : s_(s) {}
-
-  bool ParseDocument() {
-    SkipWs();
-    if (!ParseValue()) return false;
-    SkipWs();
-    return pos_ == s_.size();
-  }
-
-  const std::vector<std::string>& strings() const { return strings_; }
-
- private:
-  void SkipWs() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  bool Literal(const char* lit) {
-    size_t n = std::string(lit).size();
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool ParseValue() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return ParseObject();
-      case '[': return ParseArray();
-      case '"': return ParseString();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return ParseNumber();
-    }
-  }
-  bool ParseObject() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (pos_ >= s_.size() || s_[pos_] != '"' || !ParseString()) {
-        return false;
-      }
-      SkipWs();
-      if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
-      SkipWs();
-      if (!ParseValue()) return false;
-      SkipWs();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') { ++pos_; continue; }
-      if (s_[pos_] == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool ParseArray() {
-    ++pos_;  // '['
-    SkipWs();
-    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!ParseValue()) return false;
-      SkipWs();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') { ++pos_; continue; }
-      if (s_[pos_] == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool ParseString() {
-    ++pos_;  // '"'
-    std::string out;
-    while (pos_ < s_.size()) {
-      unsigned char c = static_cast<unsigned char>(s_[pos_]);
-      if (c == '"') {
-        ++pos_;
-        strings_.push_back(out);
-        return true;
-      }
-      if (c < 0x20) return false;  // raw control char: invalid JSON
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        char e = s_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) return false;
-            unsigned int cp = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = s_[pos_++];
-              cp <<= 4;
-              if (h >= '0' && h <= '9') cp += static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') cp += 10u + static_cast<unsigned>(h - 'a');
-              else if (h >= 'A' && h <= 'F') cp += 10u + static_cast<unsigned>(h - 'A');
-              else return false;
-            }
-            // The writer only emits \u00xx for control bytes.
-            if (cp > 0xFF) return false;
-            out += static_cast<char>(cp);
-            break;
-          }
-          default: return false;
-        }
-        continue;
-      }
-      out += static_cast<char>(c);
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-  bool ParseNumber() {
-    size_t start = pos_;
-    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
-            s_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-  std::vector<std::string> strings_;
-};
+using testutil::JsonReader;
 
 // Every escape class in one name: quote, backslash, the five short
 // escapes, a sub-0x20 control byte, a DEL byte, and multi-byte UTF-8.

@@ -1,0 +1,148 @@
+// Plan-drift monitoring (ISSUE 10): the seeded stale-stats scenario.
+// Analyze, run queries (no drift) — Append *without* Analyze, run more
+// (the extent must be flagged: the stats snapshot prices a table that
+// has since grown) — re-Analyze (the flag must clear immediately: the
+// snapshot version bump resets the extent's rolling window).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "adl/value.h"
+#include "core/engine.h"
+#include "obs/drift.h"
+#include "obs/querylog.h"
+#include "stats/stats.h"
+#include "storage/datagen.h"
+
+namespace n2j {
+namespace obs {
+namespace {
+
+std::unique_ptr<Database> MakeXy(int n) {
+  auto db = std::make_unique<Database>();
+  XYConfig config;
+  config.seed = 11;
+  config.x_rows = n;
+  config.y_rows = n;
+  N2J_CHECK(AddRandomXY(db.get(), config).ok());
+  return db;
+}
+
+ExprPtr ScanY() {
+  return Expr::Select("y",
+                      Expr::Eq(Expr::Access(Expr::Var("y"), "a"),
+                               Expr::Const(Value::Int(0))),
+                      Expr::Table("Y"));
+}
+
+void AppendYRows(Database* db, int count) {
+  for (int i = 0; i < count; ++i) {
+    N2J_CHECK(db->Insert("Y", Value::Tuple({Field("a", Value::Int(1)),
+                                            Field("e", Value::Int(i))}))
+                  .ok());
+  }
+}
+
+const ExtentDrift* FindY(const PlanDriftReport& report) {
+  for (const ExtentDrift& e : report.extents) {
+    if (e.extent == "Y") return &e;
+  }
+  return nullptr;
+}
+
+TEST(DriftMonitor, StaleStatsFlagAndClearOnReanalyze) {
+  DriftMonitor::Global().Clear();
+  std::unique_ptr<Database> db = MakeXy(50);
+  QueryEngine engine(db.get());
+  ExprPtr plan = ScanY();
+
+  // Phase 1: fresh statistics — queries observe q = 1.0, nothing flags.
+  db->stats().Analyze(*db);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(engine.RunAdl(plan).ok());
+  {
+    PlanDriftReport report = DriftMonitor::Global().Report();
+    const ExtentDrift* y = FindY(report);
+    ASSERT_NE(y, nullptr);
+    EXPECT_GE(y->samples, 3u);
+    EXPECT_DOUBLE_EQ(y->max_q, 1.0);
+    EXPECT_FALSE(y->flagged);
+    EXPECT_FALSE(report.any_flagged);
+  }
+
+  // Phase 2: the table triples behind the catalog's back. Every query
+  // now observes q = 150/50 = 3.0 > threshold; once a majority of the
+  // window exceeds it, Y is flagged.
+  // Six stale observations against the four fresh ones in the window:
+  // 6/10 > 50%, a strict majority.
+  AppendYRows(db.get(), 100);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(engine.RunAdl(plan).ok());
+  {
+    PlanDriftReport report = DriftMonitor::Global().Report();
+    const ExtentDrift* y = FindY(report);
+    ASSERT_NE(y, nullptr);
+    EXPECT_DOUBLE_EQ(y->max_q, 3.0);
+    EXPECT_TRUE(y->flagged) << report.ToString();
+    EXPECT_TRUE(report.any_flagged);
+    // The report names the flagged extent.
+    EXPECT_NE(report.ToString().find("DRIFT"), std::string::npos);
+  }
+
+  // Phase 3: re-Analyze publishes a fresh snapshot (new version). The
+  // very next observation resets Y's window, so the flag clears without
+  // waiting for old samples to age out.
+  db->stats().Analyze(*db);
+  ASSERT_TRUE(engine.RunAdl(plan).ok());
+  {
+    PlanDriftReport report = DriftMonitor::Global().Report();
+    const ExtentDrift* y = FindY(report);
+    ASSERT_NE(y, nullptr);
+    EXPECT_EQ(y->samples, 1u);
+    EXPECT_DOUBLE_EQ(y->max_q, 1.0);
+    EXPECT_FALSE(y->flagged) << report.ToString();
+    EXPECT_FALSE(report.any_flagged);
+  }
+}
+
+TEST(DriftMonitor, UnanalyzedExtentsNeverObserve) {
+  // Without a cached snapshot there is nothing to drift against: the
+  // recorder's Peek returns null and the monitor stays empty — drift
+  // detection must not force stats collection as a side effect.
+  DriftMonitor::Global().Clear();
+  std::unique_ptr<Database> db = MakeXy(10);
+  QueryEngine engine(db.get());
+  ASSERT_TRUE(engine.RunAdl(ScanY()).ok());
+  PlanDriftReport report = DriftMonitor::Global().Report();
+  EXPECT_EQ(report.extents.size(), 0u);
+  EXPECT_FALSE(report.any_flagged);
+  // And the recorder's extent audit is likewise empty.
+  std::vector<QueryLogRecord> last = QueryLog::Global().Snapshot(1);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_TRUE(last[0].extents.empty());
+}
+
+TEST(DriftMonitor, WindowIsBounded) {
+  DriftMonitor monitor(DriftOptions{2.0, 4, 3});
+  for (int i = 0; i < 100; ++i) monitor.Observe("T", 1, 10.0);
+  PlanDriftReport report = monitor.Report();
+  ASSERT_EQ(report.extents.size(), 1u);
+  EXPECT_EQ(report.extents[0].samples, 4u);
+  EXPECT_TRUE(report.extents[0].flagged);
+  monitor.Clear();
+  EXPECT_EQ(monitor.Report().extents.size(), 0u);
+}
+
+TEST(DriftMonitor, QErrorClampsAndIsSymmetric) {
+  EXPECT_DOUBLE_EQ(QError(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(QError(10, 5), 2.0);
+  EXPECT_DOUBLE_EQ(QError(5, 10), 2.0);
+  // Zeros clamp to 1 instead of dividing.
+  EXPECT_DOUBLE_EQ(QError(0, 100), 100.0);
+  EXPECT_DOUBLE_EQ(QError(100, 0), 100.0);
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace n2j

@@ -1,0 +1,117 @@
+// OpenMetrics exposition shape (ISSUE 10): family naming (`_total`
+// stripping), TYPE lines, cumulative histogram buckets ending at +Inf,
+// merged lexicographic family order, and the mandatory trailing # EOF.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+
+namespace n2j {
+namespace obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& doc) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < doc.size()) {
+    size_t end = doc.find('\n', start);
+    if (end == std::string::npos) {
+      out.push_back(doc.substr(start));
+      break;
+    }
+    out.push_back(doc.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+TEST(OpenMetrics, EmptyRegistryIsJustEof) {
+  MetricsRegistry reg;
+  EXPECT_EQ(RenderOpenMetrics(reg), "# EOF\n");
+}
+
+TEST(OpenMetrics, CounterFamilyStripsTotalSuffix) {
+  MetricsRegistry reg;
+  reg.GetCounter("n2j_queries_total").Add(3);
+  std::string doc = RenderOpenMetrics(reg);
+  EXPECT_EQ(doc,
+            "# TYPE n2j_queries counter\n"
+            "n2j_queries_total 3\n"
+            "# EOF\n");
+}
+
+TEST(OpenMetrics, NonTotalCounterExportsAsGauge) {
+  MetricsRegistry reg;
+  reg.GetCounter("n2j_resident_rows").Add(7);
+  std::string doc = RenderOpenMetrics(reg);
+  EXPECT_EQ(doc,
+            "# TYPE n2j_resident_rows gauge\n"
+            "n2j_resident_rows 7\n"
+            "# EOF\n");
+}
+
+TEST(OpenMetrics, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("n2j_query_ms");
+  h.Observe(0.005);  // first bucket (le 0.01)
+  h.Observe(0.005);
+  h.Observe(0.75);   // le 1 bucket
+  h.Observe(5000.0); // beyond the last bound: +Inf only
+  std::string doc = RenderOpenMetrics(reg);
+  std::vector<std::string> lines = Lines(doc);
+
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], "# TYPE n2j_query_ms histogram");
+  // One line per bucket bound, then +Inf, count, sum, EOF.
+  ASSERT_EQ(lines.size(),
+            1u + static_cast<size_t>(Histogram::kNumBuckets) + 2u + 1u);
+  EXPECT_EQ(lines[1], "n2j_query_ms_bucket{le=\"0.01\"} 2");
+  // Cumulative: the le="1" bucket includes the two 5µs observations.
+  bool saw_le1 = false;
+  for (const std::string& l : lines) {
+    if (l == "n2j_query_ms_bucket{le=\"1\"} 3") saw_le1 = true;
+  }
+  EXPECT_TRUE(saw_le1) << doc;
+  EXPECT_EQ(lines[Histogram::kNumBuckets],
+            "n2j_query_ms_bucket{le=\"+Inf\"} 4");
+  EXPECT_EQ(lines[Histogram::kNumBuckets + 1], "n2j_query_ms_count 4");
+  EXPECT_EQ(lines[Histogram::kNumBuckets + 2].rfind("n2j_query_ms_sum ", 0),
+            0u);
+  EXPECT_EQ(lines.back(), "# EOF");
+}
+
+TEST(OpenMetrics, FamiliesMergeInLexicographicOrder) {
+  MetricsRegistry reg;
+  reg.GetCounter("n2j_zeta_total").Add(1);
+  reg.GetHistogram("n2j_middle_ms").Observe(1.0);
+  reg.GetCounter("n2j_alpha_total").Add(1);
+  std::string doc = RenderOpenMetrics(reg);
+  size_t alpha = doc.find("# TYPE n2j_alpha counter");
+  size_t middle = doc.find("# TYPE n2j_middle_ms histogram");
+  size_t zeta = doc.find("# TYPE n2j_zeta counter");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(middle, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  // Counter and histogram families interleave in one name order.
+  EXPECT_LT(alpha, middle);
+  EXPECT_LT(middle, zeta);
+  // Rendering is deterministic.
+  EXPECT_EQ(doc, RenderOpenMetrics(reg));
+}
+
+TEST(OpenMetrics, GlobalRegistryDocumentIsWellTerminated) {
+  // Whatever other tests have fed the global registry, the document
+  // always ends with the spec's EOF marker and every TYPE line names a
+  // family that appears in a sample.
+  std::string doc = RenderOpenMetrics();
+  ASSERT_GE(doc.size(), 6u);
+  EXPECT_EQ(doc.substr(doc.size() - 6), "# EOF\n");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace n2j

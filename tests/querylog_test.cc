@@ -1,0 +1,217 @@
+// Flight-recorder coverage (ISSUE 10): JSONL round-trip through the
+// strict RFC 8259 reader, ring-buffer wraparound, exact append counts
+// under concurrent writers, one-record-per-Run through the engine, and
+// the normalized query hash.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/querylog.h"
+#include "tests/test_util.h"
+
+namespace n2j {
+namespace obs {
+namespace {
+
+using testutil::JsonReader;
+
+QueryLogRecord SampleRecord() {
+  QueryLogRecord r;
+  r.query_hash = 0xdeadbeefcafef00dULL;
+  // Every escape class the writer must survive: quote, backslash,
+  // newline, a control byte, multi-byte UTF-8.
+  r.query = "select s.sname /* \"q\\uote\" \n \x01 caf\xc3\xa9 */";
+  r.error = "";
+  r.strategy = "cost";
+  r.backend = "shredded";
+  r.threads = 4;
+  r.batch_size = 3;
+  r.compiled = false;
+  r.vectorized = true;
+  r.wall_ms = 12.345678;
+  r.rewrite_ms = 1.5;
+  r.eval_ms = 10.25;
+  r.rows_out = 42;
+  r.stats.tuples_scanned = 1000;
+  r.stats.hash_probes = 77;
+  r.stats.joins_hash = 3;
+  r.stats.interp_fallback_evals = 5;
+  r.stats.vec_fallbacks = 2;
+  r.roots.push_back(RootEstimate{"semijoin [hash keys=1]", 120.0, 100, 1.2});
+  r.extents.push_back(ExtentEstimate{"SUPPLIER", 25, 50, 2.0});
+  r.max_q = 2.0;
+  return r;
+}
+
+TEST(QueryLogRecord, JsonRoundTripsThroughStrictReader) {
+  QueryLogRecord r = SampleRecord();
+  std::string line = r.ToJson();
+
+  // The line must be a valid RFC 8259 document on its own.
+  JsonReader reader(line);
+  ASSERT_TRUE(reader.ParseDocument()) << line;
+
+  QueryLogRecord back;
+  ASSERT_TRUE(QueryLogRecord::FromJson(line, &back)) << line;
+  EXPECT_EQ(back.query_hash, r.query_hash);
+  EXPECT_EQ(back.query, r.query);
+  EXPECT_EQ(back.error, r.error);
+  EXPECT_EQ(back.strategy, r.strategy);
+  EXPECT_EQ(back.backend, r.backend);
+  EXPECT_EQ(back.threads, r.threads);
+  EXPECT_EQ(back.batch_size, r.batch_size);
+  EXPECT_EQ(back.compiled, r.compiled);
+  EXPECT_EQ(back.vectorized, r.vectorized);
+  EXPECT_DOUBLE_EQ(back.wall_ms, 12.3457);  // %.6g writer precision
+  EXPECT_EQ(back.rows_out, r.rows_out);
+  EXPECT_EQ(back.stats.Compact(), r.stats.Compact());
+  EXPECT_EQ(back.fallbacks(), r.fallbacks());
+  ASSERT_EQ(back.roots.size(), 1u);
+  EXPECT_EQ(back.roots[0].op, r.roots[0].op);
+  EXPECT_DOUBLE_EQ(back.roots[0].est, 120.0);
+  EXPECT_EQ(back.roots[0].actual, 100u);
+  ASSERT_EQ(back.extents.size(), 1u);
+  EXPECT_EQ(back.extents[0].extent, "SUPPLIER");
+  EXPECT_EQ(back.extents[0].est, 25u);
+  EXPECT_EQ(back.extents[0].actual, 50u);
+  EXPECT_DOUBLE_EQ(back.max_q, 2.0);
+}
+
+TEST(QueryLogRecord, FromJsonRejectsMalformedInput) {
+  QueryLogRecord out;
+  EXPECT_FALSE(QueryLogRecord::FromJson("", &out));
+  EXPECT_FALSE(QueryLogRecord::FromJson("{", &out));
+  EXPECT_FALSE(QueryLogRecord::FromJson("[]", &out));
+  EXPECT_FALSE(QueryLogRecord::FromJson("{\"id\":1} trailing", &out));
+  EXPECT_FALSE(QueryLogRecord::FromJson("{\"query\":\"unterminated}", &out));
+}
+
+TEST(QueryLog, RingWraparoundKeepsNewestRecords) {
+  QueryLog log(8);
+  for (int i = 0; i < 20; ++i) {
+    QueryLogRecord r;
+    r.query = "q" + std::to_string(i);
+    log.Append(std::move(r));
+  }
+  EXPECT_EQ(log.total_appended(), 20u);
+  std::vector<QueryLogRecord> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  // Ids 12..19 survive, oldest first.
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].id, 12 + i);
+    EXPECT_EQ(snap[i].query, "q" + std::to_string(12 + i));
+  }
+  // last_n trims from the old end.
+  std::vector<QueryLogRecord> last3 = log.Snapshot(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3[0].id, 17u);
+  EXPECT_EQ(last3[2].id, 19u);
+}
+
+TEST(QueryLog, ConcurrentWritersAppendExactly) {
+  // mt4 exactness: the fetch_add sequence counter makes append counts
+  // exact under any interleaving, and every surviving slot holds a
+  // complete record (per-slot mutex — no torn writes).
+  QueryLog log(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryLogRecord r;
+        r.query = "w" + std::to_string(t) + "-" + std::to_string(i);
+        r.wall_ms = 1.0;
+        log.Append(std::move(r));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(log.total_appended(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  std::vector<QueryLogRecord> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 64u);
+  // Ids are unique, ascending, and all from the newest window.
+  for (size_t i = 0; i < snap.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(snap[i - 1].id, snap[i].id);
+    }
+    EXPECT_GE(snap[i].id, static_cast<uint64_t>(kThreads * kPerThread - 64));
+    EXPECT_FALSE(snap[i].query.empty());
+  }
+}
+
+TEST(QueryLog, EngineAppendsOneRecordPerRun) {
+  std::unique_ptr<Database> db = testutil::SmallSupplierDb();
+  QueryEngine engine(db.get());
+  QueryLog& qlog = QueryLog::Global();
+  uint64_t before = qlog.total_appended();
+
+  ASSERT_TRUE(engine.Run("select s.sname from s in SUPPLIER").ok());
+  EXPECT_EQ(qlog.total_appended(), before + 1);
+
+  // Errors are recorded too, with a non-empty error field.
+  ASSERT_FALSE(engine.Run("select nonsense !!").ok());
+  EXPECT_EQ(qlog.total_appended(), before + 2);
+  std::vector<QueryLogRecord> snap = qlog.Snapshot(1);
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_FALSE(snap[0].error.empty());
+  EXPECT_EQ(snap[0].query, "select nonsense !!");
+
+  // Disabled appends are dropped entirely.
+  qlog.set_enabled(false);
+  ASSERT_TRUE(engine.Run("select s.sname from s in SUPPLIER").ok());
+  EXPECT_EQ(qlog.total_appended(), before + 2);
+  qlog.set_enabled(true);
+}
+
+TEST(QueryLog, HashNormalizesOverFormatting) {
+  std::unique_ptr<Database> db = testutil::SmallSupplierDb();
+  QueryEngine engine(db.get());
+  QueryLog& qlog = QueryLog::Global();
+
+  ASSERT_TRUE(
+      engine.Run("select s.sname from s in SUPPLIER where s.sname = \"s1\"")
+          .ok());
+  ASSERT_TRUE(engine
+                  .Run("select   s.sname\nfrom s in SUPPLIER\n"
+                       "where s.sname = \"s1\"")
+                  .ok());
+  std::vector<QueryLogRecord> last2 = qlog.Snapshot(2);
+  ASSERT_EQ(last2.size(), 2u);
+  // Formatting differs, the translated algebra (and so the hash) doesn't.
+  EXPECT_NE(last2[0].query, last2[1].query);
+  EXPECT_EQ(last2[0].query_hash, last2[1].query_hash);
+  EXPECT_NE(last2[0].query_hash, 0u);
+}
+
+TEST(QueryLog, JsonlDumpParsesLineByLine) {
+  QueryLog log(16);
+  for (int i = 0; i < 5; ++i) {
+    QueryLogRecord r = SampleRecord();
+    r.query += " #" + std::to_string(i);
+    log.Append(std::move(r));
+  }
+  std::string doc = log.ToJsonl();
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < doc.size()) {
+    size_t end = doc.find('\n', start);
+    ASSERT_NE(end, std::string::npos);  // every record newline-terminated
+    std::string line = doc.substr(start, end - start);
+    QueryLogRecord back;
+    EXPECT_TRUE(QueryLogRecord::FromJson(line, &back)) << line;
+    EXPECT_EQ(back.id, lines);
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 5u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace n2j

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "fuzz/fuzzer.h"
+#include "obs/querylog.h"
 
 namespace {
 
@@ -36,7 +37,9 @@ int Usage(const char* argv0) {
                "          [--matrix=default|minimal|unsafe] "
                "[--reject-rounds=N]\n"
                "          [--start-round=N] [--max-rows=N] [--no-shrink] "
-               "[--verbose]\n",
+               "[--verbose]\n"
+               "          [--querylog=PATH]   dump the flight recorder "
+               "as JSONL on exit\n",
                argv0);
   return 2;
 }
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   n2j::fuzz::FuzzOptions options;
   options.rounds = 100;
   int reject_rounds = 0;
+  std::string querylog_path;
   std::string v;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +67,8 @@ int main(int argc, char** argv) {
       options.start_round = std::atoi(v.c_str());
     } else if (ParseFlag(a, "--max-rows", &v)) {
       options.tables.max_rows = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--querylog", &v)) {
+      querylog_path = v;
     } else if (ParseFlag(a, "--matrix", &v)) {
       if (v == "minimal") {
         options.matrix = n2j::fuzz::MinimalConfigMatrix();
@@ -92,6 +98,19 @@ int main(int argc, char** argv) {
     reject.rounds = reject_rounds;
     rejected = n2j::fuzz::RunRejectionRounds(reject, &std::cout);
     std::cout << "rejection rounds survived: " << rejected << "\n";
+  }
+
+  if (!querylog_path.empty()) {
+    n2j::obs::QueryLog& qlog = n2j::obs::QueryLog::Global();
+    n2j::Status st = qlog.DumpJsonl(querylog_path);
+    if (!st.ok()) {
+      std::cerr << "querylog dump failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "querylog: " << qlog.total_appended()
+              << " queries recorded, last "
+              << qlog.Snapshot().size() << " dumped to " << querylog_path
+              << "\n";
   }
 
   if (!summary.Clean()) {

@@ -1,0 +1,162 @@
+// Flight-recorder log reader: digests the query-log JSONL that
+// QueryLog::DumpJsonl writes (n2j_fuzz --querylog=..., bench
+// --querylog=..., the shell's \log) into the three tables a post-mortem
+// starts from — slowest queries, worst cardinality estimates, most
+// fallback-prone queries — plus an aggregate header.
+//
+//   n2j_logcat querylog.jsonl                # top 10 of each
+//   n2j_logcat --top=25 querylog.jsonl      # deeper tables
+//   n2j_logcat a.jsonl b.jsonl              # merged across files
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "obs/querylog.h"
+
+namespace {
+
+using n2j::StrFormat;
+using n2j::obs::QueryLogRecord;
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--top=K] <querylog.jsonl>...\n", argv0);
+  return 2;
+}
+
+/// Query text fit for one table cell: first line only, elided at 60.
+std::string Ellipsize(const std::string& s) {
+  std::string flat = s.substr(0, s.find('\n'));
+  if (flat.size() <= 60) return flat;
+  return flat.substr(0, 57) + "...";
+}
+
+void PrintTable(const char* title, const std::vector<const QueryLogRecord*>&
+                rows, const char* value_header,
+                std::string (*value)(const QueryLogRecord&)) {
+  std::printf("\n%s\n", title);
+  std::printf("  %6s  %-12s  %-10s  %-8s  %s\n", "id", value_header,
+              "strategy", "backend", "query");
+  for (const QueryLogRecord* r : rows) {
+    std::printf("  %6llu  %-12s  %-10s  %-8s  %s%s\n",
+                static_cast<unsigned long long>(r->id), value(*r).c_str(),
+                r->strategy.c_str(), r->backend.c_str(),
+                Ellipsize(r->query).c_str(),
+                r->error.empty() ? "" : "  [error]");
+  }
+}
+
+/// The `top` records ranked by `metric` descending (ties: older first),
+/// records with a zero metric skipped.
+std::vector<const QueryLogRecord*> TopBy(
+    const std::vector<QueryLogRecord>& records, size_t top,
+    double (*metric)(const QueryLogRecord&)) {
+  std::vector<const QueryLogRecord*> out;
+  for (const QueryLogRecord& r : records) {
+    if (metric(r) > 0.0) out.push_back(&r);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const QueryLogRecord* a, const QueryLogRecord* b) {
+                     return metric(*a) > metric(*b);
+                   });
+  if (out.size() > top) out.resize(top);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t top = 10;
+  std::vector<std::string> paths;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--top", &v)) {
+      top = static_cast<size_t>(std::atoi(v.c_str()));
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) return Usage(argv[0]);
+
+  std::vector<QueryLogRecord> records;
+  size_t malformed = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      QueryLogRecord r;
+      if (QueryLogRecord::FromJson(line, &r)) {
+        records.push_back(std::move(r));
+      } else {
+        ++malformed;
+      }
+    }
+  }
+  if (malformed > 0) {
+    std::fprintf(stderr, "warning: %zu malformed lines skipped\n", malformed);
+  }
+  if (records.empty()) {
+    std::printf("no records\n");
+    return malformed > 0 ? 1 : 0;
+  }
+
+  size_t errors = 0;
+  uint64_t fallbacks = 0;
+  double total_wall = 0.0, max_q = 0.0;
+  for (const QueryLogRecord& r : records) {
+    if (!r.error.empty()) ++errors;
+    fallbacks += r.fallbacks();
+    total_wall += r.wall_ms;
+    max_q = std::max(max_q, r.max_q);
+  }
+  std::printf(
+      "%zu queries (%zu errors), %.1fms total wall, %llu fallbacks, "
+      "max q-error %.2f\n",
+      records.size(), errors, total_wall,
+      static_cast<unsigned long long>(fallbacks), max_q);
+
+  PrintTable(
+      StrFormat("top %zu slowest", top).c_str(),
+      TopBy(records, top,
+            [](const QueryLogRecord& r) { return r.wall_ms; }),
+      "wall_ms", [](const QueryLogRecord& r) {
+        return StrFormat("%.3f", r.wall_ms);
+      });
+  PrintTable(
+      StrFormat("top %zu highest q-error", top).c_str(),
+      TopBy(records, top, [](const QueryLogRecord& r) {
+        return r.max_q > 1.0 ? r.max_q : 0.0;
+      }),
+      "max_q", [](const QueryLogRecord& r) {
+        return StrFormat("%.2f", r.max_q);
+      });
+  PrintTable(
+      StrFormat("top %zu most fallbacks", top).c_str(),
+      TopBy(records, top,
+            [](const QueryLogRecord& r) {
+              return static_cast<double>(r.fallbacks());
+            }),
+      "fallbacks", [](const QueryLogRecord& r) {
+        return StrFormat("%llu",
+                         static_cast<unsigned long long>(r.fallbacks()));
+      });
+  return 0;
+}
